@@ -1,0 +1,40 @@
+//! The independent cascade (IC) model layer used by the index-based
+//! baselines (DIM, IMM, TIM+).
+//!
+//! The paper's streaming approach is *data-driven* — it never assumes a
+//! diffusion model. The baselines it compares against do: they need a
+//! diffusion probability per edge, which §V-C derives from interaction
+//! multiplicity as `p_uv = 2 / (1 + e^{−0.2 x}) − 1`, where `x` is the
+//! number of live interactions `u → v`.
+
+/// Diffusion probability from interaction multiplicity (§V-C).
+///
+/// Monotone in `x`, 0 at `x = 0`, ≈ 0.1 at `x = 1`, → 1 as `x → ∞`.
+#[inline]
+pub fn diffusion_prob(x: u32) -> f64 {
+    2.0 / (1.0 + (-0.2 * x as f64).exp()) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_formula_endpoints() {
+        assert_eq!(diffusion_prob(0), 0.0);
+        let p1 = diffusion_prob(1);
+        assert!((p1 - 0.0997).abs() < 1e-3, "p(1) = {p1}");
+        assert!(diffusion_prob(100) > 0.999);
+    }
+
+    #[test]
+    fn is_monotone_in_multiplicity() {
+        let mut prev = -1.0;
+        for x in 0..50 {
+            let p = diffusion_prob(x);
+            assert!(p > prev);
+            assert!((0.0..1.0).contains(&p) || x == 0);
+            prev = p;
+        }
+    }
+}

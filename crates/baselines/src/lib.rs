@@ -1,0 +1,34 @@
+//! # tdn-baselines
+//!
+//! The index-based influence-maximization baselines of §V-C, built on the
+//! independent cascade (IC) model with diffusion probabilities estimated
+//! from interaction multiplicity:
+//!
+//! * [`ic`] — `p_uv = 2/(1+e^{−0.2x}) − 1`;
+//! * [`rr`] — reverse-reachable set sampling and incremental extension;
+//! * [`max_cover`] — greedy maximum coverage over RR pools;
+//! * [`imm::ImmTracker`] — IMM (static-index, rebuilt per query);
+//! * [`tim::TimTracker`] — TIM+ (two-phase, rebuilt per query);
+//! * [`dim::DimTracker`] — DIM (dynamically maintained sketches, `β`).
+//!
+//! All three implement [`tdn_core::InfluenceTracker`] and score their seeds
+//! with the same reachability oracle as the streaming algorithms, matching
+//! the paper's "ratio w.r.t. greedy" evaluation.
+
+#![warn(missing_docs)]
+
+pub mod dim;
+pub mod ic;
+pub mod imm;
+pub mod max_cover;
+pub mod rr;
+pub mod tim;
+pub mod util;
+
+pub use dim::DimTracker;
+pub use ic::diffusion_prob;
+pub use imm::{imm_select, ImmTracker};
+pub use max_cover::{max_cover, CoverResult};
+pub use rr::{extend_rr_on_insert, sample_rr, sample_rr_from, RrSet};
+pub use tim::{tim_select, TimTracker};
+pub use util::ln_binom;

@@ -1,0 +1,122 @@
+//! Greedy maximum coverage over a pool of RR sets — the seed-selection
+//! phase shared by DIM, IMM, and TIM+.
+
+use crate::rr::RrSet;
+use tdn_graph::{FxHashMap, NodeId};
+
+/// Result of max-coverage seed selection.
+#[derive(Clone, Debug)]
+pub struct CoverResult {
+    /// Selected seeds (selection order).
+    pub seeds: Vec<NodeId>,
+    /// Number of RR sets covered by the selection.
+    pub covered: usize,
+    /// Estimated IC influence: `n · covered / |pool|`.
+    pub estimated_spread: f64,
+}
+
+/// Greedily selects ≤ `k` nodes covering the most RR sets; `n_live` scales
+/// the coverage fraction into an influence estimate.
+pub fn max_cover(pool: &[RrSet], k: usize, n_live: usize) -> CoverResult {
+    if pool.is_empty() || k == 0 {
+        return CoverResult {
+            seeds: Vec::new(),
+            covered: 0,
+            estimated_spread: 0.0,
+        };
+    }
+    // Inverted index: node -> RR-set indices containing it.
+    let mut index: FxHashMap<NodeId, Vec<u32>> = FxHashMap::default();
+    for (i, rr) in pool.iter().enumerate() {
+        for &v in &rr.nodes {
+            index.entry(v).or_default().push(i as u32);
+        }
+    }
+    let mut degree: FxHashMap<NodeId, usize> =
+        index.iter().map(|(&v, l)| (v, l.len())).collect();
+    let mut covered = vec![false; pool.len()];
+    let mut covered_count = 0usize;
+    let mut seeds = Vec::with_capacity(k);
+    for _ in 0..k {
+        // Lazy-greedy would also work; pools are small enough for a scan.
+        let Some((&best, &d)) = degree.iter().max_by_key(|&(v, d)| (*d, std::cmp::Reverse(*v)))
+        else {
+            break;
+        };
+        if d == 0 {
+            break;
+        }
+        seeds.push(best);
+        for &i in &index[&best] {
+            let i = i as usize;
+            if !covered[i] {
+                covered[i] = true;
+                covered_count += 1;
+                // Deduct this set from every member's degree.
+                for &v in &pool[i].nodes {
+                    if let Some(dv) = degree.get_mut(&v) {
+                        *dv = dv.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        degree.remove(&best);
+    }
+    CoverResult {
+        estimated_spread: n_live as f64 * covered_count as f64 / pool.len() as f64,
+        seeds,
+        covered: covered_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rr(root: u32, nodes: &[u32]) -> RrSet {
+        RrSet {
+            root: NodeId(root),
+            nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+        }
+    }
+
+    #[test]
+    fn picks_the_most_frequent_node() {
+        let pool = vec![rr(1, &[1, 9]), rr(2, &[2, 9]), rr(3, &[3, 9]), rr(4, &[4])];
+        let res = max_cover(&pool, 1, 100);
+        assert_eq!(res.seeds, vec![NodeId(9)]);
+        assert_eq!(res.covered, 3);
+        assert_eq!(res.estimated_spread, 75.0);
+    }
+
+    #[test]
+    fn second_seed_covers_the_remainder() {
+        let pool = vec![rr(1, &[1, 9]), rr(2, &[2, 9]), rr(4, &[4])];
+        let res = max_cover(&pool, 2, 30);
+        assert_eq!(res.seeds[0], NodeId(9));
+        assert_eq!(res.covered, 3);
+    }
+
+    #[test]
+    fn stops_when_everything_is_covered() {
+        let pool = vec![rr(1, &[1]), rr(1, &[1])];
+        let res = max_cover(&pool, 5, 10);
+        assert_eq!(res.seeds.len(), 1);
+        assert_eq!(res.covered, 2);
+    }
+
+    #[test]
+    fn empty_pool_is_empty_result() {
+        let res = max_cover(&[], 3, 10);
+        assert!(res.seeds.is_empty());
+        assert_eq!(res.estimated_spread, 0.0);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let pool = vec![rr(1, &[1]), rr(2, &[2])];
+        let a = max_cover(&pool, 1, 10);
+        let b = max_cover(&pool, 1, 10);
+        assert_eq!(a.seeds, b.seeds);
+    }
+}

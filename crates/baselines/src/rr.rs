@@ -1,0 +1,195 @@
+//! Reverse-reachable (RR) set sampling under the IC model (Borgs et al.,
+//! the substrate of DIM, IMM, and TIM+).
+//!
+//! An RR set for root `w` is the random set of nodes that reach `w` in a
+//! random *world* where each edge `(u, v)` exists independently with
+//! probability `p_uv`. A node appearing in many RR sets has large expected
+//! IC influence; greedy max-coverage over a pool of RR sets yields a
+//! near-optimal IC seed set.
+
+use crate::ic::diffusion_prob;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tdn_graph::{FxHashSet, NodeId, TdnGraph};
+
+/// One sampled reverse-reachable set.
+#[derive(Clone, Debug)]
+pub struct RrSet {
+    /// The uniformly sampled root.
+    pub root: NodeId,
+    /// Nodes that reach the root in the sampled world (root included).
+    pub nodes: Vec<NodeId>,
+}
+
+impl RrSet {
+    /// Width proxy: number of member nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty (never: the root is always a member).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Samples one RR set rooted at a uniform live node; `None` on an empty
+/// graph.
+pub fn sample_rr(graph: &TdnGraph, rng: &mut StdRng) -> Option<RrSet> {
+    let live = graph.live_nodes();
+    if live.is_empty() {
+        return None;
+    }
+    let root = live.get(rng.gen_range(0..live.len())).expect("non-empty");
+    Some(sample_rr_from(graph, root, rng))
+}
+
+/// Samples one RR set with a fixed root (used by DIM's sketch refresh).
+pub fn sample_rr_from(graph: &TdnGraph, root: NodeId, rng: &mut StdRng) -> RrSet {
+    let mut member: FxHashSet<NodeId> = FxHashSet::default();
+    let mut queue: Vec<NodeId> = Vec::new();
+    member.insert(root);
+    queue.push(root);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for (u, mult) in graph.in_neighbors_distinct(v) {
+            if member.contains(&u) {
+                continue;
+            }
+            if rng.gen_bool(diffusion_prob(mult).clamp(0.0, 1.0)) {
+                member.insert(u);
+                queue.push(u);
+            }
+        }
+    }
+    RrSet { root, nodes: queue }
+}
+
+/// Extends an existing RR set after edge `(u, v)` was inserted: if `v` is a
+/// member and `u` is not, flip the edge's coin and, on success, pull in `u`
+/// and (recursively, with fresh coins) whatever reaches `u`.
+///
+/// Returns `true` if the set changed.
+pub fn extend_rr_on_insert(
+    graph: &TdnGraph,
+    rr: &mut RrSet,
+    u: NodeId,
+    v: NodeId,
+    rng: &mut StdRng,
+) -> bool {
+    let member: FxHashSet<NodeId> = rr.nodes.iter().copied().collect();
+    if !member.contains(&v) || member.contains(&u) {
+        return false;
+    }
+    // The new edge's multiplicity is already reflected in the graph.
+    let p = diffusion_prob(graph.multiplicity(u, v));
+    if !rng.gen_bool(p.clamp(0.0, 1.0)) {
+        return false;
+    }
+    let mut member = member;
+    let mut queue = vec![u];
+    member.insert(u);
+    rr.nodes.push(u);
+    let mut head = 0;
+    while head < queue.len() {
+        let x = queue[head];
+        head += 1;
+        for (w, mult) in graph.in_neighbors_distinct(x) {
+            if member.contains(&w) {
+                continue;
+            }
+            if rng.gen_bool(diffusion_prob(mult).clamp(0.0, 1.0)) {
+                member.insert(w);
+                rr.nodes.push(w);
+                queue.push(w);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain_graph(mult: u32) -> TdnGraph {
+        // 0 -> 1 -> 2, each pair with the given multiplicity.
+        let mut g = TdnGraph::new();
+        for _ in 0..mult {
+            g.add_edge(NodeId(0), NodeId(1), 100);
+            g.add_edge(NodeId(1), NodeId(2), 100);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_has_no_rr_sets() {
+        let g = TdnGraph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_rr(&g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn rr_sets_contain_their_root() {
+        let g = chain_graph(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let rr = sample_rr(&g, &mut rng).unwrap();
+            assert!(rr.nodes.contains(&rr.root));
+        }
+    }
+
+    #[test]
+    fn high_multiplicity_pulls_in_ancestors() {
+        // With multiplicity 40, p ≈ 1: RR(2) should almost always be {2,1,0}.
+        let g = chain_graph(40);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut full = 0;
+        for _ in 0..100 {
+            let rr = sample_rr_from(&g, NodeId(2), &mut rng);
+            if rr.len() == 3 {
+                full += 1;
+            }
+        }
+        assert!(full > 95, "only {full}/100 full chains at p≈1");
+    }
+
+    #[test]
+    fn low_multiplicity_rarely_traverses() {
+        // With multiplicity 1, p ≈ 0.0997: RR(2) is usually just {2}.
+        let g = chain_graph(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let singletons = (0..1000)
+            .filter(|_| sample_rr_from(&g, NodeId(2), &mut rng).len() == 1)
+            .count();
+        assert!(
+            (850..=950).contains(&singletons),
+            "{singletons}/1000 singletons, expected ≈ 900"
+        );
+    }
+
+    #[test]
+    fn extend_on_insert_respects_membership() {
+        let mut g = chain_graph(40);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rr = sample_rr_from(&g, NodeId(2), &mut rng);
+        assert_eq!(rr.len(), 3);
+        // Insert 5 -> 2 with huge multiplicity: v = 2 is a member, so the
+        // extension should almost surely pull in 5.
+        for _ in 0..40 {
+            g.add_edge(NodeId(5), NodeId(2), 100);
+        }
+        let changed = extend_rr_on_insert(&g, &mut rr, NodeId(5), NodeId(2), &mut rng);
+        assert!(changed);
+        assert!(rr.nodes.contains(&NodeId(5)));
+        // Edge into a non-member: no-op.
+        let mut rr2 = RrSet {
+            root: NodeId(0),
+            nodes: vec![NodeId(0)],
+        };
+        assert!(!extend_rr_on_insert(&g, &mut rr2, NodeId(5), NodeId(2), &mut rng));
+    }
+}

@@ -1,0 +1,36 @@
+//! Numeric helpers shared by the RIS baselines.
+
+/// `ln C(n, k)` computed stably as a sum of logs (no factorial overflow).
+pub fn ln_binom(n: usize, k: usize) -> f64 {
+    if k == 0 || k >= n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    (0..k)
+        .map(|i| (((n - i) as f64) / ((i + 1) as f64)).ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cases_are_exact() {
+        assert!((ln_binom(5, 2) - (10f64).ln()).abs() < 1e-12);
+        assert!((ln_binom(10, 3) - (120f64).ln()).abs() < 1e-12);
+        assert_eq!(ln_binom(7, 0), 0.0);
+        assert_eq!(ln_binom(7, 7), 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_k() {
+        assert!((ln_binom(30, 7) - ln_binom(30, 23)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_values_stay_finite() {
+        let v = ln_binom(1_000_000, 10);
+        assert!(v.is_finite() && v > 0.0);
+    }
+}

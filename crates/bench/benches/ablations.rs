@@ -1,0 +1,41 @@
+//! Bench for the ablation experiments: the refeed variant's query overhead
+//! and the singleton-prune's oracle-call savings expressed as time.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdn_bench::run_tracker;
+use tdn_core::{HistApprox, TrackerConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    let stream = common::mini_stream(120);
+    let cfg = TrackerConfig::new(10, 0.1, 200);
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("hist_approx/plain", |b| {
+        b.iter_batched(
+            || HistApprox::new(&cfg),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hist_approx/refeed", |b| {
+        b.iter_batched(
+            || HistApprox::new(&cfg).with_refeed(),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    let no_prune = cfg.clone().without_singleton_prune();
+    g.bench_function("hist_approx/no_singleton_prune", |b| {
+        b.iter_batched(
+            || HistApprox::new(&no_prune),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

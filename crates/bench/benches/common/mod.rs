@@ -1,0 +1,18 @@
+//! Shared helpers for the per-figure Criterion benches: miniature
+//! workloads so each bench iteration stays in the millisecond range while
+//! exercising exactly the code paths the corresponding figure measures.
+
+use tdn_bench::PreparedStream;
+use tdn_streams::Dataset;
+
+/// A small Brightkite-like workload (the figure experiments' default).
+#[allow(dead_code)] // each bench target uses a subset of the helpers
+pub fn mini_stream(steps: u64) -> PreparedStream {
+    PreparedStream::geometric(Dataset::Brightkite, 42, 0.01, 200, steps)
+}
+
+/// A small cascade workload (for the RIS-baseline benches).
+#[allow(dead_code)]
+pub fn mini_cascade(steps: u64) -> PreparedStream {
+    PreparedStream::geometric(Dataset::TwitterHk, 42, 0.01, 200, steps)
+}

@@ -1,0 +1,35 @@
+//! Bench for Fig. 11: HISTAPPROX cost as the budget k grows — the figure's
+//! claim is logarithmic scaling in k (vs Greedy's linear).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdn_bench::run_tracker;
+use tdn_core::{GreedyTracker, HistApprox, TrackerConfig};
+
+fn bench_fig11(c: &mut Criterion) {
+    let stream = common::mini_stream(100);
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for k in [10usize, 40, 100] {
+        let cfg = TrackerConfig::new(k, 0.2, 200);
+        g.bench_function(format!("hist_approx/k={k}"), |b| {
+            b.iter_batched(
+                || HistApprox::new(&cfg),
+                |mut tr| run_tracker(&mut tr, &stream),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("greedy/k={k}"), |b| {
+            b.iter_batched(
+                || GreedyTracker::new(&cfg),
+                |mut tr| run_tracker(&mut tr, &stream),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench for Fig. 12: HISTAPPROX cost as the lifetime bound L grows — the
+//! figure's claim is that L barely matters (unlike BASICREDUCTION's O(L)).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdn_bench::{run_tracker, PreparedStream};
+use tdn_core::{HistApprox, TrackerConfig};
+use tdn_streams::Dataset;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for l in [1_000u32, 10_000, 100_000] {
+        let stream = PreparedStream::geometric(Dataset::Brightkite, 42, 0.01, l, 100);
+        let cfg = TrackerConfig::new(10, 0.2, l);
+        g.bench_function(format!("hist_approx/L={l}"), |b| {
+            b.iter_batched(
+                || HistApprox::new(&cfg),
+                |mut tr| run_tracker(&mut tr, &stream),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

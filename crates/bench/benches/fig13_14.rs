@@ -1,0 +1,56 @@
+//! Bench for Figs. 13–14: per-step cost of the RIS baselines (IMM, TIM+,
+//! DIM) against HISTAPPROX and Greedy — Fig. 14's throughput comparison in
+//! miniature.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdn_baselines::{DimTracker, ImmTracker, TimTracker};
+use tdn_bench::run_tracker;
+use tdn_core::{GreedyTracker, HistApprox, TrackerConfig};
+
+fn bench_fig13_14(c: &mut Criterion) {
+    let stream = common::mini_cascade(60);
+    let cfg = TrackerConfig::new(10, 0.3, 200);
+    let mut g = c.benchmark_group("fig13_14");
+    g.sample_size(10);
+    g.bench_function("hist_approx", |b| {
+        b.iter_batched(
+            || HistApprox::new(&cfg),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("greedy", |b| {
+        b.iter_batched(
+            || GreedyTracker::new(&cfg),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("dim/beta=32", |b| {
+        b.iter_batched(
+            || DimTracker::new(&cfg, 32, 3),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("imm/max_rr=1000", |b| {
+        b.iter_batched(
+            || ImmTracker::new(&cfg, 0.3, 4).with_max_rr(1_000),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("tim/max_rr=1000", |b| {
+        b.iter_batched(
+            || TimTracker::new(&cfg, 0.3, 5).with_max_rr(1_000),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig13_14);
+criterion_main!(benches);

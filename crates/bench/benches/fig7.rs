@@ -1,0 +1,33 @@
+//! Bench for Fig. 7: BASICREDUCTION vs HISTAPPROX stream processing on the
+//! same LBSN workload — the figure's core comparison, miniaturized.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdn_bench::run_tracker;
+use tdn_core::{BasicReduction, HistApprox, TrackerConfig};
+
+fn bench_fig7(c: &mut Criterion) {
+    let stream = common::mini_stream(120);
+    let cfg = TrackerConfig::new(10, 0.1, 200);
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("basic_reduction/120steps", |b| {
+        b.iter_batched(
+            || BasicReduction::new(&cfg),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hist_approx/120steps", |b| {
+        b.iter_batched(
+            || HistApprox::new(&cfg),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

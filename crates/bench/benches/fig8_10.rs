@@ -1,0 +1,43 @@
+//! Bench for Figs. 8–10: HISTAPPROX (three ε values) vs Greedy vs Random on
+//! a shared workload — per-run cost of the quality/efficiency comparison.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdn_bench::run_tracker;
+use tdn_core::{GreedyTracker, HistApprox, RandomTracker, TrackerConfig};
+
+fn bench_fig8_10(c: &mut Criterion) {
+    let stream = common::mini_stream(150);
+    let mut g = c.benchmark_group("fig8_10");
+    g.sample_size(10);
+    for eps in [0.1, 0.15, 0.2] {
+        let cfg = TrackerConfig::new(10, eps, 200);
+        g.bench_function(format!("hist_approx/eps={eps}"), |b| {
+            b.iter_batched(
+                || HistApprox::new(&cfg),
+                |mut tr| run_tracker(&mut tr, &stream),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    let cfg = TrackerConfig::new(10, 0.1, 200);
+    g.bench_function("greedy", |b| {
+        b.iter_batched(
+            || GreedyTracker::new(&cfg),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("random", |b| {
+        b.iter_batched(
+            || RandomTracker::new(&cfg, 7),
+            |mut tr| run_tracker(&mut tr, &stream),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8_10);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the hot primitives underlying every experiment:
+//! BFS reachability, cover-pruned marginal gains, TDN advance/insert, sieve
+//! feeding, and RR-set sampling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdn_baselines::sample_rr;
+use tdn_core::SieveAdn;
+use tdn_graph::{marginal_gain, reach_count, AdnGraph, CoverSet, NodeId, ReachScratch, TdnGraph};
+use tdn_streams::{Dataset, ZipfSampler};
+use tdn_submodular::OracleCounter;
+
+fn random_adn(nodes: u32, edges: usize, seed: u64) -> AdnGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(nodes as usize, 1.0);
+    let mut g = AdnGraph::new();
+    while g.edge_count() < edges {
+        let u = zipf.sample(&mut rng) as u32;
+        let v = rng.gen_range(0..nodes);
+        if u != v {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    g
+}
+
+fn bench_reach(c: &mut Criterion) {
+    let g = random_adn(2_000, 6_000, 1);
+    let mut scratch = ReachScratch::new();
+    c.bench_function("micro/reach_count_2k_nodes", |b| {
+        b.iter(|| reach_count(&g, NodeId(0), &mut scratch))
+    });
+    let mut cover = CoverSet::new();
+    let mut gained = Vec::new();
+    marginal_gain(&g, NodeId(0), &cover, &mut scratch, &mut gained);
+    for &n in &gained {
+        cover.insert(n);
+    }
+    c.bench_function("micro/marginal_gain_pruned", |b| {
+        b.iter(|| marginal_gain(&g, NodeId(1), &cover, &mut scratch, &mut gained))
+    });
+}
+
+fn bench_tdn_ops(c: &mut Criterion) {
+    c.bench_function("micro/tdn_insert_advance_1k", |b| {
+        b.iter_batched(
+            TdnGraph::new,
+            |mut g| {
+                for t in 0..1_000u64 {
+                    g.advance_to(t);
+                    g.add_edge(NodeId((t % 97) as u32), NodeId((t % 89 + 100) as u32), 50);
+                }
+                g
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sieve(c: &mut Criterion) {
+    let edges: Vec<(NodeId, NodeId)> = {
+        let g = random_adn(500, 1_500, 2);
+        g.nodes()
+            .flat_map(|u| g.out_neighbors(u).iter().map(move |&v| (u, v)))
+            .collect()
+    };
+    c.bench_function("micro/sieve_adn_feed_1500_edges", |b| {
+        b.iter_batched(
+            || SieveAdn::new(10, 0.1, true, OracleCounter::new()),
+            |mut s| {
+                for chunk in edges.chunks(10) {
+                    s.feed(chunk.iter().copied());
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rr(c: &mut Criterion) {
+    let mut g = TdnGraph::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..3_000 {
+        let u = rng.gen_range(0..500u32);
+        let v = rng.gen_range(0..500u32);
+        if u != v {
+            g.add_edge(NodeId(u), NodeId(v), 1_000);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(4);
+    c.bench_function("micro/sample_rr_500_nodes", |b| {
+        b.iter(|| sample_rr(&g, &mut rng))
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("micro/generate_10k_interactions", |b| {
+        b.iter_batched(
+            || Dataset::TwitterHiggs.stream(42),
+            |s| s.take(10_000).count(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reach,
+    bench_tdn_ops,
+    bench_sieve,
+    bench_rr,
+    bench_generators
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench for Table I: dataset generator throughput and statistics scans —
+//! the cost of producing the paper's workload summary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tdn_streams::{dataset_stats, Dataset};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    for d in Dataset::ALL {
+        g.bench_function(format!("stats_5k/{}", d.slug()), |b| {
+            b.iter_batched(
+                || d.stream(42),
+                |s| dataset_stats(s, 5_000),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Experiment CLI: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <target>... [--full] [--out DIR]
+//!   targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations all
+//!   --full   paper-scale sweeps (default: quick)
+//!   --out    output directory for CSVs (default: results)
+//! ```
+//!
+//! Figs. 8–10 come from shared runs (one runner), as do Figs. 13–14.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tdn_bench::experiments::{ablations, fig11_12, fig13_14, fig7, fig8_10, table1};
+use tdn_bench::Scale;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <target>... [--full] [--out DIR]\n\
+         targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations all"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut full = false;
+    let mut out = PathBuf::from("results");
+    let mut targets: BTreeSet<&str> = BTreeSet::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--quick" => full = false,
+            "--out" => match it.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => return usage(),
+            },
+            t @ ("table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
+            | "fig14" | "ablations") => {
+                // Shared runners: figs 8-10 and 13-14 are joint.
+                targets.insert(match t {
+                    "fig9" | "fig10" => "fig8",
+                    "fig14" => "fig13",
+                    other => other,
+                });
+            }
+            "all" => {
+                for t in ["table1", "fig7", "fig8", "fig11", "fig12", "fig13", "ablations"] {
+                    targets.insert(t);
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    println!(
+        "running {:?} at {} scale -> {}",
+        targets,
+        if full { "FULL (paper)" } else { "QUICK" },
+        out.display()
+    );
+    for t in targets {
+        let started = std::time::Instant::now();
+        let res = match t {
+            "table1" => table1::run(&out),
+            "fig7" => fig7::run(&out, &scale),
+            "fig8" => fig8_10::run(&out, &scale),
+            "fig11" => fig11_12::run_fig11(&out, &scale),
+            "fig12" => fig11_12::run_fig12(&out, &scale),
+            "fig13" => fig13_14::run(&out, &scale),
+            "ablations" => ablations::run(&out, &scale),
+            _ => unreachable!("validated above"),
+        };
+        match res {
+            Ok(()) => println!("[{t}] done in {:.1}s", started.elapsed().as_secs_f64()),
+            Err(e) => {
+                eprintln!("[{t}] failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,165 @@
+//! Experiment driver: prepares lifetime-tagged streams once per workload so
+//! every tracker replays the *same* edges and lifetimes, then runs trackers
+//! recording per-step value, cumulative oracle calls, and wall time.
+
+use std::time::Instant;
+use tdn_core::InfluenceTracker;
+use tdn_graph::{Lifetime, Time};
+use tdn_streams::{
+    Dataset, GeometricLifetime, Interaction, LifetimeAssigner, StepBatches, TimedEdge,
+};
+
+/// A fully materialized workload: per-step batches with assigned lifetimes.
+pub struct PreparedStream {
+    /// `(t, batch)` per time step, consecutive `t` starting at 0.
+    pub steps: Vec<(Time, Vec<TimedEdge>)>,
+    /// Total edges across all batches.
+    pub edges: u64,
+}
+
+impl PreparedStream {
+    /// Tags `steps` time steps of `dataset` (seeded) with truncated
+    /// geometric lifetimes `Geo(p)` capped at `cap` — the experimental
+    /// setting of §V-B.
+    pub fn geometric(dataset: Dataset, seed: u64, p: f64, cap: Lifetime, steps: u64) -> Self {
+        let assigner = GeometricLifetime::new(p, cap, seed ^ 0xA55A_F00D);
+        Self::with_assigner(dataset.stream(seed), assigner, steps)
+    }
+
+    /// Tags a raw interaction stream with an arbitrary lifetime policy.
+    pub fn with_assigner(
+        stream: impl Iterator<Item = Interaction>,
+        mut assigner: impl LifetimeAssigner,
+        steps: u64,
+    ) -> Self {
+        let mut out = Vec::with_capacity(steps as usize);
+        let mut edges = 0u64;
+        for (t, batch) in StepBatches::new(stream).take(steps as usize) {
+            let tagged: Vec<TimedEdge> = batch
+                .iter()
+                .map(|it| TimedEdge {
+                    src: it.src,
+                    dst: it.dst,
+                    lifetime: assigner.assign(it),
+                })
+                .collect();
+            edges += tagged.len() as u64;
+            out.push((t, tagged));
+        }
+        PreparedStream { steps: out, edges }
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Per-run measurements.
+pub struct RunLog {
+    /// Tracker name.
+    pub name: String,
+    /// Solution value after each step.
+    pub values: Vec<u64>,
+    /// Cumulative oracle calls after each step.
+    pub calls: Vec<u64>,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Edges processed.
+    pub edges: u64,
+}
+
+impl RunLog {
+    /// Mean solution value across steps.
+    pub fn mean_value(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<u64>() as f64 / self.values.len() as f64
+    }
+
+    /// Total oracle calls.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.last().copied().unwrap_or(0)
+    }
+
+    /// Stream processing speed in edges per second (Fig. 14's metric).
+    pub fn throughput(&self) -> f64 {
+        if self.wall_secs == 0.0 {
+            return 0.0;
+        }
+        self.edges as f64 / self.wall_secs
+    }
+
+    /// Mean of `self.values[i] / other.values[i]` (solution-quality ratio,
+    /// Figs. 9/11/12/13). Steps where the reference is 0 are skipped.
+    pub fn mean_ratio_to(&self, other: &RunLog) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (a, b) in self.values.iter().zip(&other.values) {
+            if *b > 0 {
+                sum += *a as f64 / *b as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Runs a tracker over a prepared stream.
+pub fn run_tracker(tracker: &mut dyn InfluenceTracker, stream: &PreparedStream) -> RunLog {
+    let mut values = Vec::with_capacity(stream.len());
+    let mut calls = Vec::with_capacity(stream.len());
+    let start = Instant::now();
+    for (t, batch) in &stream.steps {
+        let sol = tracker.step(*t, batch);
+        values.push(sol.value);
+        calls.push(tracker.oracle_calls());
+    }
+    RunLog {
+        name: tracker.name().to_string(),
+        values,
+        calls,
+        wall_secs: start.elapsed().as_secs_f64(),
+        edges: stream.edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdn_core::{HistApprox, TrackerConfig};
+
+    #[test]
+    fn prepared_streams_are_reproducible() {
+        let a = PreparedStream::geometric(Dataset::Brightkite, 1, 0.01, 100, 50);
+        let b = PreparedStream::geometric(Dataset::Brightkite, 1, 0.01, 100, 50);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.edges, b.edges);
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn run_log_metrics() {
+        let stream = PreparedStream::geometric(Dataset::Brightkite, 2, 0.01, 100, 60);
+        let mut tr = HistApprox::new(&TrackerConfig::new(5, 0.2, 100));
+        let log = run_tracker(&mut tr, &stream);
+        assert_eq!(log.values.len(), 60);
+        assert!(log.total_calls() > 0);
+        assert!(log.throughput() > 0.0);
+        assert!(log.mean_value() > 0.0);
+        let ratio = log.mean_ratio_to(&log);
+        assert!((ratio - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,288 @@
+//! Ablations beyond the paper's figures, for the design choices DESIGN.md
+//! calls out:
+//!
+//! * **refeed** — HISTAPPROX with/without the §IV-remark query-time refeed
+//!   that upgrades `(1/3 − ε)` to `(1/2 − ε)`;
+//! * **window vs decay** — Example 1's "Alice" scenario: a long-standing
+//!   influencer goes quiet; sliding-window lifetimes forget her abruptly
+//!   while geometric decay (same mean) retains her;
+//! * **lazy** — CELF lazy evaluation vs eager greedy oracle-call counts;
+//! * **prune** — the singleton-value threshold prune in SIEVEADN: identical
+//!   solutions, fewer oracle calls.
+
+use crate::driver::{run_tracker, PreparedStream};
+use crate::report::{f, print_table, CsvWriter};
+use crate::scale::Scale;
+use std::path::Path;
+use tdn_core::{
+    GreedyTracker, HistApprox, InfluenceObjective, InfluenceTracker, TrackerConfig,
+};
+use tdn_graph::{NodeId, Time};
+use tdn_streams::{ConstantLifetime, Dataset, GeometricLifetime, Interaction};
+use tdn_submodular::{eager_greedy, lazy_greedy, OracleCounter};
+
+/// Example 1's scenario: Alice (node 0) is re-tweeted steadily except
+/// during a quiet window; background chatter churns around her.
+pub fn alice_stream(steps: u64, quiet_start: Time, quiet_end: Time) -> Vec<Interaction> {
+    let mut out = Vec::new();
+    for t in 0..steps {
+        // Background: a rotating pair of minor interactions.
+        let a = 100 + (t * 13 % 50) as u32;
+        let b = 200 + (t * 29 % 150) as u32;
+        out.push(Interaction::new(a, b, t));
+        // Alice gets re-tweeted twice every third step, unless quiet.
+        if t % 3 == 0 && !(quiet_start..quiet_end).contains(&t) {
+            out.push(Interaction::new(0u32, 300 + (t * 7 % 120) as u32, t));
+            out.push(Interaction::new(0u32, 300 + (t * 11 % 120) as u32, t));
+        }
+    }
+    out
+}
+
+fn alice_presence(
+    stream: &PreparedStream,
+    quiet_start: Time,
+    quiet_end: Time,
+    cfg: &TrackerConfig,
+) -> f64 {
+    let mut tracker = HistApprox::new(cfg);
+    let mut present = 0u64;
+    let mut total = 0u64;
+    for (t, batch) in &stream.steps {
+        let sol = tracker.step(*t, batch);
+        if (quiet_start..quiet_end).contains(t) {
+            total += 1;
+            if sol.seeds.contains(&NodeId(0)) {
+                present += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        present as f64 / total as f64
+    }
+}
+
+/// Window-vs-decay ablation (Example 1).
+pub fn run_window(out_dir: &Path, _scale: &Scale) -> std::io::Result<()> {
+    let steps = 600u64;
+    let (qs, qe) = (300u64, 420u64);
+    let events = alice_stream(steps, qs, qe);
+    let window_w = 60u32;
+    // Same mean lifetime for both policies: W vs Geo(1/W).
+    let windowed = PreparedStream::with_assigner(
+        events.iter().copied(),
+        ConstantLifetime(window_w),
+        steps,
+    );
+    let decayed = PreparedStream::with_assigner(
+        events.iter().copied(),
+        GeometricLifetime::new(1.0 / window_w as f64, 100_000, 7),
+        steps,
+    );
+    let cfg = TrackerConfig::new(3, 0.1, 100_000);
+    let p_window = alice_presence(&windowed, qs, qe, &cfg);
+    let p_decay = alice_presence(&decayed, qs, qe, &cfg);
+    let mut csv = CsvWriter::create(
+        out_dir,
+        "ablation_window",
+        &["policy", "alice_presence_during_quiet"],
+    )?;
+    csv.row(&["sliding_window".into(), f(p_window)])?;
+    csv.row(&["geometric_decay".into(), f(p_decay)])?;
+    csv.finish()?;
+    print_table(
+        "Ablation (Example 1): Alice retained during her quiet period?",
+        &["policy", "presence fraction"],
+        &[
+            vec!["sliding_window".into(), f(p_window)],
+            vec!["geometric_decay".into(), f(p_decay)],
+        ],
+    );
+    Ok(())
+}
+
+/// Refeed ablation (§IV remark).
+pub fn run_refeed(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    let mut csv = CsvWriter::create(
+        out_dir,
+        "ablation_refeed",
+        &["dataset", "variant", "mean_value", "oracle_calls"],
+    )?;
+    let mut rows = Vec::new();
+    for dataset in [Dataset::Brightkite, Dataset::TwitterHk] {
+        let stream =
+            PreparedStream::geometric(dataset, scale.seed, 0.002, 1_000, scale.steps_fig7);
+        let cfg = TrackerConfig::new(10, 0.1, 1_000);
+        let mut plain = HistApprox::new(&cfg);
+        let mut refeed = HistApprox::new(&cfg).with_refeed();
+        let lp = run_tracker(&mut plain, &stream);
+        let lr = run_tracker(&mut refeed, &stream);
+        for log in [&lp, &lr] {
+            csv.row(&[
+                dataset.slug().to_string(),
+                if std::ptr::eq(log, &lr) { "refeed" } else { "plain" }.to_string(),
+                f(log.mean_value()),
+                log.total_calls().to_string(),
+            ])?;
+        }
+        rows.push(vec![
+            dataset.slug().to_string(),
+            f(lp.mean_value()),
+            f(lr.mean_value()),
+            f(lr.total_calls() as f64 / lp.total_calls().max(1) as f64),
+        ]);
+    }
+    csv.finish()?;
+    print_table(
+        "Ablation (§IV remark): refeed variant",
+        &["dataset", "plain value", "refeed value", "call overhead"],
+        &rows,
+    );
+    Ok(())
+}
+
+/// CELF-vs-eager greedy ablation.
+pub fn run_lazy(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    let stream = PreparedStream::geometric(Dataset::Gowalla, scale.seed, 0.001, 10_000, 800);
+    let cfg = TrackerConfig::new(10, 0.1, 10_000);
+    let mut greedy = GreedyTracker::new(&cfg);
+    for (t, batch) in &stream.steps {
+        greedy.step(*t, batch);
+    }
+    // Compare lazy vs eager on the final graph snapshot.
+    let graph = greedy.graph();
+    let candidates: Vec<NodeId> = graph.live_nodes().iter().collect();
+    let lazy_counter = OracleCounter::new();
+    let mut lazy_obj = InfluenceObjective::new(graph, lazy_counter.clone());
+    let lazy_res = lazy_greedy(&mut lazy_obj, candidates.iter().copied(), 10);
+    let eager_counter = OracleCounter::new();
+    let mut eager_obj = InfluenceObjective::new(graph, eager_counter.clone());
+    let eager_res = eager_greedy(&mut eager_obj, &candidates, 10);
+    assert_eq!(lazy_res.value, eager_res.value, "CELF must not change values");
+    let mut csv = CsvWriter::create(
+        out_dir,
+        "ablation_lazy",
+        &["variant", "value", "oracle_calls"],
+    )?;
+    csv.row(&["celf".into(), f(lazy_res.value), lazy_counter.get().to_string()])?;
+    csv.row(&[
+        "eager".into(),
+        f(eager_res.value),
+        eager_counter.get().to_string(),
+    ])?;
+    csv.finish()?;
+    print_table(
+        "Ablation: CELF lazy evaluation vs eager greedy",
+        &["variant", "value", "oracle calls"],
+        &[
+            vec!["celf".into(), f(lazy_res.value), lazy_counter.get().to_string()],
+            vec![
+                "eager".into(),
+                f(eager_res.value),
+                eager_counter.get().to_string(),
+            ],
+        ],
+    );
+    Ok(())
+}
+
+/// Singleton-prune ablation: same answers, fewer oracle calls.
+pub fn run_prune(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    let stream = PreparedStream::geometric(Dataset::Brightkite, scale.seed, 0.002, 1_000, 800);
+    let cfg_on = TrackerConfig::new(10, 0.1, 1_000);
+    let cfg_off = cfg_on.clone().without_singleton_prune();
+    let mut on = HistApprox::new(&cfg_on);
+    let mut off = HistApprox::new(&cfg_off);
+    let lon = run_tracker(&mut on, &stream);
+    let loff = run_tracker(&mut off, &stream);
+    assert_eq!(lon.values, loff.values, "prune must be value-preserving");
+    let mut csv = CsvWriter::create(
+        out_dir,
+        "ablation_prune",
+        &["variant", "mean_value", "oracle_calls"],
+    )?;
+    csv.row(&["prune_on".into(), f(lon.mean_value()), lon.total_calls().to_string()])?;
+    csv.row(&[
+        "prune_off".into(),
+        f(loff.mean_value()),
+        loff.total_calls().to_string(),
+    ])?;
+    csv.finish()?;
+    print_table(
+        "Ablation: singleton-value threshold prune",
+        &["variant", "mean value", "oracle calls"],
+        &[
+            vec!["prune_on".into(), f(lon.mean_value()), lon.total_calls().to_string()],
+            vec![
+                "prune_off".into(),
+                f(loff.mean_value()),
+                loff.total_calls().to_string(),
+            ],
+        ],
+    );
+    Ok(())
+}
+
+/// Memory ablation: BASICREDUCTION's `O(L)` instances vs HISTAPPROX's
+/// compressed histogram (Theorem 5 vs Theorem 8), measured as approximate
+/// heap bytes along a shared stream.
+pub fn run_memory(out_dir: &Path, _scale: &Scale) -> std::io::Result<()> {
+    let l = 500u32;
+    let steps = 1_000u64;
+    let stream = PreparedStream::geometric(Dataset::Brightkite, 7, 0.002, l, steps);
+    let cfg = TrackerConfig::new(10, 0.1, l);
+    let mut basic = tdn_core::BasicReduction::new(&cfg);
+    let mut hist = HistApprox::new(&cfg);
+    let mut csv = CsvWriter::create(
+        out_dir,
+        "ablation_memory",
+        &["step", "basic_bytes", "hist_bytes", "basic_instances", "hist_instances"],
+    )?;
+    let mut peak = (0usize, 0usize);
+    for (t, batch) in &stream.steps {
+        basic.step(*t, batch);
+        hist.step(*t, batch);
+        let (b, h) = (basic.approx_bytes(), hist.approx_bytes());
+        peak.0 = peak.0.max(b);
+        peak.1 = peak.1.max(h);
+        if t % 50 == 0 {
+            csv.row(&[
+                t.to_string(),
+                b.to_string(),
+                h.to_string(),
+                basic.num_instances().to_string(),
+                hist.num_instances().to_string(),
+            ])?;
+        }
+    }
+    csv.finish()?;
+    print_table(
+        "Ablation (Thm 5 vs Thm 8): peak approximate memory",
+        &["tracker", "peak bytes", "instances at end"],
+        &[
+            vec![
+                "BasicReduction".into(),
+                peak.0.to_string(),
+                basic.num_instances().to_string(),
+            ],
+            vec![
+                "HistApprox".into(),
+                peak.1.to_string(),
+                hist.num_instances().to_string(),
+            ],
+        ],
+    );
+    Ok(())
+}
+
+/// Runs all ablations.
+pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    run_window(out_dir, scale)?;
+    run_refeed(out_dir, scale)?;
+    run_lazy(out_dir, scale)?;
+    run_prune(out_dir, scale)?;
+    run_memory(out_dir, scale)?;
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Figs. 11 and 12 — HISTAPPROX's value and oracle-call ratios w.r.t.
+//! Greedy as the budget `k` (Fig. 11) and the lifetime bound `L` (Fig. 12)
+//! vary, on Brightkite and Gowalla (ε = 0.2, Geo(0.001)).
+//!
+//! Expected shape (paper): value ratio stays high across both sweeps; the
+//! call ratio *falls* with `k` (HISTAPPROX scales `log k`, Greedy scales
+//! `k`); `L` barely affects either ratio.
+
+use crate::driver::{run_tracker, PreparedStream};
+use crate::report::{f, print_table, CsvWriter};
+use crate::scale::Scale;
+use std::path::Path;
+use tdn_core::{GreedyTracker, HistApprox, TrackerConfig};
+use tdn_streams::Dataset;
+
+const EPS: f64 = 0.2;
+const P: f64 = 0.001;
+
+/// One sweep point.
+pub struct Point {
+    /// Dataset slug.
+    pub dataset: &'static str,
+    /// Sweep coordinate (k or L).
+    pub x: u64,
+    /// Time-averaged value ratio HISTAPPROX / Greedy.
+    pub value_ratio: f64,
+    /// Total oracle-call ratio HISTAPPROX / Greedy.
+    pub call_ratio: f64,
+}
+
+fn measure(dataset: Dataset, k: usize, l: u32, scale: &Scale) -> (f64, f64) {
+    let stream = PreparedStream::geometric(dataset, scale.seed, P, l, scale.steps_sweep);
+    let cfg = TrackerConfig::new(k, EPS, l);
+    let mut greedy = GreedyTracker::new(&cfg);
+    let mut hist = HistApprox::new(&cfg);
+    let glog = run_tracker(&mut greedy, &stream);
+    let hlog = run_tracker(&mut hist, &stream);
+    (
+        hlog.mean_ratio_to(&glog),
+        hlog.total_calls() as f64 / glog.total_calls().max(1) as f64,
+    )
+}
+
+/// Fig. 11: sweep `k` at L = 10 000.
+pub fn sweep_k(scale: &Scale) -> Vec<Point> {
+    let mut out = Vec::new();
+    for dataset in [Dataset::Brightkite, Dataset::Gowalla] {
+        for &k in &scale.k_values {
+            let (vr, cr) = measure(dataset, k, 10_000, scale);
+            out.push(Point {
+                dataset: dataset.slug(),
+                x: k as u64,
+                value_ratio: vr,
+                call_ratio: cr,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 12: sweep `L` at k = 10.
+pub fn sweep_l(scale: &Scale) -> Vec<Point> {
+    let mut out = Vec::new();
+    for dataset in [Dataset::Brightkite, Dataset::Gowalla] {
+        for &l in &scale.l_values {
+            let (vr, cr) = measure(dataset, 10, l, scale);
+            out.push(Point {
+                dataset: dataset.slug(),
+                x: l as u64,
+                value_ratio: vr,
+                call_ratio: cr,
+            });
+        }
+    }
+    out
+}
+
+fn emit(out_dir: &Path, name: &str, xlabel: &str, points: &[Point]) -> std::io::Result<()> {
+    let mut csv = CsvWriter::create(
+        out_dir,
+        name,
+        &["dataset", xlabel, "value_ratio", "call_ratio"],
+    )?;
+    let mut rows = Vec::new();
+    for p in points {
+        let row = vec![
+            p.dataset.to_string(),
+            p.x.to_string(),
+            f(p.value_ratio),
+            f(p.call_ratio),
+        ];
+        csv.row(&row)?;
+        rows.push(row);
+    }
+    csv.finish()?;
+    print_table(
+        &format!("{name}: HistApprox/Greedy ratios vs {xlabel}"),
+        &["dataset", xlabel, "value ratio", "call ratio"],
+        &rows,
+    );
+    Ok(())
+}
+
+/// Runs Fig. 11 and writes `fig11.csv`.
+pub fn run_fig11(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    emit(out_dir, "fig11", "k", &sweep_k(scale))
+}
+
+/// Runs Fig. 12 and writes `fig12.csv`.
+pub fn run_fig12(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    emit(out_dir, "fig12", "L", &sweep_l(scale))
+}

@@ -1,0 +1,142 @@
+//! Figs. 13 and 14 — solution quality (ratio w.r.t. Greedy) and throughput
+//! (processed edges per second) of HISTAPPROX (ε = 0.3), IMM, TIM+ and DIM
+//! (β = 32) on Twitter-Higgs and StackOverflow-c2q, sweeping `k` (L fixed)
+//! and `L` (k fixed), Geo(0.001) lifetimes.
+//!
+//! Both figures come from the *same* runs, so this module executes the
+//! sweep once and emits both CSVs.
+//!
+//! Expected shape (paper): HISTAPPROX, IMM and TIM+ all deliver high
+//! quality, DIM is less stable (worse on c2q than on Higgs); HISTAPPROX has
+//! the highest throughput, then Greedy and DIM, with IMM and TIM+ slowest.
+
+use crate::driver::{run_tracker, PreparedStream, RunLog};
+use crate::report::{f, print_table, CsvWriter};
+use crate::scale::Scale;
+use std::path::Path;
+use tdn_baselines::{DimTracker, ImmTracker, TimTracker};
+use tdn_core::{GreedyTracker, HistApprox, InfluenceTracker, TrackerConfig};
+use tdn_streams::Dataset;
+
+const EPS_HIST: f64 = 0.3;
+const EPS_RIS: f64 = 0.3;
+const P: f64 = 0.001;
+
+/// One sweep point: every tracker's log plus the Greedy reference.
+pub struct Point {
+    /// Dataset slug.
+    pub dataset: &'static str,
+    /// Sweep axis: `"k"` or `"L"`.
+    pub axis: &'static str,
+    /// Sweep coordinate.
+    pub x: u64,
+    /// Greedy reference log.
+    pub greedy: RunLog,
+    /// Contender logs (HistApprox, IMM, TIM+, DIM).
+    pub contenders: Vec<RunLog>,
+}
+
+fn run_point(dataset: Dataset, axis: &'static str, k: usize, l: u32, scale: &Scale) -> Point {
+    let stream = PreparedStream::geometric(dataset, scale.seed, P, l, scale.steps_ris);
+    let cfg = TrackerConfig::new(k, EPS_HIST, l);
+    let mut greedy = GreedyTracker::new(&cfg);
+    let greedy_log = run_tracker(&mut greedy, &stream);
+    let mut contenders: Vec<RunLog> = Vec::new();
+    {
+        let mut h = HistApprox::new(&cfg);
+        contenders.push(run_tracker(&mut h, &stream));
+    }
+    {
+        let mut imm =
+            ImmTracker::new(&cfg, EPS_RIS, scale.seed ^ 0x1111).with_max_rr(scale.max_rr);
+        contenders.push(run_tracker(&mut imm, &stream));
+    }
+    {
+        let mut tim =
+            TimTracker::new(&cfg, EPS_RIS, scale.seed ^ 0x2222).with_max_rr(scale.max_rr);
+        contenders.push(run_tracker(&mut tim, &stream));
+    }
+    {
+        let mut dim = DimTracker::new(&cfg, scale.dim_beta, scale.seed ^ 0x3333);
+        contenders.push(run_tracker(&mut dim as &mut dyn InfluenceTracker, &stream));
+    }
+    Point {
+        dataset: dataset.slug(),
+        axis,
+        x: if axis == "k" { k as u64 } else { l as u64 },
+        greedy: greedy_log,
+        contenders,
+    }
+}
+
+/// Runs both sweeps on both datasets.
+pub fn sweep(scale: &Scale) -> Vec<Point> {
+    let mut out = Vec::new();
+    for dataset in [Dataset::TwitterHiggs, Dataset::StackOverflowC2q] {
+        for &k in &scale.k_values_ris {
+            out.push(run_point(dataset, "k", k, 10_000, scale));
+        }
+        for &l in &scale.l_values_ris {
+            out.push(run_point(dataset, "L", 10, l, scale));
+        }
+    }
+    out
+}
+
+/// Runs Figs. 13–14 and writes `fig13.csv` + `fig14.csv`.
+pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    let points = sweep(scale);
+    let mut fig13 = CsvWriter::create(
+        out_dir,
+        "fig13",
+        &["dataset", "axis", "x", "algo", "quality_ratio"],
+    )?;
+    let mut fig14 = CsvWriter::create(
+        out_dir,
+        "fig14",
+        &["dataset", "axis", "x", "algo", "throughput_eps"],
+    )?;
+    let mut summary = Vec::new();
+    for p in &points {
+        // Fig. 14 includes Greedy's own throughput line.
+        fig14.row(&[
+            p.dataset.to_string(),
+            p.axis.to_string(),
+            p.x.to_string(),
+            p.greedy.name.clone(),
+            f(p.greedy.throughput()),
+        ])?;
+        for log in &p.contenders {
+            let ratio = log.mean_ratio_to(&p.greedy);
+            fig13.row(&[
+                p.dataset.to_string(),
+                p.axis.to_string(),
+                p.x.to_string(),
+                log.name.clone(),
+                f(ratio),
+            ])?;
+            fig14.row(&[
+                p.dataset.to_string(),
+                p.axis.to_string(),
+                p.x.to_string(),
+                log.name.clone(),
+                f(log.throughput()),
+            ])?;
+            summary.push(vec![
+                p.dataset.to_string(),
+                format!("{}={}", p.axis, p.x),
+                log.name.clone(),
+                f(ratio),
+                format!("{:.0}", log.throughput()),
+            ]);
+        }
+    }
+    fig13.finish()?;
+    fig14.finish()?;
+    print_table(
+        "Figs. 13/14: quality ratio & throughput (edges/s)",
+        &["dataset", "sweep", "algo", "quality", "edges/s"],
+        &summary,
+    );
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Fig. 7 — BASICREDUCTION vs HISTAPPROX on the two LBSN datasets:
+//! (a/c) average solution value and (b/d) total oracle calls as the
+//! lifetime skew `p` varies (ε = 0.1, k = 10, L = 1000, Geo(p) lifetimes).
+//!
+//! Expected shape (paper): HISTAPPROX's value ratio to BASICREDUCTION stays
+//! above 0.98 while using < 0.1× the oracle calls; BASICREDUCTION's call
+//! count falls as `p` grows (short lifetimes fan out to fewer instances).
+
+use crate::driver::{run_tracker, PreparedStream, RunLog};
+use crate::report::{f, print_table, CsvWriter};
+use crate::scale::Scale;
+use std::path::Path;
+use tdn_core::{BasicReduction, HistApprox, TrackerConfig};
+use tdn_streams::Dataset;
+
+const L: u32 = 1_000;
+const K: usize = 10;
+const EPS: f64 = 0.1;
+
+/// One `(dataset, p)` cell of Fig. 7.
+pub struct Cell {
+    /// Dataset slug.
+    pub dataset: &'static str,
+    /// Forget probability.
+    pub p: f64,
+    /// BASICREDUCTION measurements.
+    pub basic: RunLog,
+    /// HISTAPPROX measurements.
+    pub hist: RunLog,
+}
+
+/// Runs the sweep (library entry so tests and benches reuse it).
+pub fn sweep(scale: &Scale) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for dataset in [Dataset::Brightkite, Dataset::Gowalla] {
+        for &p in &scale.p_values {
+            let stream = PreparedStream::geometric(dataset, scale.seed, p, L, scale.steps_fig7);
+            let cfg = TrackerConfig::new(K, EPS, L);
+            let mut basic = BasicReduction::new(&cfg);
+            let mut hist = HistApprox::new(&cfg);
+            cells.push(Cell {
+                dataset: dataset.slug(),
+                p,
+                basic: run_tracker(&mut basic, &stream),
+                hist: run_tracker(&mut hist, &stream),
+            });
+        }
+    }
+    cells
+}
+
+/// Runs Fig. 7 and writes `fig7.csv`.
+pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    let cells = sweep(scale);
+    let mut csv = CsvWriter::create(
+        out_dir,
+        "fig7",
+        &[
+            "dataset",
+            "p",
+            "algo",
+            "mean_value",
+            "oracle_calls",
+            "wall_secs",
+        ],
+    )?;
+    let mut rows = Vec::new();
+    for c in &cells {
+        for log in [&c.basic, &c.hist] {
+            csv.row(&[
+                c.dataset.to_string(),
+                format!("{}", c.p),
+                log.name.clone(),
+                f(log.mean_value()),
+                log.total_calls().to_string(),
+                f(log.wall_secs),
+            ])?;
+        }
+        rows.push(vec![
+            c.dataset.to_string(),
+            format!("{}", c.p),
+            f(c.hist.mean_value() / c.basic.mean_value().max(1e-9)),
+            f(c.hist.total_calls() as f64 / c.basic.total_calls().max(1) as f64),
+        ]);
+    }
+    csv.finish()?;
+    print_table(
+        "Fig. 7: HistApprox vs BasicReduction (value ratio, call ratio)",
+        &["dataset", "p", "value ratio", "call ratio"],
+        &rows,
+    );
+    Ok(())
+}

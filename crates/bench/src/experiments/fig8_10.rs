@@ -1,0 +1,120 @@
+//! Figs. 8, 9, 10 — solution quality and oracle-call efficiency of
+//! HISTAPPROX (ε ∈ {0.1, 0.15, 0.2}) against Greedy and Random on all six
+//! datasets (k = 10, L = 10 000, Geo(0.001) lifetimes):
+//!
+//! * Fig. 8 — solution value over time per dataset;
+//! * Fig. 9 — time-averaged value ratio w.r.t. Greedy;
+//! * Fig. 10 — cumulative oracle-call ratio w.r.t. Greedy over time.
+//!
+//! Expected shape (paper): HISTAPPROX ≈ Greedy ≫ Random in value; ratios in
+//! Fig. 9 above ~0.85 and decreasing slightly with ε; call ratios in
+//! Fig. 10 well below 1 and decreasing with ε.
+
+use crate::driver::{run_tracker, PreparedStream, RunLog};
+use crate::report::{f, print_table, CsvWriter};
+use crate::scale::Scale;
+use std::path::Path;
+use tdn_core::{GreedyTracker, HistApprox, RandomTracker, TrackerConfig};
+use tdn_streams::Dataset;
+
+const L: u32 = 10_000;
+const K: usize = 10;
+const P: f64 = 0.001;
+const EPS_GRID: [f64; 3] = [0.1, 0.15, 0.2];
+
+/// All runs for one dataset.
+pub struct DatasetRuns {
+    /// Dataset slug.
+    pub dataset: &'static str,
+    /// Greedy reference.
+    pub greedy: RunLog,
+    /// Random floor.
+    pub random: RunLog,
+    /// HISTAPPROX per ε (same order as [`EPS_GRID`]).
+    pub hist: Vec<(f64, RunLog)>,
+}
+
+/// Runs one dataset's tracker suite.
+pub fn run_dataset(dataset: Dataset, scale: &Scale) -> DatasetRuns {
+    let stream = PreparedStream::geometric(dataset, scale.seed, P, L, scale.steps_main);
+    let cfg = TrackerConfig::new(K, 0.1, L);
+    let mut greedy = GreedyTracker::new(&cfg);
+    let mut random = RandomTracker::new(&cfg, scale.seed ^ 0x9E37);
+    let greedy_log = run_tracker(&mut greedy, &stream);
+    let random_log = run_tracker(&mut random, &stream);
+    let mut hist = Vec::new();
+    for &eps in &EPS_GRID {
+        let cfg_e = TrackerConfig::new(K, eps, L);
+        let mut h = HistApprox::new(&cfg_e);
+        hist.push((eps, run_tracker(&mut h, &stream)));
+    }
+    DatasetRuns {
+        dataset: dataset.slug(),
+        greedy: greedy_log,
+        random: random_log,
+        hist,
+    }
+}
+
+/// Runs Figs. 8–10 on all six datasets, writing `fig8.csv`, `fig9.csv`,
+/// `fig10.csv`.
+pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    let mut fig8 = CsvWriter::create(out_dir, "fig8", &["dataset", "step", "algo", "value"])?;
+    let mut fig9 = CsvWriter::create(out_dir, "fig9", &["dataset", "algo", "value_ratio"])?;
+    let mut fig10 = CsvWriter::create(
+        out_dir,
+        "fig10",
+        &["dataset", "step", "algo", "cum_call_ratio"],
+    )?;
+    let mut fig9_rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let runs = run_dataset(dataset, scale);
+        let stride = (runs.greedy.values.len() / 250).max(1);
+        // Fig. 8: value over time.
+        let mut series: Vec<(&str, String, &RunLog)> = vec![
+            ("greedy", "greedy".into(), &runs.greedy),
+            ("random", "random".into(), &runs.random),
+        ];
+        for (eps, log) in &runs.hist {
+            series.push(("hist", format!("histapprox(eps={eps})"), log));
+        }
+        for (_, label, log) in &series {
+            for (i, v) in log.values.iter().enumerate().step_by(stride) {
+                fig8.row(&[
+                    runs.dataset.to_string(),
+                    i.to_string(),
+                    label.clone(),
+                    v.to_string(),
+                ])?;
+            }
+        }
+        // Fig. 9: averaged ratio to greedy.
+        for (_, label, log) in series.iter().filter(|(kind, _, _)| *kind != "greedy") {
+            let r = log.mean_ratio_to(&runs.greedy);
+            fig9.row(&[runs.dataset.to_string(), label.clone(), f(r)])?;
+            fig9_rows.push(vec![runs.dataset.to_string(), label.clone(), f(r)]);
+        }
+        // Fig. 10: cumulative call ratio over time (HistApprox only, as in
+        // the paper).
+        for (eps, log) in &runs.hist {
+            for (i, c) in log.calls.iter().enumerate().step_by(stride) {
+                let g = runs.greedy.calls[i].max(1);
+                fig10.row(&[
+                    runs.dataset.to_string(),
+                    i.to_string(),
+                    format!("histapprox(eps={eps})"),
+                    f(*c as f64 / g as f64),
+                ])?;
+            }
+        }
+    }
+    fig8.finish()?;
+    fig9.finish()?;
+    fig10.finish()?;
+    print_table(
+        "Fig. 9: value ratio w.r.t. Greedy (higher is better)",
+        &["dataset", "algo", "ratio"],
+        &fig9_rows,
+    );
+    Ok(())
+}

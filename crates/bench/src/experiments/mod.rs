@@ -1,0 +1,9 @@
+//! Experiment runners, one per table/figure of the paper plus ablations.
+//! See DESIGN.md §6 for the per-experiment index.
+
+pub mod ablations;
+pub mod fig11_12;
+pub mod fig13_14;
+pub mod fig7;
+pub mod fig8_10;
+pub mod table1;

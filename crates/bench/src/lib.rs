@@ -1,0 +1,27 @@
+//! # tdn-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (§V), plus the ablations listed in DESIGN.md:
+//!
+//! | target | figure/table |
+//! |--------|--------------|
+//! | `experiments table1` | Table I |
+//! | `experiments fig7`   | Fig. 7 (BasicReduction vs HistApprox) |
+//! | `experiments fig8`   | Figs. 8–10 (quality & calls vs Greedy/Random) |
+//! | `experiments fig11`  | Fig. 11 (sweep k) |
+//! | `experiments fig12`  | Fig. 12 (sweep L) |
+//! | `experiments fig13`  | Figs. 13–14 (RIS baselines, throughput) |
+//! | `experiments ablations` | refeed / window / lazy / prune |
+//!
+//! Run `cargo run --release -p tdn-bench --bin experiments -- all --full`
+//! for paper-scale sweeps; the default `--quick` scale finishes in minutes.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use driver::{run_tracker, PreparedStream, RunLog};
+pub use scale::Scale;

@@ -1,0 +1,89 @@
+//! Minimal CSV + aligned-table reporting (in-tree: no serde needed for
+//! numeric tables).
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A CSV file under the experiment output directory.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl CsvWriter {
+    /// Creates `dir/name.csv` (directories are created as needed) and
+    /// writes the header row.
+    pub fn create(dir: &Path, name: &str, header: &[&str]) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = BufWriter::new(File::create(&path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter { out, path })
+    }
+
+    /// Writes one row.
+    pub fn row(&mut self, fields: &[String]) -> std::io::Result<()> {
+        writeln!(self.out, "{}", fields.join(","))
+    }
+
+    /// Flushes and returns the file path.
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        self.out.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// Formats a float with 4 significant decimals for CSV/tables.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Prints an aligned table to stdout (header + rows).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("tdn_csv_test");
+        let mut w = CsvWriter::create(&dir, "t", &["a", "b"]).unwrap();
+        w.row(&["1".into(), "2".into()]).unwrap();
+        let path = w.finish().unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.123456), "0.1235");
+        assert_eq!(f(2.0), "2.0000");
+    }
+}

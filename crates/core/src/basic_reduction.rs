@@ -1,0 +1,238 @@
+//! BASICREDUCTION (Alg. 2): tracking over general TDNs by maintaining `L`
+//! staggered SIEVEADN instances.
+//!
+//! At time `t`, instance `A_i` has processed exactly the edges that will
+//! still be alive `i − 1` steps from now (it is fed every arriving edge
+//! whose lifetime is at least its index). Because an edge always outlives
+//! every instance it is fed to, each instance's accumulated graph is an
+//! ADN whose content equals a *suffix-by-lifetime* of `G_t`; in particular
+//! `A_1`'s graph is exactly `G_t`, so its sieve output answers Problem 1
+//! with the `(1/2 − ε)` guarantee (Theorem 4).
+//!
+//! After answering, `A_1` dies, everyone shifts left, and a fresh instance
+//! joins at index `L` (Fig. 4(b)) — implemented with a `VecDeque` rotate.
+
+use crate::config::TrackerConfig;
+use crate::sieve_adn::SieveAdn;
+use crate::tracker::{InfluenceTracker, Solution};
+use std::collections::VecDeque;
+use tdn_graph::{Lifetime, Time};
+use tdn_streams::TimedEdge;
+use tdn_submodular::OracleCounter;
+
+/// The BASICREDUCTION tracker.
+pub struct BasicReduction {
+    cfg: TrackerConfig,
+    /// `instances[i]` is `A_{i+1}`; front answers the current step.
+    instances: VecDeque<SieveAdn>,
+    counter: OracleCounter,
+    last_t: Option<Time>,
+}
+
+impl BasicReduction {
+    /// Creates the tracker; allocates `L = cfg.max_lifetime` instances.
+    ///
+    /// # Panics
+    /// Panics if `L` is so large that per-step instance maintenance is
+    /// clearly unintended (`L > 10⁶`); use HISTAPPROX for long lifetimes.
+    pub fn new(cfg: &TrackerConfig) -> Self {
+        assert!(
+            cfg.max_lifetime as u64 <= 1_000_000,
+            "BasicReduction materializes L instances; L = {} is impractical",
+            cfg.max_lifetime
+        );
+        let counter = OracleCounter::new();
+        let instances = (0..cfg.max_lifetime)
+            .map(|_| SieveAdn::from_config(cfg, counter.clone()))
+            .collect();
+        BasicReduction {
+            cfg: cfg.clone(),
+            instances,
+            counter,
+            last_t: None,
+        }
+    }
+
+    /// Number of live SIEVEADN instances (always `L`).
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Approximate heap footprint across all instances (Theorem 5's `L`
+    ///-fold state; compare with [`crate::HistApprox::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        self.instances.iter().map(|i| i.approx_bytes()).sum()
+    }
+
+    /// Advances the instance window by one step: drop `A_1`, append a new
+    /// `A_L` (Alg. 2 lines 5–7).
+    fn shift(&mut self) {
+        self.instances.pop_front();
+        self.instances
+            .push_back(SieveAdn::from_config(&self.cfg, self.counter.clone()));
+    }
+}
+
+impl InfluenceTracker for BasicReduction {
+    fn name(&self) -> &'static str {
+        "BasicReduction"
+    }
+
+    fn step(&mut self, t: Time, batch: &[TimedEdge]) -> Solution {
+        // Catch up on skipped (empty) ticks: each one still shifts the
+        // window, since indices are remaining lifetimes.
+        if let Some(last) = self.last_t {
+            assert!(t > last, "time must strictly increase per step");
+            for _ in 0..(t - last - 1) {
+                self.shift();
+            }
+        }
+        self.last_t = Some(t);
+        // Feed: edge with (clamped) lifetime l goes to A_1 … A_l.
+        let l_max = self.cfg.max_lifetime;
+        for (idx, inst) in self.instances.iter_mut().enumerate() {
+            let min_l = (idx + 1) as Lifetime;
+            let feed = batch
+                .iter()
+                .filter(|e| e.lifetime.min(l_max) >= min_l)
+                .map(|e| (e.src, e.dst));
+            inst.feed(feed);
+        }
+        let sol = self.instances.front().expect("L ≥ 1 instances").query();
+        self.shift();
+        sol
+    }
+
+    fn oracle_calls(&self) -> u64 {
+        self.counter.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdn_graph::NodeId;
+
+    fn cfg(k: usize, l: Lifetime) -> TrackerConfig {
+        TrackerConfig::new(k, 0.1, l)
+    }
+
+    fn e(s: u32, d: u32, l: Lifetime) -> TimedEdge {
+        TimedEdge::new(s, d, l)
+    }
+
+    #[test]
+    fn expired_influence_is_forgotten() {
+        let mut br = BasicReduction::new(&cfg(1, 3));
+        // A big star with lifetime 1; a small star with lifetime 3.
+        let sol = br.step(
+            0,
+            &[
+                e(0, 1, 1),
+                e(0, 2, 1),
+                e(0, 3, 1),
+                e(0, 4, 1),
+                e(10, 11, 3),
+                e(10, 12, 3),
+            ],
+        );
+        assert_eq!(sol.seeds, vec![NodeId(0)]);
+        assert_eq!(sol.value, 5);
+        // One step later the big star is gone: node 10 rules.
+        let sol = br.step(1, &[]);
+        assert_eq!(sol.seeds, vec![NodeId(10)]);
+        assert_eq!(sol.value, 3);
+        // After the small star expires too, nothing remains.
+        let sol = br.step(3, &[]);
+        assert_eq!(sol, Solution::empty());
+    }
+
+    #[test]
+    fn lifetimes_above_l_are_clamped() {
+        let mut br = BasicReduction::new(&cfg(1, 2));
+        let sol = br.step(0, &[e(0, 1, 99), e(0, 2, 99)]);
+        assert_eq!(sol.value, 3);
+        let sol = br.step(1, &[]);
+        assert_eq!(sol.value, 3, "clamped edges live L steps");
+        let sol = br.step(2, &[]);
+        assert_eq!(sol, Solution::empty());
+    }
+
+    #[test]
+    fn skipped_ticks_shift_the_window() {
+        let mut br = BasicReduction::new(&cfg(1, 5));
+        br.step(0, &[e(0, 1, 2), e(0, 2, 2)]);
+        // Jump straight to t = 4: the lifetime-2 edges died at t = 2.
+        let sol = br.step(4, &[]);
+        assert_eq!(sol, Solution::empty());
+    }
+
+    #[test]
+    fn fig2_worked_example() {
+        // BasicReduction over the TDN of Fig. 2 with L = 3, k = 2.
+        let (u1, u5, u6, u7) = (1u32, 5u32, 6u32, 7u32);
+        let mut br = BasicReduction::new(&cfg(2, 3));
+        let sol_t = br.step(
+            0,
+            &[
+                e(u1, 2, 1),
+                e(u1, 3, 1),
+                e(u1, 4, 2),
+                e(u5, 3, 3),
+                e(u6, 4, 1),
+                e(u6, 7, 1),
+            ],
+        );
+        // At time t: u1 reaches {1,2,3,4}, u6 reaches {6,4,7};
+        // f({u1,u6}) = |{1,2,3,4,6,7}| = 6, the optimum for k = 2.
+        // The paper's Fig. 2 marks {u1, u6}.
+        assert_eq!(sol_t.value, 6);
+        assert!(sol_t.seeds.contains(&NodeId(1)) && sol_t.seeds.contains(&NodeId(6)));
+        let sol_t1 = br.step(
+            1,
+            &[e(u5, 2, 1), e(u7, 4, 2), e(u7, u6, 3)],
+        );
+        // Live edges now: (1,4), (5,3), (5,2), (7,4), (7,6).
+        // u5 reaches {5,3,2}; u7 reaches {7,4,6}; together 6 nodes —
+        // matching Fig. 2's influential set {u5, u7}.
+        assert_eq!(sol_t1.value, 6);
+        assert!(sol_t1.seeds.contains(&NodeId(5)) && sol_t1.seeds.contains(&NodeId(7)));
+    }
+
+    #[test]
+    fn instance_count_is_constant() {
+        let mut br = BasicReduction::new(&cfg(2, 4));
+        assert_eq!(br.num_instances(), 4);
+        for t in 0..10 {
+            br.step(t, &[e(t as u32, t as u32 + 1, 2)]);
+            assert_eq!(br.num_instances(), 4);
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_live_edges_and_shrinks_after_expiry() {
+        let mut br = BasicReduction::new(&cfg(2, 4));
+        let empty = br.approx_bytes();
+        let mut batch = Vec::new();
+        for i in 0..50u32 {
+            batch.push(e(i, i + 100, 4));
+        }
+        br.step(0, &batch);
+        let loaded = br.approx_bytes();
+        assert!(loaded > empty, "adding edges must grow the footprint");
+        // After all edges expire (and their instances rotate out), the
+        // footprint returns to the empty baseline.
+        for t in 1..=5 {
+            br.step(t, &[]);
+        }
+        assert_eq!(br.approx_bytes(), empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_repeated_time() {
+        let mut br = BasicReduction::new(&cfg(1, 2));
+        br.step(0, &[]);
+        br.step(0, &[]);
+    }
+}

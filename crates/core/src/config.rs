@@ -1,0 +1,72 @@
+//! Shared tracker configuration.
+
+use tdn_graph::Lifetime;
+
+/// Parameters shared by the paper's trackers.
+#[derive(Clone, Debug)]
+pub struct TrackerConfig {
+    /// Budget `k`: maximum number of influential nodes to maintain.
+    pub k: usize,
+    /// Sieve accuracy `ε ∈ (0, 1)`.
+    pub eps: f64,
+    /// Lifetime upper bound `L`; arriving lifetimes are clamped to it.
+    pub max_lifetime: Lifetime,
+    /// Skip a threshold without an oracle call when the node's singleton
+    /// value is already below it (sound by submodularity; on by default).
+    pub singleton_prune: bool,
+}
+
+impl TrackerConfig {
+    /// Creates a config with the paper's default experimental parameters
+    /// (`k = 10`, `ε = 0.1`, `L = 10 000`).
+    pub fn new(k: usize, eps: f64, max_lifetime: Lifetime) -> Self {
+        assert!(k > 0, "budget k must be positive");
+        assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1)");
+        assert!(max_lifetime >= 1, "L must be at least 1");
+        TrackerConfig {
+            k,
+            eps,
+            max_lifetime,
+            singleton_prune: true,
+        }
+    }
+
+    /// Disables the singleton-value threshold prune (for the `ablation_vbar`
+    /// style oracle-call comparisons).
+    pub fn without_singleton_prune(mut self) -> Self {
+        self.singleton_prune = false;
+        self
+    }
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig::new(10, 0.1, 10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = TrackerConfig::default();
+        assert_eq!(c.k, 10);
+        assert_eq!(c.eps, 0.1);
+        assert_eq!(c.max_lifetime, 10_000);
+        assert!(c.singleton_prune);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn rejects_eps_of_one() {
+        let _ = TrackerConfig::new(10, 1.0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn rejects_zero_k() {
+        let _ = TrackerConfig::new(0, 0.1, 100);
+    }
+}

@@ -1,0 +1,133 @@
+//! Solution-stability metrics.
+//!
+//! Fig. 1 of the paper motivates *tracking*: the influential set itself
+//! evolves. Applications care how fast it churns (alerting on every churn
+//! event is noisy; a stable tracker under smooth decay is the point of the
+//! TDN model vs sliding windows, Example 1). This module quantifies churn
+//! between consecutive solutions.
+
+use crate::tracker::Solution;
+use tdn_graph::{FxHashSet, NodeId};
+
+/// Jaccard similarity between two seed sets (1.0 for two empty sets).
+pub fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: FxHashSet<NodeId> = a.iter().copied().collect();
+    let sb: FxHashSet<NodeId> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Accumulates churn statistics over a solution trajectory.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnTracker {
+    prev: Option<Vec<NodeId>>,
+    /// Number of steps observed.
+    pub steps: u64,
+    /// Number of steps whose seed set differed from the previous one.
+    pub changes: u64,
+    /// Sum of Jaccard similarities between consecutive sets.
+    jaccard_sum: f64,
+    /// Total members entering across all transitions.
+    pub entries: u64,
+    /// Total members leaving across all transitions.
+    pub exits: u64,
+}
+
+impl ChurnTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the solution of one time step.
+    pub fn observe(&mut self, sol: &Solution) {
+        let mut current = sol.seeds.clone();
+        current.sort_unstable();
+        if let Some(prev) = &self.prev {
+            self.steps += 1;
+            if *prev != current {
+                self.changes += 1;
+            }
+            self.jaccard_sum += jaccard(prev, &current);
+            let ps: FxHashSet<NodeId> = prev.iter().copied().collect();
+            let cs: FxHashSet<NodeId> = current.iter().copied().collect();
+            self.entries += cs.difference(&ps).count() as u64;
+            self.exits += ps.difference(&cs).count() as u64;
+        }
+        self.prev = Some(current);
+    }
+
+    /// Fraction of observed transitions that changed the set.
+    pub fn change_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.changes as f64 / self.steps as f64
+        }
+    }
+
+    /// Mean Jaccard similarity between consecutive sets (1.0 = frozen).
+    pub fn mean_jaccard(&self) -> f64 {
+        if self.steps == 0 {
+            1.0
+        } else {
+            self.jaccard_sum / self.steps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(ids: &[u32]) -> Solution {
+        Solution {
+            seeds: ids.iter().map(|&i| NodeId(i)).collect(),
+            value: ids.len() as u64,
+        }
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[NodeId(1)], &[NodeId(1)]), 1.0);
+        assert_eq!(jaccard(&[NodeId(1)], &[NodeId(2)]), 0.0);
+        let half = jaccard(&[NodeId(1), NodeId(2)], &[NodeId(2), NodeId(3)]);
+        assert!((half - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_counts_transitions() {
+        let mut c = ChurnTracker::new();
+        c.observe(&sol(&[1, 2]));
+        c.observe(&sol(&[1, 2])); // unchanged
+        c.observe(&sol(&[2, 3])); // one in, one out
+        c.observe(&sol(&[2, 3])); // unchanged
+        assert_eq!(c.steps, 3);
+        assert_eq!(c.changes, 1);
+        assert_eq!(c.entries, 1);
+        assert_eq!(c.exits, 1);
+        assert!((c.change_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(c.mean_jaccard() > 0.7);
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let mut c = ChurnTracker::new();
+        c.observe(&sol(&[1, 2, 3]));
+        c.observe(&sol(&[3, 2, 1]));
+        assert_eq!(c.changes, 0);
+        assert_eq!(c.mean_jaccard(), 1.0);
+    }
+
+    #[test]
+    fn empty_trajectory_is_neutral() {
+        let c = ChurnTracker::new();
+        assert_eq!(c.change_rate(), 0.0);
+        assert_eq!(c.mean_jaccard(), 1.0);
+    }
+}

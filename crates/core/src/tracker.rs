@@ -1,0 +1,40 @@
+//! The tracker abstraction: one `step` per discrete time tick.
+
+use tdn_graph::{NodeId, Time};
+use tdn_streams::TimedEdge;
+
+/// A solution to Problem 1 at some time `t`: at most `k` seed nodes and
+/// their influence spread `f_t(S)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Solution {
+    /// Selected nodes.
+    pub seeds: Vec<NodeId>,
+    /// Influence spread of the selection (Definition 3, seeds included).
+    pub value: u64,
+}
+
+impl Solution {
+    /// An empty solution (value 0).
+    pub fn empty() -> Self {
+        Solution::default()
+    }
+}
+
+/// A streaming algorithm maintaining influential nodes over a TDN.
+///
+/// The driver calls [`step`](Self::step) once per time tick with the batch
+/// `Ē_t` of edges arriving at `t` (possibly empty — empty ticks still age
+/// the network). The returned solution answers Problem 1 *at time `t`*,
+/// i.e. after the batch is live and expired edges are gone.
+pub trait InfluenceTracker {
+    /// Human-readable algorithm name (figure labels).
+    fn name(&self) -> &'static str;
+
+    /// Processes the batch arriving at time `t` and returns the current
+    /// solution. `t` must be non-decreasing across calls.
+    fn step(&mut self, t: Time, batch: &[TimedEdge]) -> Solution;
+
+    /// Total influence-oracle evaluations performed so far (the paper's
+    /// hardware-independent cost metric).
+    fn oracle_calls(&self) -> u64;
+}

@@ -1,0 +1,196 @@
+//! Addition-only dynamic interaction network (ADN, Example 3 of the paper).
+//!
+//! Every SIEVEADN instance owns one `AdnGraph`: an append-only directed
+//! graph over interned node ids. Appending is the *only* mutation — edges
+//! never leave, which is exactly the property Theorem 2's proof relies on
+//! (`f_t(S) ≥ f_{t'}(S)` for `t ≥ t'`).
+//!
+//! Parallel interactions between the same ordered pair are deduplicated:
+//! reachability (and therefore the influence spread of Definition 3) is
+//! insensitive to edge multiplicity, and instances may be fed the same edge
+//! via several paths in HISTAPPROX (copy + range feed + fresh batch).
+
+use crate::hash::FxHashSet;
+use crate::node::{pack_pair, NodeId};
+use crate::traits::{InGraph, OutGraph};
+
+/// Append-only directed graph with forward and reverse adjacency.
+#[derive(Default, Clone)]
+pub struct AdnGraph {
+    /// Forward adjacency, indexed densely by node id.
+    out: Vec<Vec<NodeId>>,
+    /// Reverse adjacency (for `V̄_t` computation).
+    inc: Vec<Vec<NodeId>>,
+    /// Ordered pairs already present (dedup of parallel edges).
+    pairs: FxHashSet<u64>,
+    /// Nodes with at least one incident edge.
+    nodes: FxHashSet<NodeId>,
+}
+
+impl AdnGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct directed node pairs stored.
+    pub fn edge_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over nodes with incident edges (arbitrary order).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Appends edge `u → v`. Returns `true` if the ordered pair was new.
+    ///
+    /// Self-loops are rejected (the paper assumes a user cannot influence
+    /// himself) and return `false`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        if !self.pairs.insert(pack_pair(u, v)) {
+            return false;
+        }
+        let bound = u.index().max(v.index()) + 1;
+        if self.out.len() < bound {
+            self.out.resize_with(bound, Vec::new);
+            self.inc.resize_with(bound, Vec::new);
+        }
+        self.out[u.index()].push(v);
+        self.inc[v.index()].push(u);
+        self.nodes.insert(u);
+        self.nodes.insert(v);
+        true
+    }
+
+    /// Whether edge `u → v` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.pairs.contains(&pack_pair(u, v))
+    }
+
+    /// Forward neighbors of `u` (empty slice if unknown).
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.out.get(u.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Reverse neighbors of `v` (empty slice if unknown).
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.inc.get(v.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Approximate heap footprint in bytes (adjacency + dedup set), used by
+    /// memory-accounting experiments.
+    pub fn approx_bytes(&self) -> usize {
+        let adj: usize = self
+            .out
+            .iter()
+            .chain(self.inc.iter())
+            .map(|v| v.capacity() * std::mem::size_of::<NodeId>() + 24)
+            .sum();
+        adj + self.pairs.capacity() * 8 + self.nodes.capacity() * 4
+    }
+}
+
+impl std::fmt::Debug for AdnGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdnGraph")
+            .field("nodes", &self.nodes.len())
+            .field("edges", &self.pairs.len())
+            .finish()
+    }
+}
+
+impl OutGraph for AdnGraph {
+    #[inline]
+    fn for_each_out(&self, u: NodeId, mut f: impl FnMut(NodeId)) {
+        for &v in self.out_neighbors(u) {
+            f(v);
+        }
+    }
+
+    #[inline]
+    fn node_index_bound(&self) -> usize {
+        self.out.len()
+    }
+
+    #[inline]
+    fn contains_node(&self, u: NodeId) -> bool {
+        self.nodes.contains(&u)
+    }
+}
+
+impl InGraph for AdnGraph {
+    #[inline]
+    fn for_each_in(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
+        for &u in self.in_neighbors(v) {
+            f(u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_dedups_parallel_edges() {
+        let mut g = AdnGraph::new();
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(!g.add_edge(NodeId(0), NodeId(1)));
+        assert!(g.add_edge(NodeId(1), NodeId(0))); // reverse direction is distinct
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = AdnGraph::new();
+        assert!(!g.add_edge(NodeId(3), NodeId(3)));
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn adjacency_is_consistent_both_ways() {
+        let mut g = AdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(5));
+        g.add_edge(NodeId(2), NodeId(5));
+        assert_eq!(g.out_neighbors(NodeId(0)), &[NodeId(5)]);
+        let mut inn = g.in_neighbors(NodeId(5)).to_vec();
+        inn.sort();
+        assert_eq!(inn, vec![NodeId(0), NodeId(2)]);
+        assert!(g.has_edge(NodeId(2), NodeId(5)));
+        assert!(!g.has_edge(NodeId(5), NodeId(2)));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut g = AdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(1));
+        let mut h = g.clone();
+        h.add_edge(NodeId(1), NodeId(2));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(h.edge_count(), 2);
+    }
+
+    #[test]
+    fn unknown_nodes_have_empty_adjacency() {
+        let g = AdnGraph::new();
+        assert!(g.out_neighbors(NodeId(42)).is_empty());
+        assert!(g.in_neighbors(NodeId(42)).is_empty());
+        assert!(!g.contains_node(NodeId(42)));
+    }
+}

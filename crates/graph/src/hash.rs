@@ -1,0 +1,110 @@
+//! Fast, non-cryptographic hashing for integer-keyed maps.
+//!
+//! Graph adjacency and cover sets are keyed by dense `u32`/`u64` values, so
+//! the default SipHash is wasted work. This is the well-known Fx (Firefox)
+//! multiply-rotate hash, implemented in-tree to keep the dependency set to
+//! the approved crates only.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FNV/Firefox hash family.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast hasher for small keys (integers, short tuples).
+///
+/// Not HashDoS-resistant; node identifiers here are internally assigned and
+/// never attacker-controlled.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_integers_hash_differently() {
+        let mut seen = HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        // Fx is not perfect but must not collapse small integers.
+        assert!(seen.len() > 9_990);
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&21), Some(&42));
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert!(s.contains(&99));
+        assert!(!s.contains(&100));
+    }
+
+    #[test]
+    fn byte_writes_match_length_prefixed_semantics() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh12");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefgh12");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"abcdefgh13");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

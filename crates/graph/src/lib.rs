@@ -1,0 +1,43 @@
+//! # tdn-graph
+//!
+//! Graph substrate for *Tracking Influential Nodes in Time-Decaying Dynamic
+//! Interaction Networks* (Zhao et al., ICDE 2019).
+//!
+//! This crate provides the two graph flavors the paper's algorithms operate
+//! on, plus the reachability machinery that implements the influence-spread
+//! oracle of Definition 3:
+//!
+//! * [`adn::AdnGraph`] — the append-only (addition-only) network each
+//!   SIEVEADN instance accumulates (Example 3);
+//! * [`tdn::TdnGraph`] — the live time-decaying network `G_t` with
+//!   lifetime-bucketed expiry (§II-B), used by the recompute baselines and
+//!   by HISTAPPROX's instance-creation range queries;
+//! * [`reach`] — BFS reachability with reusable scratch, incremental cover
+//!   sets, and pruned marginal-gain evaluation;
+//! * [`hash`] — in-tree Fx hashing so hot maps avoid SipHash;
+//! * [`indexed_set::IndexedSet`] — O(1) sampleable live-node set;
+//! * [`analysis`] — offline SCC condensation + exact all-node spreads
+//!   (an independent oracle for tests and workload diagnostics).
+
+#![warn(missing_docs)]
+
+pub mod adn;
+pub mod analysis;
+pub mod hash;
+pub mod indexed_set;
+pub mod node;
+pub mod reach;
+pub mod tdn;
+pub mod traits;
+
+pub use adn::AdnGraph;
+pub use analysis::{condense, Condensation};
+pub use hash::{FxHashMap, FxHashSet};
+pub use indexed_set::IndexedSet;
+pub use node::{pack_pair, unpack_pair, Lifetime, NodeId, NodeInterner, Time};
+pub use reach::{
+    extend_cover, marginal_gain, reach_collect, reach_count, reverse_reach_collect, CoverSet,
+    ReachScratch,
+};
+pub use tdn::{LiveEdge, TdnGraph};
+pub use traits::{InGraph, OutGraph};

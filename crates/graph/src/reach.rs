@@ -1,0 +1,346 @@
+//! Reachability primitives: forward/reverse BFS with reusable scratch and
+//! cover-aware marginal-gain evaluation.
+//!
+//! The influence spread of Definition 3 is a *coverage* function: for a seed
+//! set `S`, `f(S) = |reach(S)|` where `reach` is the forward reachability
+//! closure (a node reaches itself). Every sieve threshold maintains its
+//! cover `R = reach(S_θ)` as an explicit set, which yields two key
+//! properties exploited here:
+//!
+//! * covers are **closed**: if `x ∈ R` then `reach(x) ⊆ R`, so a marginal
+//!   BFS may prune at covered nodes;
+//! * the marginal gain `f(S ∪ {v}) − f(S) = |reach(v) \ R|` is computable
+//!   with a single pruned BFS.
+
+use crate::hash::FxHashSet;
+use crate::node::NodeId;
+use crate::traits::{InGraph, OutGraph};
+
+/// Reusable BFS scratch: an epoch-stamped visited array and a queue.
+///
+/// Epoch stamping makes `clear` O(1): bumping the epoch invalidates all
+/// previous marks without touching memory.
+#[derive(Default)]
+pub struct ReachScratch {
+    visited: Vec<u32>,
+    epoch: u32,
+    queue: Vec<NodeId>,
+}
+
+impl Clone for ReachScratch {
+    /// Scratch holds no logical state; clones start fresh.
+    fn clone(&self) -> Self {
+        ReachScratch::default()
+    }
+}
+
+impl ReachScratch {
+    /// Creates empty scratch; buffers grow on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new traversal, sizing the visited array for `bound` nodes.
+    fn begin(&mut self, bound: usize) {
+        if self.visited.len() < bound {
+            self.visited.resize(bound, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset all stamps so stale marks cannot
+            // alias the new epoch.
+            self.visited.fill(0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+}
+
+/// The set of nodes covered (reached) by a seed set; wraps a hash set so the
+/// closure invariant is documented at the type level.
+#[derive(Default, Clone, Debug)]
+pub struct CoverSet {
+    nodes: FxHashSet<NodeId>,
+}
+
+impl CoverSet {
+    /// Creates an empty cover.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of covered nodes, i.e. the coverage value `f(S_θ)`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cover is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `n` is covered.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+
+    /// Inserts a node into the cover.
+    #[inline]
+    pub fn insert(&mut self, n: NodeId) -> bool {
+        self.nodes.insert(n)
+    }
+
+    /// Iterates over covered nodes (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        // hashbrown stores ~1 byte of control data plus the key per slot.
+        self.nodes.capacity() * (std::mem::size_of::<NodeId>() + 1) + 48
+    }
+}
+
+impl FromIterator<NodeId> for CoverSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        CoverSet {
+            nodes: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Counts `|reach(start)|` — the singleton influence spread `f({start})`.
+pub fn reach_count(g: &impl OutGraph, start: NodeId, scratch: &mut ReachScratch) -> u64 {
+    scratch.begin(g.node_index_bound().max(start.index() + 1));
+    scratch.visited[start.index()] = scratch.epoch;
+    scratch.queue.push(start);
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+    } = scratch;
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        g.for_each_out(u, |v| {
+            let slot = &mut visited[v.index()];
+            if *slot != *epoch {
+                *slot = *epoch;
+                queue.push(v);
+            }
+        });
+    }
+    queue.len() as u64
+}
+
+/// Collects `reach(start)` into `out` (cleared first).
+pub fn reach_collect(
+    g: &impl OutGraph,
+    start: NodeId,
+    scratch: &mut ReachScratch,
+    out: &mut Vec<NodeId>,
+) {
+    reach_count(g, start, scratch);
+    out.clear();
+    out.extend_from_slice(&scratch.queue);
+}
+
+/// Computes the marginal gain `|reach(start) \ cover|`, collecting the newly
+/// covered nodes into `gained` (cleared first) so a subsequent commit does
+/// not need a second traversal.
+///
+/// Relies on the closure invariant of [`CoverSet`]: traversal prunes at
+/// covered nodes because everything beyond them is already covered.
+pub fn marginal_gain(
+    g: &impl OutGraph,
+    start: NodeId,
+    cover: &CoverSet,
+    scratch: &mut ReachScratch,
+    gained: &mut Vec<NodeId>,
+) -> u64 {
+    gained.clear();
+    if cover.contains(start) {
+        return 0;
+    }
+    scratch.begin(g.node_index_bound().max(start.index() + 1));
+    scratch.visited[start.index()] = scratch.epoch;
+    scratch.queue.push(start);
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+    } = scratch;
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        g.for_each_out(u, |v| {
+            let slot = &mut visited[v.index()];
+            if *slot != *epoch && !cover.contains(v) {
+                *slot = *epoch;
+                queue.push(v);
+            }
+        });
+    }
+    gained.extend_from_slice(queue);
+    gained.len() as u64
+}
+
+/// Extends `cover` with `reach(start)` (pruning at already-covered nodes)
+/// and returns the number of newly covered nodes.
+pub fn extend_cover(
+    g: &impl OutGraph,
+    start: NodeId,
+    cover: &mut CoverSet,
+    scratch: &mut ReachScratch,
+) -> u64 {
+    let mut gained = Vec::new();
+    let n = marginal_gain(g, start, cover, scratch, &mut gained);
+    for v in gained {
+        cover.insert(v);
+    }
+    n
+}
+
+/// Collects the reverse reachability set of `start` (everything that can
+/// reach `start`, including `start` itself) into `out` (cleared first).
+///
+/// Used for `V̄_t`: after inserting edge `(u, v)`, exactly the ancestors of
+/// `u` (in the post-insertion graph) have changed influence spread.
+pub fn reverse_reach_collect<G: OutGraph + InGraph>(
+    g: &G,
+    start: NodeId,
+    scratch: &mut ReachScratch,
+    out: &mut Vec<NodeId>,
+) {
+    scratch.begin(g.node_index_bound().max(start.index() + 1));
+    scratch.visited[start.index()] = scratch.epoch;
+    scratch.queue.push(start);
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+    } = scratch;
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        g.for_each_in(v, |u| {
+            let slot = &mut visited[u.index()];
+            if *slot != *epoch {
+                *slot = *epoch;
+                queue.push(u);
+            }
+        });
+    }
+    out.clear();
+    out.extend_from_slice(queue);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adn::AdnGraph;
+
+    fn line_graph(n: u32) -> AdnGraph {
+        // 0 -> 1 -> 2 -> ... -> n-1
+        let mut g = AdnGraph::new();
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn reach_count_on_a_line() {
+        let g = line_graph(5);
+        let mut s = ReachScratch::new();
+        assert_eq!(reach_count(&g, NodeId(0), &mut s), 5);
+        assert_eq!(reach_count(&g, NodeId(3), &mut s), 2);
+        assert_eq!(reach_count(&g, NodeId(4), &mut s), 1);
+    }
+
+    #[test]
+    fn reach_handles_cycles() {
+        let mut g = AdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        let mut s = ReachScratch::new();
+        for i in 0..3 {
+            assert_eq!(reach_count(&g, NodeId(i), &mut s), 3);
+        }
+    }
+
+    #[test]
+    fn reach_collect_matches_count() {
+        let mut g = AdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let mut s = ReachScratch::new();
+        let mut out = Vec::new();
+        reach_collect(&g, NodeId(0), &mut s, &mut out);
+        out.sort();
+        assert_eq!(out, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn marginal_gain_prunes_at_cover() {
+        let g = line_graph(6);
+        let mut s = ReachScratch::new();
+        let mut cover = CoverSet::new();
+        let mut gained = Vec::new();
+        // Cover = reach(3) = {3,4,5}.
+        extend_cover(&g, NodeId(3), &mut cover, &mut s);
+        assert_eq!(cover.len(), 3);
+        // Gain of 0 = {0,1,2} only.
+        let gain = marginal_gain(&g, NodeId(0), &cover, &mut s, &mut gained);
+        assert_eq!(gain, 3);
+        assert!(gained.contains(&NodeId(0)));
+        assert!(!gained.contains(&NodeId(3)));
+        // Gain of already-covered node is zero.
+        assert_eq!(marginal_gain(&g, NodeId(4), &cover, &mut s, &mut gained), 0);
+    }
+
+    #[test]
+    fn extend_cover_is_idempotent() {
+        let g = line_graph(4);
+        let mut s = ReachScratch::new();
+        let mut cover = CoverSet::new();
+        assert_eq!(extend_cover(&g, NodeId(1), &mut cover, &mut s), 3);
+        assert_eq!(extend_cover(&g, NodeId(1), &mut cover, &mut s), 0);
+        assert_eq!(cover.len(), 3);
+    }
+
+    #[test]
+    fn reverse_reach_finds_ancestors() {
+        // 0 -> 2, 1 -> 2, 2 -> 3
+        let mut g = AdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let mut s = ReachScratch::new();
+        let mut out = Vec::new();
+        reverse_reach_collect(&g, NodeId(2), &mut s, &mut out);
+        out.sort();
+        assert_eq!(out, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        reverse_reach_collect(&g, NodeId(3), &mut s, &mut out);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn epoch_wrap_resets_marks() {
+        let g = line_graph(3);
+        let mut s = ReachScratch::new();
+        s.epoch = u32::MAX - 1;
+        assert_eq!(reach_count(&g, NodeId(0), &mut s), 3);
+        assert_eq!(reach_count(&g, NodeId(0), &mut s), 3); // wraps here
+        assert_eq!(reach_count(&g, NodeId(0), &mut s), 3);
+    }
+}

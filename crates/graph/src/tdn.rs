@@ -1,0 +1,516 @@
+//! The time-decaying dynamic interaction network (TDN) of §II.
+//!
+//! `TdnGraph` is the live graph `G_t = (V_t, E_t)`: every edge carries an
+//! expiry time `τ + l_τ(e)`; advancing the clock drains expiry buckets and
+//! evicts edges (and nodes whose last incident edge expired). Multi-edges
+//! between the same ordered pair are kept — their multiplicity feeds the
+//! diffusion-probability estimate used by the IC-model baselines
+//! (`p_uv = 2/(1+e^{−0.2 x}) − 1`, §V-C).
+//!
+//! Adjacency entries are removed *lazily*: each entry stores its expiry and
+//! traversals skip dead entries; a per-node dead counter triggers compaction
+//! once at least half of a list is dead, keeping amortized O(1) cost per
+//! expired edge.
+
+use crate::hash::FxHashMap;
+use crate::indexed_set::IndexedSet;
+use crate::node::{pack_pair, Lifetime, NodeId, Time};
+use crate::traits::{InGraph, OutGraph};
+use std::collections::BTreeMap;
+
+/// An adjacency entry: target node plus the edge instance's expiry time.
+type Entry = (NodeId, Time);
+
+/// One direction of lazily-compacted adjacency.
+#[derive(Default, Clone)]
+struct AdjList {
+    entries: Vec<Entry>,
+    dead: u32,
+}
+
+impl AdjList {
+    /// Number of live entries.
+    fn live(&self) -> usize {
+        self.entries.len() - self.dead as usize
+    }
+
+    fn push(&mut self, e: Entry) {
+        self.entries.push(e);
+    }
+
+    /// Notes one expired entry. Compaction is deferred to the end of the
+    /// advance that evicted it (see [`TdnGraph::advance_to_with`]): only
+    /// once *every* bucket `≤ t` has drained does the dead counter exactly
+    /// equal the number of dead entries, making `retain` safe.
+    fn note_dead(&mut self) {
+        self.dead += 1;
+    }
+
+    /// Compacts if at least half the entries are dead. Must only run when
+    /// all entries with `exp ≤ now` have been evicted (dead counter exact).
+    fn maybe_compact(&mut self, now: Time) {
+        if self.dead as usize * 2 >= self.entries.len() {
+            self.entries.retain(|&(_, exp)| exp > now);
+            self.dead = 0;
+        }
+    }
+}
+
+/// A live, timestamped directed edge of `G_t`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LiveEdge {
+    /// Influencer (source).
+    pub src: NodeId,
+    /// Influenced node (destination).
+    pub dst: NodeId,
+    /// First time step at which the edge is no longer in the graph.
+    pub expiry: Time,
+}
+
+impl LiveEdge {
+    /// Remaining lifetime at time `now` (`expiry − now`).
+    pub fn remaining(&self, now: Time) -> Lifetime {
+        self.expiry.saturating_sub(now).min(Lifetime::MAX as Time) as Lifetime
+    }
+}
+
+/// The time-decaying dynamic interaction network `G_t`.
+#[derive(Default, Clone)]
+pub struct TdnGraph {
+    now: Time,
+    out: Vec<AdjList>,
+    inc: Vec<AdjList>,
+    /// live in+out degree per node index (edge instances, incl. multi-edges).
+    degree: Vec<u32>,
+    /// expiry time → edges expiring at that time.
+    buckets: BTreeMap<Time, Vec<(NodeId, NodeId)>>,
+    /// live multiplicity per ordered pair.
+    pair_count: FxHashMap<u64, u32>,
+    live_nodes: IndexedSet,
+    live_edges: u64,
+}
+
+impl TdnGraph {
+    /// Creates an empty graph at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time `t`.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of live edge instances (multi-edges counted individually).
+    #[inline]
+    pub fn edge_count(&self) -> u64 {
+        self.live_edges
+    }
+
+    /// Number of distinct live ordered pairs.
+    pub fn pair_count(&self) -> usize {
+        self.pair_count.len()
+    }
+
+    /// Number of live nodes (incident to ≥1 live edge).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.live_nodes.len()
+    }
+
+    /// The set of live nodes.
+    #[inline]
+    pub fn live_nodes(&self) -> &IndexedSet {
+        &self.live_nodes
+    }
+
+    /// Live multiplicity of `u → v` (the `x` in the diffusion probability).
+    pub fn multiplicity(&self, u: NodeId, v: NodeId) -> u32 {
+        self.pair_count.get(&pack_pair(u, v)).copied().unwrap_or(0)
+    }
+
+    /// Advances the clock to `t`, evicting every edge with `expiry ≤ t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is before the current time (the stream is
+    /// chronological by Definition 2).
+    pub fn advance_to(&mut self, t: Time) {
+        self.advance_to_with(t, |_, _| {});
+    }
+
+    /// Like [`advance_to`](Self::advance_to), invoking `on_evict(u, v)` for
+    /// every expiring edge instance — the hook that lets index structures
+    /// (e.g. DIM's RR sketches) react to deletions.
+    pub fn advance_to_with(&mut self, t: Time, mut on_evict: impl FnMut(NodeId, NodeId)) {
+        assert!(t >= self.now, "time moved backwards: {} -> {}", self.now, t);
+        self.now = t;
+        let mut touched: Vec<NodeId> = Vec::new();
+        while let Some((&exp, _)) = self.buckets.first_key_value() {
+            if exp > t {
+                break;
+            }
+            let (_, edges) = self.buckets.pop_first().expect("bucket exists");
+            for (u, v) in edges {
+                self.evict(u, v);
+                touched.push(u);
+                touched.push(v);
+                on_evict(u, v);
+            }
+        }
+        // Compact once per touched list, after ALL buckets ≤ t are drained
+        // (dead counters are exact only then).
+        touched.sort_unstable();
+        touched.dedup();
+        for n in touched {
+            self.out[n.index()].maybe_compact(t);
+            self.inc[n.index()].maybe_compact(t);
+        }
+    }
+
+    fn evict(&mut self, u: NodeId, v: NodeId) {
+        let key = pack_pair(u, v);
+        if let Some(c) = self.pair_count.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                self.pair_count.remove(&key);
+            }
+        }
+        self.out[u.index()].note_dead();
+        self.inc[v.index()].note_dead();
+        self.live_edges -= 1;
+        for n in [u, v] {
+            let d = &mut self.degree[n.index()];
+            *d -= 1;
+            if *d == 0 {
+                self.live_nodes.remove(n);
+            }
+        }
+    }
+
+    /// Adds edge `u → v` arriving *now* with the given lifetime (Definition 1
+    /// plus the lifetime assignment of §II-B). Lifetime must be ≥ 1;
+    /// `Lifetime::MAX` means "never expires" (ADN edges, Example 3).
+    ///
+    /// Self-loops are ignored, mirroring the paper's model assumption.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, lifetime: Lifetime) {
+        if u == v || lifetime == 0 {
+            return;
+        }
+        let expiry = if lifetime == Lifetime::MAX {
+            Time::MAX
+        } else {
+            self.now + lifetime as Time
+        };
+        let bound = u.index().max(v.index()) + 1;
+        if self.out.len() < bound {
+            self.out.resize_with(bound, AdjList::default);
+            self.inc.resize_with(bound, AdjList::default);
+            self.degree.resize(bound, 0);
+        }
+        self.out[u.index()].push((v, expiry));
+        self.inc[v.index()].push((u, expiry));
+        *self.pair_count.entry(pack_pair(u, v)).or_insert(0) += 1;
+        if expiry != Time::MAX {
+            self.buckets.entry(expiry).or_default().push((u, v));
+        }
+        self.live_edges += 1;
+        for n in [u, v] {
+            let d = &mut self.degree[n.index()];
+            if *d == 0 {
+                self.live_nodes.insert(n);
+            }
+            *d += 1;
+        }
+    }
+
+    /// Iterates over live edges whose *current remaining lifetime* lies in
+    /// `[lo, hi)`. This is HISTAPPROX's instance-creation query (Alg. 3,
+    /// `ProcessEdges`, Fig. 6(c)): an edge expiring at `now + l` has
+    /// remaining lifetime exactly `l`.
+    pub fn edges_with_remaining_in(
+        &self,
+        lo: Lifetime,
+        hi: Lifetime,
+    ) -> impl Iterator<Item = LiveEdge> + '_ {
+        let start = self.now.saturating_add(lo.max(1) as Time);
+        let end = self.now.saturating_add(hi as Time);
+        self.buckets
+            .range(start..end)
+            .flat_map(move |(&exp, edges)| {
+                edges.iter().map(move |&(u, v)| LiveEdge {
+                    src: u,
+                    dst: v,
+                    expiry: exp,
+                })
+            })
+    }
+
+    /// Iterates over all live edges (multi-edges repeated).
+    pub fn live_edges_iter(&self) -> impl Iterator<Item = LiveEdge> + '_ {
+        self.edges_with_remaining_in(1, Lifetime::MAX)
+    }
+
+    /// Distinct live in-neighbors of `v`, deduplicated, with multiplicity.
+    pub fn in_neighbors_distinct(&self, v: NodeId) -> Vec<(NodeId, u32)> {
+        let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
+        if let Some(list) = self.inc.get(v.index()) {
+            for &(u, exp) in &list.entries {
+                if exp > self.now {
+                    *counts.entry(u).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_unstable_by_key(|&(n, _)| n);
+        v
+    }
+
+    /// Live out-degree (edge instances) of `u`.
+    pub fn out_degree_live(&self, u: NodeId) -> usize {
+        self.out.get(u.index()).map_or(0, |l| {
+            l.entries.iter().filter(|&&(_, exp)| exp > self.now).count()
+        })
+    }
+
+    /// Live in-degree (edge instances) of `v` — the `w(R)` ingredient of
+    /// TIM+'s KPT estimation.
+    pub fn in_degree_live(&self, v: NodeId) -> usize {
+        self.inc.get(v.index()).map_or(0, |l| {
+            l.entries.iter().filter(|&&(_, exp)| exp > self.now).count()
+        })
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let adj: usize = self
+            .out
+            .iter()
+            .chain(self.inc.iter())
+            .map(|l| l.entries.capacity() * std::mem::size_of::<Entry>() + 32)
+            .sum();
+        let buckets: usize = self
+            .buckets
+            .values()
+            .map(|v| v.capacity() * std::mem::size_of::<(NodeId, NodeId)>() + 48)
+            .sum();
+        adj + buckets + self.pair_count.capacity() * 12 + self.degree.capacity() * 4
+    }
+
+    /// Debug-only check that bookkeeping matches a from-scratch recount.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let recount: u64 = self
+            .out
+            .iter()
+            .map(|l| l.entries.iter().filter(|&&(_, e)| e > self.now).count() as u64)
+            .sum();
+        assert_eq!(recount, self.live_edges, "live edge count drifted");
+        let live_tracked: usize = self.out.iter().map(AdjList::live).sum();
+        assert_eq!(
+            live_tracked, self.live_edges as usize,
+            "per-list live bookkeeping drifted"
+        );
+        let live_by_degree = self.degree.iter().filter(|&&d| d > 0).count();
+        assert_eq!(live_by_degree, self.live_nodes.len(), "live node set drifted");
+    }
+}
+
+impl std::fmt::Debug for TdnGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TdnGraph")
+            .field("now", &self.now)
+            .field("nodes", &self.live_nodes.len())
+            .field("edges", &self.live_edges)
+            .finish()
+    }
+}
+
+impl OutGraph for TdnGraph {
+    #[inline]
+    fn for_each_out(&self, u: NodeId, mut f: impl FnMut(NodeId)) {
+        if let Some(list) = self.out.get(u.index()) {
+            for &(v, exp) in &list.entries {
+                if exp > self.now {
+                    f(v);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn node_index_bound(&self) -> usize {
+        self.out.len()
+    }
+
+    #[inline]
+    fn contains_node(&self, u: NodeId) -> bool {
+        self.live_nodes.contains(u)
+    }
+}
+
+impl InGraph for TdnGraph {
+    #[inline]
+    fn for_each_in(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
+        if let Some(list) = self.inc.get(v.index()) {
+            for &(u, exp) in &list.entries {
+                if exp > self.now {
+                    f(u);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::{reach_count, ReachScratch};
+
+    #[test]
+    fn edges_expire_on_schedule() {
+        let mut g = TdnGraph::new();
+        g.advance_to(1);
+        g.add_edge(NodeId(0), NodeId(1), 1); // gone at t=2
+        g.add_edge(NodeId(0), NodeId(2), 3); // gone at t=4
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 3);
+        g.advance_to(2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_count(), 2); // node 1 evicted with its only edge
+        g.advance_to(3);
+        assert_eq!(g.edge_count(), 1);
+        g.advance_to(4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 0);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn fig2_example_lifetimes() {
+        // The paper's Fig. 2: six edges at time t with lifetimes
+        // 1,1,2,3,1,1 — at t+1 only e3 (lifetime 2) and e4 (lifetime 3)
+        // survive among them.
+        let mut g = TdnGraph::new();
+        let t = 10;
+        g.advance_to(t);
+        let (u1, u2, u3, u4, u5, u6, u7) = (
+            NodeId(1),
+            NodeId(2),
+            NodeId(3),
+            NodeId(4),
+            NodeId(5),
+            NodeId(6),
+            NodeId(7),
+        );
+        g.add_edge(u1, u2, 1);
+        g.add_edge(u1, u3, 1);
+        g.add_edge(u1, u4, 2);
+        g.add_edge(u5, u3, 3);
+        g.add_edge(u6, u4, 1);
+        g.add_edge(u6, u7, 1);
+        assert_eq!(g.edge_count(), 6);
+        g.advance_to(t + 1);
+        g.add_edge(u5, u2, 1);
+        g.add_edge(u7, u4, 2);
+        g.add_edge(u7, u6, 3);
+        assert_eq!(g.edge_count(), 5); // e3, e4 survive + three new
+        assert_eq!(g.multiplicity(u1, u4), 1);
+        assert_eq!(g.multiplicity(u1, u2), 0);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn multiplicity_tracks_parallel_edges() {
+        let mut g = TdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(1), 2);
+        g.add_edge(NodeId(0), NodeId(1), 5);
+        assert_eq!(g.multiplicity(NodeId(0), NodeId(1)), 2);
+        g.advance_to(2);
+        assert_eq!(g.multiplicity(NodeId(0), NodeId(1)), 1);
+        g.advance_to(5);
+        assert_eq!(g.multiplicity(NodeId(0), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn bfs_skips_expired_entries() {
+        let mut g = TdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 10);
+        let mut s = ReachScratch::new();
+        assert_eq!(reach_count(&g, NodeId(0), &mut s), 3);
+        g.advance_to(1);
+        // 0 -> 1 expired; 0 is no longer live but BFS from it sees only itself.
+        assert_eq!(reach_count(&g, NodeId(0), &mut s), 1);
+        assert_eq!(reach_count(&g, NodeId(1), &mut s), 2);
+    }
+
+    #[test]
+    fn remaining_lifetime_range_query() {
+        let mut g = TdnGraph::new();
+        g.advance_to(5);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(0), NodeId(2), 2);
+        g.add_edge(NodeId(0), NodeId(3), 4);
+        let in_range: Vec<_> = g
+            .edges_with_remaining_in(2, 4)
+            .map(|e| e.dst)
+            .collect();
+        assert_eq!(in_range, vec![NodeId(2)]);
+        let all: Vec<_> = g.live_edges_iter().collect();
+        assert_eq!(all.len(), 3);
+        // After one step, remaining lifetimes shrink by one.
+        g.advance_to(6);
+        let in_range: Vec<_> = g
+            .edges_with_remaining_in(1, 2)
+            .map(|e| e.dst)
+            .collect();
+        assert_eq!(in_range, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn infinite_lifetime_edges_never_expire() {
+        let mut g = TdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(1), Lifetime::MAX);
+        g.advance_to(1_000_000);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.contains_node(NodeId(0)));
+    }
+
+    #[test]
+    fn compaction_keeps_adjacency_correct() {
+        let mut g = TdnGraph::new();
+        // Many short-lived edges from node 0, plus one long-lived one.
+        for i in 1..=100u32 {
+            g.add_edge(NodeId(0), NodeId(i), 1);
+        }
+        g.add_edge(NodeId(0), NodeId(200), 1000);
+        g.advance_to(1);
+        let mut out = Vec::new();
+        g.for_each_out(NodeId(0), |v| out.push(v));
+        assert_eq!(out, vec![NodeId(200)]);
+        assert_eq!(g.edge_count(), 1);
+        g.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "time moved backwards")]
+    fn clock_cannot_rewind() {
+        let mut g = TdnGraph::new();
+        g.advance_to(5);
+        g.advance_to(4);
+    }
+
+    #[test]
+    fn in_neighbors_distinct_counts_live_multiplicity() {
+        let mut g = TdnGraph::new();
+        g.add_edge(NodeId(1), NodeId(0), 10);
+        g.add_edge(NodeId(1), NodeId(0), 1);
+        g.add_edge(NodeId(2), NodeId(0), 10);
+        let inn = g.in_neighbors_distinct(NodeId(0));
+        assert_eq!(inn, vec![(NodeId(1), 2), (NodeId(2), 1)]);
+        g.advance_to(1);
+        let inn = g.in_neighbors_distinct(NodeId(0));
+        assert_eq!(inn, vec![(NodeId(1), 1), (NodeId(2), 1)]);
+    }
+}

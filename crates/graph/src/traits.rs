@@ -1,0 +1,31 @@
+//! Graph access traits shared by the append-only and time-decaying graphs.
+
+use crate::node::NodeId;
+
+/// Read access to the forward (influence-direction) adjacency of a graph.
+///
+/// Both [`crate::adn::AdnGraph`] and [`crate::tdn::TdnGraph`] implement this,
+/// so the reachability routines in [`crate::reach`] work on either.
+pub trait OutGraph {
+    /// Calls `f` once per live out-neighbor of `u` (duplicates possible when
+    /// multi-edges are stored; callers must deduplicate via visited marks).
+    fn for_each_out(&self, u: NodeId, f: impl FnMut(NodeId));
+
+    /// An upper bound (exclusive) on node indices present in the graph, used
+    /// to size visited-mark scratch.
+    fn node_index_bound(&self) -> usize;
+
+    /// Whether `u` currently participates in the graph (has at least one
+    /// live incident edge, or was explicitly added).
+    fn contains_node(&self, u: NodeId) -> bool;
+}
+
+/// Read access to reverse adjacency (who points *to* a node).
+///
+/// Needed to compute `V̄_t` — the set of nodes whose influence spread changed
+/// after an edge batch (Alg. 1 line 3) — and to sample reverse-reachable sets
+/// in the IC baselines.
+pub trait InGraph {
+    /// Calls `f` once per live in-neighbor of `v` (duplicates possible).
+    fn for_each_in(&self, v: NodeId, f: impl FnMut(NodeId));
+}

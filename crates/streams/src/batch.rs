@@ -1,0 +1,121 @@
+//! Grouping a chronological interaction stream into per-time-step batches.
+//!
+//! Definition 2 allows a batch of interactions per discrete step `Ē_t`; the
+//! trackers consume one batch per step. [`StepBatches`] adapts any
+//! chronological `Iterator<Item = Interaction>` into batches, padding
+//! *empty* steps so the TDN clock still advances when nothing arrives.
+
+use crate::interaction::Interaction;
+use tdn_graph::Time;
+
+/// Iterator adapter yielding `(t, Vec<Interaction>)` per time step.
+pub struct StepBatches<I: Iterator<Item = Interaction>> {
+    inner: I,
+    pending: Option<Interaction>,
+    next_t: Time,
+    done: bool,
+}
+
+impl<I: Iterator<Item = Interaction>> StepBatches<I> {
+    /// Wraps a chronological stream (non-decreasing `t`).
+    pub fn new(inner: I) -> Self {
+        StepBatches {
+            inner,
+            pending: None,
+            next_t: 0,
+            done: false,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Interaction>> Iterator for StepBatches<I> {
+    type Item = (Time, Vec<Interaction>);
+
+    fn next(&mut self) -> Option<(Time, Vec<Interaction>)> {
+        if self.done {
+            return None;
+        }
+        let t = self.next_t;
+        let mut batch = Vec::new();
+        // Flush a buffered interaction from a previous call.
+        if let Some(p) = self.pending {
+            assert!(p.t >= t, "stream must be chronological");
+            if p.t == t {
+                batch.push(p);
+                self.pending = None;
+            } else {
+                // An empty step before the buffered interaction's step.
+                self.next_t = t + 1;
+                return Some((t, batch));
+            }
+        }
+        loop {
+            match self.inner.next() {
+                None => {
+                    self.done = true;
+                    if batch.is_empty() {
+                        return None;
+                    }
+                    break;
+                }
+                Some(it) => {
+                    assert!(it.t >= t, "stream must be chronological");
+                    if it.t == t {
+                        batch.push(it);
+                    } else {
+                        self.pending = Some(it);
+                        break;
+                    }
+                }
+            }
+        }
+        self.next_t = t + 1;
+        Some((t, batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn it(s: u32, d: u32, t: Time) -> Interaction {
+        Interaction::new(s, d, t)
+    }
+
+    #[test]
+    fn groups_by_time_step() {
+        let evs = vec![it(0, 1, 0), it(1, 2, 0), it(2, 3, 1), it(3, 4, 3)];
+        let batches: Vec<_> = StepBatches::new(evs.into_iter()).collect();
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[0].0, 0);
+        assert_eq!(batches[0].1.len(), 2);
+        assert_eq!(batches[1].0, 1);
+        assert_eq!(batches[1].1.len(), 1);
+        // Step 2 is empty but still emitted (the clock must advance).
+        assert_eq!(batches[2], (2, vec![]));
+        assert_eq!(batches[3].0, 3);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let batches: Vec<_> = StepBatches::new(std::iter::empty()).collect();
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn stream_not_starting_at_zero_pads_leading_steps() {
+        let evs = vec![it(0, 1, 2)];
+        let batches: Vec<_> = StepBatches::new(evs.into_iter()).collect();
+        assert_eq!(batches.len(), 3);
+        assert!(batches[0].1.is_empty());
+        assert!(batches[1].1.is_empty());
+        assert_eq!(batches[2].1.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn rejects_time_travel() {
+        let evs = vec![it(0, 1, 5), it(1, 2, 3)];
+        let _: Vec<_> = StepBatches::new(evs.into_iter()).collect();
+    }
+}

@@ -1,0 +1,288 @@
+//! The six dataset presets of Table I, as seeded synthetic generators.
+//!
+//! Each preset mirrors its real counterpart's *interaction schema*, relative
+//! node-universe size, and temporal character (drift, bursts, density);
+//! stream lengths are scaled for laptop-class runs. `EXPERIMENTS.md`
+//! tabulates paper-reported vs. generated statistics.
+
+use crate::gen::cascade::{BurstWindow, CascadeConfig, CascadeGen};
+use crate::gen::lbsn::{LbsnConfig, LbsnGen};
+use crate::gen::qa::{QaConfig, QaGen};
+use crate::interaction::Interaction;
+use tdn_graph::FxHashSet;
+
+/// The six interaction datasets of Table I.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Brightkite LBSN check-ins (place → user).
+    Brightkite,
+    /// Gowalla LBSN check-ins (place → user).
+    Gowalla,
+    /// Twitter re-tweets around the Higgs announcement (single burst).
+    TwitterHiggs,
+    /// Twitter re-tweets during the Umbrella Movement (multi-wave).
+    TwitterHk,
+    /// Stack Overflow comment-on-question interactions.
+    StackOverflowC2q,
+    /// Stack Overflow comment-on-answer interactions.
+    StackOverflowC2a,
+}
+
+impl Dataset {
+    /// All presets, in Table I order.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::Brightkite,
+        Dataset::Gowalla,
+        Dataset::TwitterHiggs,
+        Dataset::TwitterHk,
+        Dataset::StackOverflowC2q,
+        Dataset::StackOverflowC2a,
+    ];
+
+    /// Short machine name (file/CSV friendly).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Dataset::Brightkite => "brightkite",
+            Dataset::Gowalla => "gowalla",
+            Dataset::TwitterHiggs => "twitter-higgs",
+            Dataset::TwitterHk => "twitter-hk",
+            Dataset::StackOverflowC2q => "stackoverflow-c2q",
+            Dataset::StackOverflowC2a => "stackoverflow-c2a",
+        }
+    }
+
+    /// Paper-reported statistics `(nodes description, #interactions)` from
+    /// Table I, for side-by-side reporting.
+    pub fn paper_stats(self) -> (&'static str, u64) {
+        match self {
+            Dataset::Brightkite => ("51,406 users / 772,966 places", 4_747_281),
+            Dataset::Gowalla => ("107,092 users / 1,280,969 places", 6_442_892),
+            Dataset::TwitterHiggs => ("304,198 users", 555_481),
+            Dataset::TwitterHk => ("49,808 users", 2_930_439),
+            Dataset::StackOverflowC2q => ("1,627,635 users", 13_664_641),
+            Dataset::StackOverflowC2a => ("1,639,761 users", 17_535_031),
+        }
+    }
+
+    /// Builds the preset's generator with the given seed.
+    pub fn stream(self, seed: u64) -> DatasetStream {
+        match self {
+            Dataset::Brightkite => DatasetStream::Lbsn(LbsnGen::new(LbsnConfig {
+                users: 514,
+                places: 7_730,
+                place_zipf: 1.1,
+                user_zipf: 0.8,
+                drift_interval: 180,
+                hot_zone: 30,
+                events_per_step: 1,
+                seed,
+            })),
+            Dataset::Gowalla => DatasetStream::Lbsn(LbsnGen::new(LbsnConfig {
+                users: 1_071,
+                places: 12_810,
+                place_zipf: 1.0,
+                user_zipf: 0.8,
+                drift_interval: 150,
+                hot_zone: 40,
+                events_per_step: 1,
+                seed: seed ^ 0x060A_A11A,
+            })),
+            Dataset::TwitterHiggs => DatasetStream::Cascade(CascadeGen::new(CascadeConfig {
+                users: 30_420,
+                author_zipf: 1.05,
+                retweeter_zipf: 0.6,
+                depth_prob: 0.25,
+                continue_prob: 0.45,
+                frontier_cap: 64,
+                bursts: vec![BurstWindow {
+                    start: 2_000,
+                    end: 3_600,
+                    depth_prob: 0.6,
+                    author_zipf: 1.5,
+                }],
+                drift_interval: 400,
+                hot_zone: 40,
+                events_per_step: 1,
+                seed: seed ^ 0x0041_6653,
+            })),
+            Dataset::TwitterHk => DatasetStream::Cascade(CascadeGen::new(CascadeConfig {
+                users: 4_980,
+                author_zipf: 1.1,
+                retweeter_zipf: 0.65,
+                depth_prob: 0.3,
+                continue_prob: 0.5,
+                frontier_cap: 48,
+                bursts: vec![
+                    BurstWindow {
+                        start: 800,
+                        end: 1_600,
+                        depth_prob: 0.55,
+                        author_zipf: 1.4,
+                    },
+                    BurstWindow {
+                        start: 3_000,
+                        end: 3_800,
+                        depth_prob: 0.6,
+                        author_zipf: 1.5,
+                    },
+                    BurstWindow {
+                        start: 6_000,
+                        end: 7_000,
+                        depth_prob: 0.55,
+                        author_zipf: 1.45,
+                    },
+                ],
+                drift_interval: 250,
+                hot_zone: 30,
+                events_per_step: 1,
+                seed: seed ^ 0x48_4B,
+            })),
+            Dataset::StackOverflowC2q => DatasetStream::Qa(QaGen::new(QaConfig {
+                users: 162_000,
+                owner_zipf: 1.0,
+                commenter_zipf: 0.7,
+                chain_prob: 0.12,
+                thread_prob: 0.45,
+                recent_cap: 96,
+                drift_interval: 300,
+                hot_zone: 50,
+                events_per_step: 1,
+                seed: seed ^ 0xC20,
+            })),
+            Dataset::StackOverflowC2a => DatasetStream::Qa(QaGen::new(QaConfig {
+                users: 164_000,
+                owner_zipf: 1.05,
+                commenter_zipf: 0.75,
+                chain_prob: 0.2,
+                thread_prob: 0.55,
+                recent_cap: 128,
+                drift_interval: 250,
+                hot_zone: 60,
+                events_per_step: 1,
+                seed: seed ^ 0xC2A,
+            })),
+        }
+    }
+
+    /// Scaled stream length used by the Table I statistics run (the paper's
+    /// interaction counts ÷ ~100).
+    pub fn table1_events(self) -> u64 {
+        match self {
+            Dataset::Brightkite => 47_473,
+            Dataset::Gowalla => 64_429,
+            Dataset::TwitterHiggs => 5_555 * 10, // ÷10: the Higgs trace is short
+            Dataset::TwitterHk => 29_304,
+            Dataset::StackOverflowC2q => 136_646,
+            Dataset::StackOverflowC2a => 175_350,
+        }
+    }
+}
+
+/// A concrete generator for one dataset preset.
+///
+/// An enum (not a boxed trait object) so streams stay `Clone` and fully
+/// deterministic for tests.
+#[derive(Clone, Debug)]
+pub enum DatasetStream {
+    /// LBSN check-ins.
+    Lbsn(LbsnGen),
+    /// Twitter cascades.
+    Cascade(CascadeGen),
+    /// Q&A comments.
+    Qa(QaGen),
+}
+
+impl Iterator for DatasetStream {
+    type Item = Interaction;
+
+    fn next(&mut self) -> Option<Interaction> {
+        match self {
+            DatasetStream::Lbsn(g) => g.next(),
+            DatasetStream::Cascade(g) => g.next(),
+            DatasetStream::Qa(g) => g.next(),
+        }
+    }
+}
+
+/// Statistics of a generated stream prefix (the Table I analog).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Distinct source nodes observed.
+    pub src_nodes: u64,
+    /// Distinct destination nodes observed.
+    pub dst_nodes: u64,
+    /// Distinct nodes overall.
+    pub nodes: u64,
+    /// Total interactions.
+    pub interactions: u64,
+    /// Distinct ordered pairs.
+    pub distinct_pairs: u64,
+    /// Last time step reached.
+    pub last_t: u64,
+}
+
+/// Scans `events` interactions from a stream and summarizes them.
+pub fn dataset_stats(stream: impl Iterator<Item = Interaction>, events: u64) -> DatasetStats {
+    let mut srcs = FxHashSet::default();
+    let mut dsts = FxHashSet::default();
+    let mut all = FxHashSet::default();
+    let mut pairs = FxHashSet::default();
+    let mut n = 0u64;
+    let mut last_t = 0u64;
+    for it in stream.take(events as usize) {
+        srcs.insert(it.src);
+        dsts.insert(it.dst);
+        all.insert(it.src);
+        all.insert(it.dst);
+        pairs.insert(tdn_graph::pack_pair(it.src, it.dst));
+        n += 1;
+        last_t = it.t;
+    }
+    DatasetStats {
+        src_nodes: srcs.len() as u64,
+        dst_nodes: dsts.len() as u64,
+        nodes: all.len() as u64,
+        interactions: n,
+        distinct_pairs: pairs.len() as u64,
+        last_t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_generates() {
+        for d in Dataset::ALL {
+            let stats = dataset_stats(d.stream(1), 2_000);
+            assert_eq!(stats.interactions, 2_000, "{}", d.slug());
+            assert!(stats.nodes > 100, "{} too few nodes", d.slug());
+            assert!(stats.last_t >= 1_999, "{} must be one event per step", d.slug());
+        }
+    }
+
+    #[test]
+    fn slugs_are_unique() {
+        let slugs: FxHashSet<&str> = Dataset::ALL.iter().map(|d| d.slug()).collect();
+        assert_eq!(slugs.len(), 6);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        for d in Dataset::ALL {
+            let a: Vec<_> = d.stream(7).take(50).collect();
+            let b: Vec<_> = d.stream(7).take(50).collect();
+            assert_eq!(a, b, "{}", d.slug());
+        }
+    }
+
+    #[test]
+    fn lbsn_presets_have_more_places_than_users_checked_in() {
+        // Brightkite's signature: the source universe (places) is much
+        // larger than the destination universe (users).
+        let stats = dataset_stats(Dataset::Brightkite.stream(3), 20_000);
+        assert!(stats.dst_nodes < 600);
+        assert!(stats.src_nodes > stats.dst_nodes);
+    }
+}

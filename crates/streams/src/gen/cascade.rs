@@ -1,0 +1,271 @@
+//! Re-tweet cascade generator — the synthetic stand-in for the
+//! Twitter-Higgs (single announcement burst) and Twitter-HK (multi-wave
+//! protest) traces of §V-A.
+//!
+//! `⟨u, v, t⟩` means `v` re-tweeted (or mentioned) `u`. Unlike check-ins,
+//! re-tweets cascade: a re-tweeter may itself be re-tweeted, producing
+//! multi-hop influence trees. The generator maintains a bounded *frontier*
+//! of recent re-tweeters; each event either extends a cascade from the
+//! frontier or starts a fresh one at a Zipf-popular author. Burst windows
+//! raise the cascade-continuation probability and concentrate authorship,
+//! reproducing the deep viral trees around the Higgs announcement and the
+//! successive waves of the Umbrella Movement.
+
+use crate::gen::DriftingRanks;
+use crate::interaction::Interaction;
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use tdn_graph::{NodeId, Time};
+
+/// A burst window during which cascades deepen.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstWindow {
+    /// First step of the burst (inclusive).
+    pub start: Time,
+    /// Last step of the burst (exclusive).
+    pub end: Time,
+    /// Cascade-continuation probability inside the window.
+    pub depth_prob: f64,
+    /// Zipf exponent of authorship inside the window (hotter = larger).
+    pub author_zipf: f64,
+}
+
+/// Configuration for the cascade generator.
+#[derive(Clone, Debug)]
+pub struct CascadeConfig {
+    /// Number of distinct users.
+    pub users: u32,
+    /// Baseline Zipf exponent of authorship.
+    pub author_zipf: f64,
+    /// Zipf exponent of who re-tweets (mild: most users re-tweet rarely).
+    pub retweeter_zipf: f64,
+    /// Baseline probability that a re-tweeter is pushed onto the frontier
+    /// (i.e. the cascade continues through them).
+    pub depth_prob: f64,
+    /// Probability an event continues a cascade from the frontier rather
+    /// than starting fresh, given the frontier is non-empty.
+    pub continue_prob: f64,
+    /// Maximum frontier size (bounds cascade memory).
+    pub frontier_cap: usize,
+    /// Burst windows (may be empty; Higgs has one, HK several).
+    pub bursts: Vec<BurstWindow>,
+    /// Swap one hot author rank every this many events (0 = static).
+    pub drift_interval: u64,
+    /// Size of the contested head of the author ranking.
+    pub hot_zone: usize,
+    /// Events per time step.
+    pub events_per_step: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig {
+            users: 30_000,
+            author_zipf: 1.05,
+            retweeter_zipf: 0.6,
+            depth_prob: 0.25,
+            continue_prob: 0.45,
+            frontier_cap: 64,
+            bursts: Vec::new(),
+            drift_interval: 400,
+            hot_zone: 40,
+            events_per_step: 1,
+            seed: 0x0771_77E2,
+        }
+    }
+}
+
+/// Streaming re-tweet generator (infinite).
+#[derive(Clone, Debug)]
+pub struct CascadeGen {
+    cfg: CascadeConfig,
+    author_ranks: DriftingRanks,
+    author_zipf: ZipfSampler,
+    burst_author_zipfs: Vec<ZipfSampler>,
+    retweeter_zipf: ZipfSampler,
+    frontier: VecDeque<NodeId>,
+    rng: StdRng,
+    t: Time,
+    emitted_this_step: u32,
+}
+
+impl CascadeGen {
+    /// Creates the generator from its configuration.
+    pub fn new(cfg: CascadeConfig) -> Self {
+        let author_zipf = ZipfSampler::new(cfg.users as usize, cfg.author_zipf);
+        let burst_author_zipfs = cfg
+            .bursts
+            .iter()
+            .map(|b| ZipfSampler::new(cfg.users as usize, b.author_zipf))
+            .collect();
+        let retweeter_zipf = ZipfSampler::new(cfg.users as usize, cfg.retweeter_zipf);
+        let author_ranks = DriftingRanks::new(cfg.users as usize, cfg.drift_interval, cfg.hot_zone);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        CascadeGen {
+            cfg,
+            author_ranks,
+            author_zipf,
+            burst_author_zipfs,
+            retweeter_zipf,
+            frontier: VecDeque::new(),
+            rng,
+            t: 0,
+            emitted_this_step: 0,
+        }
+    }
+
+    /// The active burst window at step `t`, if any.
+    fn active_burst(&self, t: Time) -> Option<usize> {
+        self.cfg
+            .bursts
+            .iter()
+            .position(|b| (b.start..b.end).contains(&t))
+    }
+}
+
+impl Iterator for CascadeGen {
+    type Item = Interaction;
+
+    fn next(&mut self) -> Option<Interaction> {
+        let burst = self.active_burst(self.t);
+        let depth_prob = burst.map_or(self.cfg.depth_prob, |i| self.cfg.bursts[i].depth_prob);
+        // Source: continue a cascade from the frontier, or a fresh author.
+        let from_frontier =
+            !self.frontier.is_empty() && self.rng.gen_bool(self.cfg.continue_prob);
+        let src = if from_frontier {
+            let idx = self.rng.gen_range(0..self.frontier.len());
+            self.frontier[idx]
+        } else {
+            let zipf = burst
+                .map(|i| &self.burst_author_zipfs[i])
+                .unwrap_or(&self.author_zipf);
+            let rank = zipf.sample(&mut self.rng);
+            let author = self.author_ranks.entity(rank);
+            self.author_ranks.tick(&mut self.rng);
+            NodeId(author)
+        };
+        // Destination: a Zipf-mild re-tweeter distinct from the source.
+        let dst = loop {
+            let r = NodeId(self.retweeter_zipf.sample(&mut self.rng) as u32);
+            if r != src {
+                break r;
+            }
+        };
+        if self.rng.gen_bool(depth_prob) {
+            if self.frontier.len() == self.cfg.frontier_cap {
+                self.frontier.pop_front();
+            }
+            self.frontier.push_back(dst);
+        }
+        let it = Interaction {
+            src,
+            dst,
+            t: self.t,
+        };
+        self.emitted_this_step += 1;
+        if self.emitted_this_step >= self.cfg.events_per_step {
+            self.emitted_this_step = 0;
+            self.t += 1;
+        }
+        Some(it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdn_graph::{reach_count, AdnGraph, ReachScratch};
+
+    #[test]
+    fn no_self_interactions() {
+        let g = CascadeGen::new(CascadeConfig::default());
+        for it in g.take(10_000) {
+            assert_ne!(it.src, it.dst);
+        }
+    }
+
+    #[test]
+    fn cascades_produce_multi_hop_reach() {
+        // Build an ADN from a prefix of the stream; top authors must reach
+        // strictly more nodes than their out-degree (i.e. ≥ 2 hops happen).
+        let gen = CascadeGen::new(CascadeConfig::default());
+        let mut adn = AdnGraph::new();
+        let mut out_deg: std::collections::HashMap<NodeId, u64> = Default::default();
+        for it in gen.take(20_000) {
+            if adn.add_edge(it.src, it.dst) {
+                *out_deg.entry(it.src).or_insert(0) += 1;
+            }
+        }
+        let mut scratch = ReachScratch::new();
+        let mut found_deeper = false;
+        for (&n, &d) in out_deg.iter() {
+            let r = reach_count(&adn, n, &mut scratch);
+            assert!(r > d);
+            if r > d + 1 {
+                found_deeper = true;
+            }
+        }
+        assert!(found_deeper, "no multi-hop cascade found in 20k events");
+    }
+
+    #[test]
+    fn bursts_deepen_cascades() {
+        let mk = |bursts: Vec<BurstWindow>| {
+            let gen = CascadeGen::new(CascadeConfig {
+                bursts,
+                drift_interval: 0,
+                ..CascadeConfig::default()
+            });
+            // Average reach of the top author over a window of events.
+            let mut adn = AdnGraph::new();
+            for it in gen.take(15_000) {
+                adn.add_edge(it.src, it.dst);
+            }
+            let mut scratch = ReachScratch::new();
+            adn.nodes()
+                .map(|n| reach_count(&adn, n, &mut scratch))
+                .max()
+                .unwrap_or(0)
+        };
+        let calm = mk(vec![]);
+        let burst = mk(vec![BurstWindow {
+            start: 0,
+            end: 20_000,
+            depth_prob: 0.8,
+            author_zipf: 1.6,
+        }]);
+        assert!(
+            burst > calm,
+            "burst max reach {burst} not deeper than calm {calm}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = CascadeGen::new(CascadeConfig::default()).take(200).collect();
+        let b: Vec<_> = CascadeGen::new(CascadeConfig::default()).take(200).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_window_detection() {
+        let cfg = CascadeConfig {
+            bursts: vec![BurstWindow {
+                start: 10,
+                end: 20,
+                depth_prob: 0.9,
+                author_zipf: 1.5,
+            }],
+            ..CascadeConfig::default()
+        };
+        let g = CascadeGen::new(cfg);
+        assert_eq!(g.active_burst(9), None);
+        assert_eq!(g.active_burst(10), Some(0));
+        assert_eq!(g.active_burst(19), Some(0));
+        assert_eq!(g.active_burst(20), None);
+    }
+}

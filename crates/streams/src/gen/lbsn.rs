@@ -1,0 +1,190 @@
+//! Location-based social network (LBSN) check-in generator — the synthetic
+//! stand-in for the Brightkite and Gowalla traces of §V-A.
+//!
+//! A check-in `⟨place, user, t⟩` means the place attracted the user, i.e.
+//! the place influences the user; a place's influence spread is the number
+//! of distinct users who checked in (the paper's "place popularity").
+//! Node-id layout: places occupy `0..places`, users `places..places+users`.
+
+use crate::gen::DriftingRanks;
+use crate::interaction::Interaction;
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdn_graph::{NodeId, Time};
+
+/// Configuration for the LBSN generator.
+#[derive(Clone, Debug)]
+pub struct LbsnConfig {
+    /// Number of distinct users.
+    pub users: u32,
+    /// Number of distinct places (≫ users in Brightkite/Gowalla).
+    pub places: u32,
+    /// Zipf exponent of place popularity.
+    pub place_zipf: f64,
+    /// Zipf exponent of user activity.
+    pub user_zipf: f64,
+    /// Swap one hot place rank every this many check-ins (0 = static).
+    pub drift_interval: u64,
+    /// Size of the contested head of the popularity ranking.
+    pub hot_zone: usize,
+    /// Check-ins emitted per time step.
+    pub events_per_step: u32,
+    /// RNG seed (generators are fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for LbsnConfig {
+    fn default() -> Self {
+        LbsnConfig {
+            users: 500,
+            places: 7_700,
+            place_zipf: 1.1,
+            user_zipf: 0.8,
+            drift_interval: 200,
+            hot_zone: 30,
+            events_per_step: 1,
+            seed: 0xB816_4A11,
+        }
+    }
+}
+
+/// Streaming check-in generator (infinite; take as many events as needed).
+#[derive(Clone, Debug)]
+pub struct LbsnGen {
+    cfg: LbsnConfig,
+    place_ranks: DriftingRanks,
+    place_zipf: ZipfSampler,
+    user_zipf: ZipfSampler,
+    rng: StdRng,
+    t: Time,
+    emitted_this_step: u32,
+}
+
+impl LbsnGen {
+    /// Creates the generator from its configuration.
+    pub fn new(cfg: LbsnConfig) -> Self {
+        let place_zipf = ZipfSampler::new(cfg.places as usize, cfg.place_zipf);
+        let user_zipf = ZipfSampler::new(cfg.users as usize, cfg.user_zipf);
+        let place_ranks = DriftingRanks::new(cfg.places as usize, cfg.drift_interval, cfg.hot_zone);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        LbsnGen {
+            cfg,
+            place_ranks,
+            place_zipf,
+            user_zipf,
+            rng,
+            t: 0,
+            emitted_this_step: 0,
+        }
+    }
+
+    /// Node id of place `p` (places occupy the low id range).
+    pub fn place_id(&self, p: u32) -> NodeId {
+        NodeId(p)
+    }
+
+    /// Node id of user `u`.
+    pub fn user_id(&self, u: u32) -> NodeId {
+        NodeId(self.cfg.places + u)
+    }
+
+    /// Whether `n` is a place id under this generator's layout.
+    pub fn is_place(&self, n: NodeId) -> bool {
+        n.0 < self.cfg.places
+    }
+}
+
+impl Iterator for LbsnGen {
+    type Item = Interaction;
+
+    fn next(&mut self) -> Option<Interaction> {
+        let place_rank = self.place_zipf.sample(&mut self.rng);
+        let place = self.place_ranks.entity(place_rank);
+        self.place_ranks.tick(&mut self.rng);
+        let user = self.user_zipf.sample(&mut self.rng) as u32;
+        let it = Interaction {
+            src: self.place_id(place),
+            dst: self.user_id(user),
+            t: self.t,
+        };
+        self.emitted_this_step += 1;
+        if self.emitted_this_step >= self.cfg.events_per_step {
+            self.emitted_this_step = 0;
+            self.t += 1;
+        }
+        Some(it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdn_graph::FxHashSet;
+
+    #[test]
+    fn ids_partition_places_and_users() {
+        let g = LbsnGen::new(LbsnConfig::default());
+        for it in g.clone().take(5_000) {
+            assert!(it.src.0 < 7_700, "src must be a place");
+            assert!(it.dst.0 >= 7_700, "dst must be a user");
+        }
+        assert!(g.is_place(NodeId(0)));
+        assert!(!g.is_place(NodeId(7_700)));
+    }
+
+    #[test]
+    fn time_advances_with_events_per_step() {
+        let cfg = LbsnConfig {
+            events_per_step: 3,
+            ..LbsnConfig::default()
+        };
+        let g = LbsnGen::new(cfg);
+        let ts: Vec<Time> = g.take(7).map(|i| i.t).collect();
+        assert_eq!(ts, vec![0, 0, 0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let g = LbsnGen::new(LbsnConfig {
+            drift_interval: 0, // freeze ranks for a clean measurement
+            ..LbsnConfig::default()
+        });
+        let mut counts = std::collections::HashMap::new();
+        for it in g.take(20_000) {
+            *counts.entry(it.src).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Top place should dwarf the median.
+        assert!(freqs[0] > 400, "top place too cold: {}", freqs[0]);
+        assert!(freqs[0] as f64 / freqs[freqs.len() / 2] as f64 > 10.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = LbsnGen::new(LbsnConfig::default()).take(100).collect();
+        let b: Vec<_> = LbsnGen::new(LbsnConfig::default()).take(100).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = LbsnGen::new(LbsnConfig {
+            seed: 1,
+            ..LbsnConfig::default()
+        })
+        .take(100)
+        .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn drift_rotates_the_popular_set() {
+        let g = LbsnGen::new(LbsnConfig {
+            drift_interval: 50,
+            ..LbsnConfig::default()
+        });
+        let events: Vec<_> = g.take(40_000).collect();
+        let early: FxHashSet<NodeId> = events[..5_000].iter().map(|i| i.src).collect();
+        let late: FxHashSet<NodeId> = events[35_000..].iter().map(|i| i.src).collect();
+        // Some late hot places were never seen early on.
+        assert!(late.difference(&early).count() > 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Q&A comment generator — the synthetic stand-in for the Stack Overflow
+//! comment-on-question (c2q) and comment-on-answer (c2a) traces of §V-A.
+//!
+//! `⟨u, v, t⟩` means `v` commented on `u`'s question (c2q) or answer (c2a):
+//! `u` attracted `v`'s attention. All participants share one id universe.
+//! Threads matter: a popular post attracts many commenters in a short span,
+//! and commenters themselves post content that gets commented on — which
+//! yields shallow-but-wide influence trees with occasional 2–3 hop chains.
+
+use crate::gen::DriftingRanks;
+use crate::interaction::Interaction;
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use tdn_graph::{NodeId, Time};
+
+/// Configuration for the Q&A generator.
+#[derive(Clone, Debug)]
+pub struct QaConfig {
+    /// Number of distinct users.
+    pub users: u32,
+    /// Zipf exponent of post-owner popularity.
+    pub owner_zipf: f64,
+    /// Zipf exponent of commenter activity.
+    pub commenter_zipf: f64,
+    /// Probability a commenter becomes a recent owner (their reply attracts
+    /// follow-up comments) — the chain-building knob.
+    pub chain_prob: f64,
+    /// Probability an event targets a recent owner instead of a fresh one.
+    pub thread_prob: f64,
+    /// Bound on the recent-owner pool.
+    pub recent_cap: usize,
+    /// Swap one hot owner rank every this many events (0 = static).
+    pub drift_interval: u64,
+    /// Size of the contested head of the owner ranking.
+    pub hot_zone: usize,
+    /// Events per time step.
+    pub events_per_step: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QaConfig {
+    fn default() -> Self {
+        QaConfig {
+            users: 160_000,
+            owner_zipf: 1.0,
+            commenter_zipf: 0.7,
+            chain_prob: 0.15,
+            thread_prob: 0.5,
+            recent_cap: 128,
+            drift_interval: 300,
+            hot_zone: 50,
+            events_per_step: 1,
+            seed: 0x50_C2A,
+        }
+    }
+}
+
+/// Streaming Q&A comment generator (infinite).
+#[derive(Clone, Debug)]
+pub struct QaGen {
+    cfg: QaConfig,
+    owner_ranks: DriftingRanks,
+    owner_zipf: ZipfSampler,
+    commenter_zipf: ZipfSampler,
+    recent_owners: VecDeque<NodeId>,
+    rng: StdRng,
+    t: Time,
+    emitted_this_step: u32,
+}
+
+impl QaGen {
+    /// Creates the generator from its configuration.
+    pub fn new(cfg: QaConfig) -> Self {
+        let owner_zipf = ZipfSampler::new(cfg.users as usize, cfg.owner_zipf);
+        let commenter_zipf = ZipfSampler::new(cfg.users as usize, cfg.commenter_zipf);
+        let owner_ranks = DriftingRanks::new(cfg.users as usize, cfg.drift_interval, cfg.hot_zone);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        QaGen {
+            cfg,
+            owner_ranks,
+            owner_zipf,
+            commenter_zipf,
+            recent_owners: VecDeque::new(),
+            rng,
+            t: 0,
+            emitted_this_step: 0,
+        }
+    }
+}
+
+impl Iterator for QaGen {
+    type Item = Interaction;
+
+    fn next(&mut self) -> Option<Interaction> {
+        let from_thread =
+            !self.recent_owners.is_empty() && self.rng.gen_bool(self.cfg.thread_prob);
+        let src = if from_thread {
+            let idx = self.rng.gen_range(0..self.recent_owners.len());
+            self.recent_owners[idx]
+        } else {
+            let rank = self.owner_zipf.sample(&mut self.rng);
+            let owner = self.owner_ranks.entity(rank);
+            self.owner_ranks.tick(&mut self.rng);
+            NodeId(owner)
+        };
+        let dst = loop {
+            let c = NodeId(self.commenter_zipf.sample(&mut self.rng) as u32);
+            if c != src {
+                break c;
+            }
+        };
+        if self.rng.gen_bool(self.cfg.chain_prob) {
+            if self.recent_owners.len() == self.cfg.recent_cap {
+                self.recent_owners.pop_front();
+            }
+            self.recent_owners.push_back(dst);
+        }
+        let it = Interaction {
+            src,
+            dst,
+            t: self.t,
+        };
+        self.emitted_this_step += 1;
+        if self.emitted_this_step >= self.cfg.events_per_step {
+            self.emitted_this_step = 0;
+            self.t += 1;
+        }
+        Some(it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_self_comments() {
+        let g = QaGen::new(QaConfig::default());
+        for it in g.take(10_000) {
+            assert_ne!(it.src, it.dst);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = QaGen::new(QaConfig::default()).take(300).collect();
+        let b: Vec<_> = QaGen::new(QaConfig::default()).take(300).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn owner_popularity_is_heavy_tailed() {
+        let g = QaGen::new(QaConfig {
+            drift_interval: 0,
+            thread_prob: 0.0,
+            ..QaConfig::default()
+        });
+        let mut counts = std::collections::HashMap::new();
+        for it in g.take(30_000) {
+            *counts.entry(it.src).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 200, "hottest owner only {max} events");
+    }
+
+    #[test]
+    fn threads_concentrate_sources() {
+        // With high thread probability, sources concentrate into the recent
+        // pool, so far fewer distinct sources appear than without threading.
+        let distinct_sources = |thread_prob: f64| {
+            let g = QaGen::new(QaConfig {
+                thread_prob,
+                chain_prob: 0.02, // slow pool churn isolates the threading effect
+                ..QaConfig::default()
+            });
+            let srcs: std::collections::HashSet<_> = g.take(5_000).map(|i| i.src).collect();
+            srcs.len()
+        };
+        let threaded = distinct_sources(0.9);
+        let flat = distinct_sources(0.0);
+        assert!(
+            threaded * 2 < flat,
+            "threaded {threaded} not much smaller than flat {flat}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Interactions (Definition 1) and lifetime-tagged edges.
+
+use tdn_graph::{Lifetime, NodeId, Time};
+
+/// An interaction `⟨u, v, τ⟩`: node `u` exerts influence on node `v` at
+/// time `τ` (Definition 1). E.g. `v` re-tweeted `u`, or `v` checked into
+/// place `u`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Interaction {
+    /// Influencer.
+    pub src: NodeId,
+    /// Influenced node.
+    pub dst: NodeId,
+    /// Arrival time step.
+    pub t: Time,
+}
+
+impl Interaction {
+    /// Convenience constructor.
+    pub fn new(src: impl Into<NodeId>, dst: impl Into<NodeId>, t: Time) -> Self {
+        Interaction {
+            src: src.into(),
+            dst: dst.into(),
+            t,
+        }
+    }
+}
+
+/// An interaction that has been assigned a lifetime and is ready to be fed
+/// to a tracker (§II-B: the lifetime is fixed at arrival and only ever
+/// counts down).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TimedEdge {
+    /// Influencer.
+    pub src: NodeId,
+    /// Influenced node.
+    pub dst: NodeId,
+    /// Assigned lifetime `l_τ(e) ∈ {1, …, L}` (or `Lifetime::MAX` for ADN).
+    pub lifetime: Lifetime,
+}
+
+impl TimedEdge {
+    /// Convenience constructor.
+    pub fn new(src: impl Into<NodeId>, dst: impl Into<NodeId>, lifetime: Lifetime) -> Self {
+        TimedEdge {
+            src: src.into(),
+            dst: dst.into(),
+            lifetime,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_accept_raw_u32() {
+        let i = Interaction::new(1u32, 2u32, 7);
+        assert_eq!(i.src, NodeId(1));
+        assert_eq!(i.dst, NodeId(2));
+        assert_eq!(i.t, 7);
+        let e = TimedEdge::new(3u32, 4u32, 9);
+        assert_eq!(e.lifetime, 9);
+    }
+}

@@ -1,0 +1,39 @@
+//! # tdn-streams
+//!
+//! Interaction streams (Definition 2), lifetime-assignment policies
+//! (§II-B), and the synthetic dataset generators standing in for the six
+//! real traces of Table I.
+//!
+//! * [`interaction`] — `⟨u, v, τ⟩` triples and lifetime-tagged edges;
+//! * [`lifetime`] — ∞ / constant-window / truncated-geometric / uniform
+//!   lifetime assigners (Examples 3–5);
+//! * [`batch`] — per-time-step batching of chronological streams;
+//! * [`zipf`] — heavy-tail sampling;
+//! * [`gen`] — LBSN check-in, Twitter cascade, and Q&A comment generators;
+//! * [`datasets`] — the six Table I presets plus stream statistics;
+//! * [`io`] — SNAP-style `src dst timestamp` text round-tripping, for
+//!   replaying real traces through the trackers.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod datasets;
+pub mod gen;
+pub mod interaction;
+pub mod io;
+pub mod lifetime;
+pub mod zipf;
+
+pub use batch::StepBatches;
+pub use datasets::{dataset_stats, Dataset, DatasetStats, DatasetStream};
+pub use gen::cascade::{BurstWindow, CascadeConfig, CascadeGen};
+pub use gen::lbsn::{LbsnConfig, LbsnGen};
+pub use gen::qa::{QaConfig, QaGen};
+pub use gen::DriftingRanks;
+pub use interaction::{Interaction, TimedEdge};
+pub use io::{read_interactions, write_interactions};
+pub use lifetime::{
+    ConstantLifetime, GeometricLifetime, InfiniteLifetime, LifetimeAssigner, PowerLawLifetime,
+    UniformLifetime,
+};
+pub use zipf::ZipfSampler;

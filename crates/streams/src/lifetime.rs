@@ -1,0 +1,294 @@
+//! Lifetime assignment policies (§II-B).
+//!
+//! The TDN model is configured entirely through the lifetime given to each
+//! arriving edge. The paper's special cases (Examples 3–5):
+//!
+//! * [`InfiniteLifetime`] — addition-only networks (ADNs);
+//! * [`ConstantLifetime`] — sliding-window networks of width `W`;
+//! * [`GeometricLifetime`] — probabilistic decay: forget each live edge
+//!   with probability `p` per step ⇔ lifetimes `~ Geometric(p)`, truncated
+//!   at the cap `L` (the experimental setting of §V-B).
+
+use crate::interaction::Interaction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdn_graph::Lifetime;
+
+/// A policy assigning a lifetime to each arriving interaction.
+pub trait LifetimeAssigner {
+    /// Assigns `l_τ(e)` for interaction `e`.
+    fn assign(&mut self, e: &Interaction) -> Lifetime;
+
+    /// The upper bound `L` (`Lifetime::MAX` when unbounded).
+    fn max_lifetime(&self) -> Lifetime;
+}
+
+/// Every edge lives forever: the ADN of Example 3.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InfiniteLifetime;
+
+impl LifetimeAssigner for InfiniteLifetime {
+    fn assign(&mut self, _e: &Interaction) -> Lifetime {
+        Lifetime::MAX
+    }
+
+    fn max_lifetime(&self) -> Lifetime {
+        Lifetime::MAX
+    }
+}
+
+/// Every edge lives exactly `W` steps: the sliding window of Example 4.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLifetime(pub Lifetime);
+
+impl LifetimeAssigner for ConstantLifetime {
+    fn assign(&mut self, _e: &Interaction) -> Lifetime {
+        self.0
+    }
+
+    fn max_lifetime(&self) -> Lifetime {
+        self.0
+    }
+}
+
+/// Truncated geometric lifetimes: `Pr(l) ∝ (1−p)^{l−1} p` on `{1, …, L}`
+/// (Example 5 and the experimental setting of §V-B).
+#[derive(Clone, Debug)]
+pub struct GeometricLifetime {
+    p: f64,
+    cap: Lifetime,
+    rng: StdRng,
+}
+
+impl GeometricLifetime {
+    /// Creates the assigner with forget probability `p ∈ (0, 1)`, cap `L`,
+    /// and a deterministic seed.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1` and `cap ≥ 1`.
+    pub fn new(p: f64, cap: Lifetime, seed: u64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "p must lie in (0,1), got {p}");
+        assert!(cap >= 1, "lifetime cap must be at least 1");
+        GeometricLifetime {
+            p,
+            cap,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The forget probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples one truncated-geometric lifetime via inverse CDF.
+    pub fn sample(&mut self) -> Lifetime {
+        // Truncated inverse CDF: U uniform in (0,1), scaled to the mass of
+        // {1..L}, then l = 1 + floor(ln(1−U·mass) / ln(1−p)).
+        let q = 1.0 - self.p;
+        let mass = 1.0 - q.powf(self.cap as f64);
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let l = 1.0 + ((1.0 - u * mass).ln() / q.ln()).floor();
+        (l as Lifetime).clamp(1, self.cap)
+    }
+}
+
+impl LifetimeAssigner for GeometricLifetime {
+    fn assign(&mut self, _e: &Interaction) -> Lifetime {
+        self.sample()
+    }
+
+    fn max_lifetime(&self) -> Lifetime {
+        self.cap
+    }
+}
+
+/// Power-law lifetimes: `Pr(l) ∝ l^{−α}` on `{1, …, L}` — one of the
+/// skewed distributions the paper's §III remark calls out as making
+/// BASICREDUCTION efficient (most edges short-lived, a heavy tail of
+/// long-lived ones).
+#[derive(Clone, Debug)]
+pub struct PowerLawLifetime {
+    /// Cumulative distribution over lifetimes 1..=L.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl PowerLawLifetime {
+    /// Creates the assigner with exponent `alpha > 0` and cap `L`.
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 0` and `cap ≥ 1`.
+    pub fn new(alpha: f64, cap: Lifetime, seed: u64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+        assert!(cap >= 1, "lifetime cap must be at least 1");
+        let mut cdf = Vec::with_capacity(cap as usize);
+        let mut acc = 0.0;
+        for l in 1..=cap {
+            acc += (l as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        *cdf.last_mut().expect("cap >= 1") = 1.0;
+        PowerLawLifetime {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples one lifetime via inverse CDF.
+    pub fn sample(&mut self) -> Lifetime {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        (self.cdf.partition_point(|&c| c < u) as Lifetime + 1).min(self.cdf.len() as Lifetime)
+    }
+}
+
+impl LifetimeAssigner for PowerLawLifetime {
+    fn assign(&mut self, _e: &Interaction) -> Lifetime {
+        self.sample()
+    }
+
+    fn max_lifetime(&self) -> Lifetime {
+        self.cdf.len() as Lifetime
+    }
+}
+
+/// Uniform lifetimes on `{lo, …, hi}` — not in the paper, used by tests and
+/// the decay-model example to stress non-monotone lifetime mixes.
+#[derive(Clone, Debug)]
+pub struct UniformLifetime {
+    lo: Lifetime,
+    hi: Lifetime,
+    rng: StdRng,
+}
+
+impl UniformLifetime {
+    /// Creates the assigner over the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo == 0` or `lo > hi`.
+    pub fn new(lo: Lifetime, hi: Lifetime, seed: u64) -> Self {
+        assert!(lo >= 1 && lo <= hi, "need 1 ≤ lo ≤ hi, got [{lo}, {hi}]");
+        UniformLifetime {
+            lo,
+            hi,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LifetimeAssigner for UniformLifetime {
+    fn assign(&mut self, _e: &Interaction) -> Lifetime {
+        self.rng.gen_range(self.lo..=self.hi)
+    }
+
+    fn max_lifetime(&self) -> Lifetime {
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe() -> Interaction {
+        Interaction::new(0u32, 1u32, 0)
+    }
+
+    #[test]
+    fn constant_and_infinite() {
+        let mut w = ConstantLifetime(5);
+        assert_eq!(w.assign(&probe()), 5);
+        assert_eq!(w.max_lifetime(), 5);
+        let mut inf = InfiniteLifetime;
+        assert_eq!(inf.assign(&probe()), Lifetime::MAX);
+    }
+
+    #[test]
+    fn geometric_respects_bounds() {
+        let mut g = GeometricLifetime::new(0.01, 100, 42);
+        for _ in 0..10_000 {
+            let l = g.assign(&probe());
+            assert!((1..=100).contains(&l));
+        }
+    }
+
+    #[test]
+    fn geometric_mean_tracks_one_over_p() {
+        // With p = 0.01 and a generous cap, the mean should be near 1/p.
+        let mut g = GeometricLifetime::new(0.01, 10_000, 7);
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| g.sample() as u64).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (mean - 100.0).abs() < 5.0,
+            "mean {mean} too far from 100 (= 1/p)"
+        );
+    }
+
+    #[test]
+    fn geometric_skews_short_for_large_p() {
+        let mut g = GeometricLifetime::new(0.5, 1000, 11);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| g.sample() == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "Pr(l=1) = {frac}, expected ≈ 0.5");
+    }
+
+    #[test]
+    fn geometric_truncation_renormalizes() {
+        // With cap = 1, every lifetime is exactly 1 no matter the U draw.
+        let mut g = GeometricLifetime::new(0.001, 1, 3);
+        for _ in 0..1000 {
+            assert_eq!(g.sample(), 1);
+        }
+    }
+
+    #[test]
+    fn geometric_is_deterministic_per_seed() {
+        let mut a = GeometricLifetime::new(0.05, 500, 99);
+        let mut b = GeometricLifetime::new(0.05, 500, 99);
+        let sa: Vec<_> = (0..100).map(|_| a.sample()).collect();
+        let sb: Vec<_> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn power_law_respects_bounds() {
+        let mut p = PowerLawLifetime::new(2.0, 50, 4);
+        for _ in 0..5_000 {
+            let l = p.assign(&probe());
+            assert!((1..=50).contains(&l));
+        }
+        assert_eq!(p.max_lifetime(), 50);
+    }
+
+    #[test]
+    fn power_law_is_heavy_headed() {
+        // With alpha = 2, Pr(l = 1) = 1/zeta-ish ≈ 0.62 over 1..=100.
+        let mut p = PowerLawLifetime::new(2.0, 100, 8);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| p.sample() == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((0.57..0.67).contains(&frac), "Pr(l=1) = {frac}");
+    }
+
+    #[test]
+    fn power_law_tail_exists() {
+        let mut p = PowerLawLifetime::new(1.2, 1_000, 9);
+        let max = (0..20_000).map(|_| p.sample()).max().unwrap();
+        assert!(max > 100, "no heavy tail observed (max {max})");
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut u = UniformLifetime::new(3, 9, 5);
+        for _ in 0..1000 {
+            let l = u.assign(&probe());
+            assert!((3..=9).contains(&l));
+        }
+        assert_eq!(u.max_lifetime(), 9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Exhaustive optimum for small instances — the ground truth that tests and
+//! property checks compare approximation guarantees against.
+
+use crate::objective::IncrementalObjective;
+
+/// Returns `OPT = max_{|S| ≤ k} f(S)` by enumerating all subsets of
+/// `{0, …, n−1}` of size at most `k` (elements are `usize` indices).
+///
+/// Exponential — intended for test instances with `n ≤ ~20`.
+pub fn brute_force_best<O>(obj: &mut O, n: usize, k: usize) -> f64
+where
+    O: IncrementalObjective<Elem = usize>,
+{
+    let mut best = 0.0f64;
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    fn recurse<O>(obj: &mut O, n: usize, k: usize, start: usize, chosen: &mut Vec<usize>, best: &mut f64)
+    where
+        O: IncrementalObjective<Elem = usize>,
+    {
+        // Evaluate the current subset from scratch.
+        let mut state = O::State::default();
+        for &e in chosen.iter() {
+            obj.commit(&mut state, e);
+        }
+        let v = obj.value(&state);
+        if v > *best {
+            *best = v;
+        }
+        if chosen.len() == k {
+            return;
+        }
+        for e in start..n {
+            chosen.push(e);
+            recurse(obj, n, k, e + 1, chosen, best);
+            chosen.pop();
+        }
+    }
+    recurse(obj, n, k, 0, &mut chosen, &mut best);
+    best
+}
+
+/// Like [`brute_force_best`] but also returns one optimal subset.
+pub fn brute_force_argmax<O>(obj: &mut O, n: usize, k: usize) -> (Vec<usize>, f64)
+where
+    O: IncrementalObjective<Elem = usize>,
+{
+    let mut best = (Vec::new(), 0.0f64);
+    let mut all: Vec<Vec<usize>> = vec![vec![]];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for s in &all {
+            let start = s.last().map_or(0, |&x| x + 1);
+            for e in start..n {
+                let mut t = s.clone();
+                t.push(e);
+                next.push(t);
+            }
+        }
+        all.extend(next);
+    }
+    for s in all {
+        let mut state = O::State::default();
+        for &e in &s {
+            obj.commit(&mut state, e);
+        }
+        let v = obj.value(&state);
+        if v > best.1 {
+            best = (s, v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::WeightedCoverage;
+
+    #[test]
+    fn finds_the_exact_optimum() {
+        let sets = vec![vec![0, 1], vec![1, 2], vec![3], vec![0, 1, 2]];
+        let mut f = WeightedCoverage::unit(sets, 4);
+        assert_eq!(brute_force_best(&mut f, 4, 1), 3.0);
+        let mut f2 = WeightedCoverage::unit(
+            vec![vec![0, 1], vec![1, 2], vec![3], vec![0, 1, 2]],
+            4,
+        );
+        assert_eq!(brute_force_best(&mut f2, 4, 2), 4.0);
+    }
+
+    #[test]
+    fn argmax_agrees_with_best() {
+        let sets = vec![vec![0], vec![1, 2], vec![2, 3]];
+        let mut f = WeightedCoverage::unit(sets.clone(), 4);
+        let best = brute_force_best(&mut f, 3, 2);
+        let mut f2 = WeightedCoverage::unit(sets, 4);
+        let (arg, val) = brute_force_argmax(&mut f2, 3, 2);
+        assert_eq!(best, val);
+        assert_eq!(arg.len(), 2);
+    }
+
+    #[test]
+    fn k_zero_gives_zero() {
+        let mut f = WeightedCoverage::unit(vec![vec![0]], 1);
+        assert_eq!(brute_force_best(&mut f, 1, 0), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Oracle-call accounting.
+//!
+//! The paper evaluates computational efficiency by the *number of oracle
+//! calls* (evaluations of `f_t`), because that metric is independent of
+//! hardware and of serial/parallel implementation (§V-C). Every objective
+//! in this workspace increments a shared counter per evaluation; clones of
+//! a counter share the same underlying tally, so SIEVEADN instance copies
+//! made by HISTAPPROX keep contributing to one experiment-wide total.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, cheaply clonable oracle-call counter.
+#[derive(Clone, Debug, Default)]
+pub struct OracleCounter(Arc<AtomicU64>);
+
+impl OracleCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one oracle call.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` oracle calls.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current tally.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the tally to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_tally() {
+        let a = OracleCounter::new();
+        let b = a.clone();
+        a.incr();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+        a.reset();
+        assert_eq!(b.get(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tdn-submodular
+//!
+//! Streaming submodular optimization toolkit underpinning the paper's
+//! algorithms (§III):
+//!
+//! * [`sieve::SieveStreaming`] — the insertion-only `(1/2 − ε)` sieve of
+//!   Badanidiyuru et al. that SIEVEADN extends to time-varying objectives;
+//! * [`thresholds::ThresholdLadder`] — the lazily maintained geometric
+//!   threshold set `Θ`;
+//! * [`lazy_greedy`] — CELF lazy greedy (the paper's Greedy baseline) plus
+//!   an eager variant for ablation;
+//! * [`objective::IncrementalObjective`] — the oracle abstraction, with a
+//!   [`objective::WeightedCoverage`] reference implementation for tests;
+//! * [`brute_force`] — exhaustive optimum for verifying approximation
+//!   guarantees on small instances;
+//! * [`counting::OracleCounter`] — shared oracle-call accounting (the
+//!   paper's efficiency metric).
+
+#![warn(missing_docs)]
+
+pub mod brute_force;
+pub mod counting;
+pub mod lazy_greedy;
+pub mod objective;
+pub mod sieve;
+pub mod thresholds;
+
+pub use brute_force::{brute_force_argmax, brute_force_best};
+pub use counting::OracleCounter;
+pub use lazy_greedy::{eager_greedy, lazy_greedy, GreedyResult};
+pub use objective::{IncrementalObjective, WeightedCoverage};
+pub use sieve::{SieveSlot, SieveStreaming};
+pub use thresholds::{LadderChange, ThresholdLadder};

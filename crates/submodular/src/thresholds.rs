@@ -1,0 +1,199 @@
+//! The lazily-maintained threshold ladder of SIEVESTREAMING.
+//!
+//! SIEVESTREAMING guesses the optimum via geometrically spaced thresholds
+//! `Θ = { (1+ε)^i / (2k) : (1+ε)^i ∈ [Δ, 2kΔ] }` where `Δ` is the largest
+//! singleton value seen so far (Alg. 1, lines 4–7). The ladder is
+//! represented by the integer exponent range `[lo, hi]`; when `Δ` grows,
+//! exponents below the new `lo` are dropped and fresh ones appended above.
+
+use std::ops::RangeInclusive;
+
+/// Exponent range bookkeeping for the sieve threshold set.
+#[derive(Clone, Debug)]
+pub struct ThresholdLadder {
+    eps: f64,
+    k: usize,
+    delta: f64,
+    lo: i64,
+    hi: i64,
+}
+
+/// Result of a [`ThresholdLadder::update_delta`] call: which exponents
+/// survived and which must be freshly created.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LadderChange {
+    /// Exponents retained from the previous ladder (their sieves keep state).
+    pub kept: RangeInclusive<i64>,
+    /// Newly added exponents (sieves start empty).
+    pub added: RangeInclusive<i64>,
+}
+
+impl ThresholdLadder {
+    /// Creates an empty ladder (no thresholds until a positive Δ arrives).
+    ///
+    /// # Panics
+    /// Panics if `eps` is not in `(0, 1)` or `k == 0`.
+    pub fn new(eps: f64, k: usize) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
+        assert!(k > 0, "budget k must be positive");
+        ThresholdLadder {
+            eps,
+            k,
+            delta: 0.0,
+            lo: 1,
+            hi: 0, // empty range
+        }
+    }
+
+    /// The `ε` this ladder was built with.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The cardinality budget `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Largest singleton value seen so far.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Current exponent range (empty before any positive Δ).
+    pub fn exponents(&self) -> RangeInclusive<i64> {
+        self.lo..=self.hi
+    }
+
+    /// Number of active thresholds, `O(ε⁻¹ log k)`.
+    pub fn len(&self) -> usize {
+        if self.hi < self.lo {
+            0
+        } else {
+            (self.hi - self.lo + 1) as usize
+        }
+    }
+
+    /// Whether the ladder holds no thresholds yet.
+    pub fn is_empty(&self) -> bool {
+        self.hi < self.lo
+    }
+
+    /// The threshold value `θ_i = (1+ε)^i / (2k)` for exponent `i`.
+    pub fn theta(&self, i: i64) -> f64 {
+        (1.0 + self.eps).powi(i as i32) / (2.0 * self.k as f64)
+    }
+
+    /// Raises Δ to `max(Δ, delta)` and recomputes the exponent range.
+    /// Returns `None` if the range is unchanged.
+    pub fn update_delta(&mut self, delta: f64) -> Option<LadderChange> {
+        if delta <= self.delta {
+            return None;
+        }
+        self.delta = delta;
+        let base = (1.0 + self.eps).ln();
+        // (1+ε)^i ∈ [Δ, 2kΔ]; nudge against float rounding so integer-valued
+        // logs land on the intended exponent.
+        let new_lo = ((delta.ln() / base) - 1e-9).ceil() as i64;
+        let new_hi = (((2.0 * self.k as f64 * delta).ln() / base) + 1e-9).floor() as i64;
+        debug_assert!(new_hi >= new_lo, "ladder must be non-empty once Δ > 0");
+        let (old_lo, old_hi) = (self.lo, self.hi);
+        self.lo = new_lo;
+        self.hi = new_hi;
+        if old_hi < old_lo {
+            // Previously empty: everything is new; `kept` is the canonical
+            // empty range.
+            #[allow(clippy::reversed_empty_ranges)]
+            return Some(LadderChange {
+                kept: 1..=0,
+                added: new_lo..=new_hi,
+            });
+        }
+        if new_lo == old_lo && new_hi == old_hi {
+            return None;
+        }
+        let kept_lo = new_lo.max(old_lo);
+        let kept_hi = new_hi.min(old_hi);
+        Some(LadderChange {
+            kept: kept_lo..=kept_hi,
+            added: (old_hi + 1).max(new_lo)..=new_hi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let l = ThresholdLadder::new(0.1, 10);
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn covers_the_delta_to_2k_delta_window() {
+        let mut l = ThresholdLadder::new(0.1, 10);
+        l.update_delta(5.0).expect("first update changes range");
+        let lo_theta = l.theta(*l.exponents().start());
+        let hi_theta = l.theta(*l.exponents().end());
+        // Smallest threshold ≈ Δ/2k, largest ≈ Δ (within one (1+ε) step).
+        assert!(lo_theta >= 5.0 / 20.0 / 1.1001);
+        assert!(lo_theta <= 5.0 / 20.0 * 1.1001);
+        assert!(hi_theta <= 5.0 * 1.1001);
+        assert!(hi_theta >= 5.0 / 1.1001);
+    }
+
+    #[test]
+    fn ladder_size_is_logarithmic_in_k() {
+        let mut l = ThresholdLadder::new(0.1, 10);
+        l.update_delta(1.0);
+        // |Θ| ≈ log_{1.1}(2k) = log_{1.1}(20) ≈ 31.4
+        assert!(l.len() >= 30 && l.len() <= 33, "len = {}", l.len());
+    }
+
+    #[test]
+    fn growing_delta_keeps_overlapping_exponents() {
+        let mut l = ThresholdLadder::new(0.2, 5);
+        let c1 = l.update_delta(1.0).unwrap();
+        assert!(c1.kept.is_empty());
+        let before: Vec<i64> = l.exponents().collect();
+        let c2 = l.update_delta(3.0).unwrap();
+        let after: Vec<i64> = l.exponents().collect();
+        for i in c2.kept.clone() {
+            assert!(before.contains(&i) && after.contains(&i));
+        }
+        for i in c2.added.clone() {
+            assert!(!before.contains(&i) && after.contains(&i));
+        }
+        // Every current exponent is either kept or added.
+        for i in after {
+            assert!(c2.kept.contains(&i) || c2.added.contains(&i));
+        }
+    }
+
+    #[test]
+    fn non_increasing_delta_is_a_noop() {
+        let mut l = ThresholdLadder::new(0.1, 10);
+        l.update_delta(4.0);
+        let range = l.exponents();
+        assert!(l.update_delta(4.0).is_none());
+        assert!(l.update_delta(2.0).is_none());
+        assert_eq!(l.exponents(), range);
+    }
+
+    #[test]
+    fn exact_powers_do_not_lose_an_exponent() {
+        // Δ = (1+ε)^j exactly representable cases should include exponent j.
+        let mut l = ThresholdLadder::new(0.5, 2);
+        l.update_delta(1.5f64.powi(4));
+        assert!(l.exponents().contains(&4));
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must lie in (0,1)")]
+    fn rejects_bad_eps() {
+        let _ = ThresholdLadder::new(1.5, 10);
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: the paper's Fig. 2 worked example, step by step.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tdn::prelude::*;
+
+fn main() {
+    // Track the k = 2 most influential nodes, sieve accuracy eps = 0.1,
+    // lifetimes bounded by L = 3 (the setting of Fig. 2).
+    let cfg = TrackerConfig::new(2, 0.1, 3);
+    let mut tracker = HistApprox::new(&cfg);
+
+    // Time t: six interactions arrive with lifetimes 1,1,2,3,1,1.
+    // (u, v, l) means "u influenced v; the evidence stays valid l steps".
+    let batch_t: Vec<TimedEdge> = vec![
+        TimedEdge::new(1u32, 2u32, 1),
+        TimedEdge::new(1u32, 3u32, 1),
+        TimedEdge::new(1u32, 4u32, 2),
+        TimedEdge::new(5u32, 3u32, 3),
+        TimedEdge::new(6u32, 4u32, 1),
+        TimedEdge::new(6u32, 7u32, 1),
+    ];
+    let sol = tracker.step(0, &batch_t);
+    println!("t = 0: influential nodes {:?} (spread {})", sol.seeds, sol.value);
+    assert_eq!(sol.value, 6); // {u1, u6} reach {1,2,3,4} ∪ {6,4,7}
+
+    // Time t+1: three more interactions; the lifetime-1 edges have expired.
+    let batch_t1: Vec<TimedEdge> = vec![
+        TimedEdge::new(5u32, 2u32, 1),
+        TimedEdge::new(7u32, 4u32, 2),
+        TimedEdge::new(7u32, 6u32, 3),
+    ];
+    let sol = tracker.step(1, &batch_t1);
+    println!("t = 1: influential nodes {:?} (spread {})", sol.seeds, sol.value);
+    assert_eq!(sol.value, 6); // {u5, u7} — the influencers changed!
+
+    // Names instead of raw ids: intern them.
+    let mut names = NodeInterner::new();
+    for n in ["u0", "u1", "u2", "u3", "u4", "u5", "u6", "u7"] {
+        names.intern(n);
+    }
+    let pretty: Vec<&str> = sol.seeds.iter().filter_map(|&s| names.name(s)).collect();
+    println!("       by name: {pretty:?}");
+}

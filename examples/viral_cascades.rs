@@ -1,0 +1,67 @@
+//! Viral cascades: the Twitter-Higgs scenario — re-tweet cascades around a
+//! burst event (the paper monitors the Higgs boson announcement). The
+//! influential set before, during, and after the burst differs, and the
+//! tracker follows it online.
+//!
+//! Run with: `cargo run --release --example viral_cascades`
+
+use tdn::prelude::*;
+use tdn::streams::{BurstWindow, CascadeConfig, CascadeGen};
+
+fn main() {
+    let k = 3;
+    let steps = 3_000usize;
+    let burst = BurstWindow {
+        start: 1_000,
+        end: 1_800,
+        depth_prob: 0.65, // cascades run much deeper during the event
+        author_zipf: 1.6, // and concentrate on event-related authors
+    };
+    let gen = CascadeGen::new(CascadeConfig {
+        users: 20_000,
+        bursts: vec![burst],
+        seed: 99,
+        ..CascadeConfig::default()
+    });
+    let mut lifetimes = GeometricLifetime::new(0.002, 10_000, 3);
+    let mut tracker = HistApprox::new(&TrackerConfig::new(k, 0.1, 10_000));
+
+    let phase = |t: u64| -> &'static str {
+        if t < burst.start {
+            "before"
+        } else if t < burst.end {
+            "DURING"
+        } else {
+            "after"
+        }
+    };
+    let mut spread_by_phase: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    for (t, batch) in StepBatches::new(gen.take(steps)) {
+        let tagged: Vec<TimedEdge> = batch
+            .iter()
+            .map(|it| TimedEdge {
+                src: it.src,
+                dst: it.dst,
+                lifetime: lifetimes.assign(it),
+            })
+            .collect();
+        let sol = tracker.step(t, &tagged);
+        let e = spread_by_phase.entry(phase(t)).or_insert((0, 0));
+        e.0 += sol.value;
+        e.1 += 1;
+        if t % 400 == 0 {
+            println!(
+                "t={t:>4} [{:>6}] top-{k} {:?} spread {}",
+                phase(t),
+                sol.seeds,
+                sol.value
+            );
+        }
+    }
+    println!("\nmean influence spread of the tracked top-{k}:");
+    for (ph, (sum, n)) in spread_by_phase {
+        println!("  {ph:>6}: {:.1}", sum as f64 / n as f64);
+    }
+    println!("the burst inflates cascade depth — spreads rise during the event");
+    println!("and decay smoothly afterwards as the evidence ages out.");
+}

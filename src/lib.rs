@@ -1,0 +1,63 @@
+//! # tdn — Tracking Influential Nodes in Time-Decaying Dynamic Interaction Networks
+//!
+//! A faithful Rust implementation of Zhao et al., ICDE 2019
+//! (arXiv:1810.07917): streaming algorithms that maintain the `k` most
+//! influential nodes over an interaction stream whose edges *age out*
+//! smoothly via per-edge lifetimes (the TDN model).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tdn::prelude::*;
+//!
+//! // Track the top-2 influencers with sieve accuracy eps = 0.1 and
+//! // lifetimes capped at L = 100 steps.
+//! let mut tracker = HistApprox::new(&TrackerConfig::new(2, 0.1, 100));
+//!
+//! // t = 0: Alice (node 0) influences two users; Bob (node 9) one.
+//! let sol = tracker.step(0, &[
+//!     TimedEdge::new(0u32, 1u32, 10), // lives 10 steps
+//!     TimedEdge::new(0u32, 2u32, 10),
+//!     TimedEdge::new(9u32, 8u32, 2),  // lives 2 steps
+//! ]);
+//! assert_eq!(sol.value, 5); // {0,1,2} ∪ {9,8}
+//!
+//! // t = 2: Bob's interaction expired; only Alice's influence remains.
+//! let sol = tracker.step(2, &[]);
+//! assert_eq!(sol.value, 3);
+//! assert_eq!(sol.seeds[0], NodeId(0));
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`tdn_graph`] — ADN/TDN graph substrates and the reachability oracle;
+//! * [`tdn_streams`] — interaction streams, lifetime policies, dataset
+//!   generators (Table I);
+//! * [`tdn_submodular`] — SieveStreaming, CELF, threshold ladders;
+//! * [`tdn_core`] — SIEVEADN / BASICREDUCTION / HISTAPPROX + baselines;
+//! * [`tdn_baselines`] — IC-model RIS baselines (DIM, IMM, TIM+).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results of every table and figure.
+
+#![warn(missing_docs)]
+
+pub use tdn_baselines as baselines;
+pub use tdn_core as algorithms;
+pub use tdn_graph as graph;
+pub use tdn_streams as streams;
+pub use tdn_submodular as submodular;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use tdn_baselines::{DimTracker, ImmTracker, TimTracker};
+    pub use tdn_core::{
+        BasicReduction, ChurnTracker, GreedyTracker, HistApprox, InfluenceTracker, RandomTracker,
+        SieveAdn, SieveAdnTracker, Solution, TrackerConfig,
+    };
+    pub use tdn_graph::{condense, Lifetime, NodeId, NodeInterner, TdnGraph, Time};
+    pub use tdn_streams::{
+        read_interactions, write_interactions, ConstantLifetime, Dataset, GeometricLifetime,
+        InfiniteLifetime, Interaction, LifetimeAssigner, PowerLawLifetime, StepBatches, TimedEdge,
+    };
+}

@@ -1,0 +1,147 @@
+//! Approximation-guarantee checks against exhaustive optima.
+//!
+//! Theorems 4 and 7 promise `(1/2 − ε)` for BASICREDUCTION and `(1/3 − ε)`
+//! for HISTAPPROX *at every time step*. On small random TDN streams we can
+//! afford the exact optimum by enumerating all k-subsets of live nodes, so
+//! the bounds are checked deterministically along entire trajectories.
+
+use tdn::graph::{marginal_gain, CoverSet, ReachScratch, TdnGraph};
+use tdn::prelude::*;
+
+/// Simple deterministic PRNG so trajectories are reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, m: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % m
+    }
+}
+
+/// Exact `OPT_t` over all subsets of ≤ k live nodes.
+fn brute_opt(graph: &TdnGraph, k: usize) -> u64 {
+    let nodes: Vec<NodeId> = graph.live_nodes().iter().collect();
+    let mut scratch = ReachScratch::new();
+    let mut best = 0u64;
+    let mut subset: Vec<usize> = Vec::new();
+    fn recurse(
+        graph: &TdnGraph,
+        nodes: &[NodeId],
+        k: usize,
+        start: usize,
+        subset: &mut Vec<usize>,
+        scratch: &mut ReachScratch,
+        best: &mut u64,
+    ) {
+        let mut cover = CoverSet::new();
+        let mut gained = Vec::new();
+        let mut val = 0u64;
+        for &i in subset.iter() {
+            val += marginal_gain(graph, nodes[i], &cover, scratch, &mut gained);
+            for &g in &gained {
+                cover.insert(g);
+            }
+        }
+        *best = (*best).max(val);
+        if subset.len() == k {
+            return;
+        }
+        for i in start..nodes.len() {
+            subset.push(i);
+            recurse(graph, nodes, k, i + 1, subset, scratch, best);
+            subset.pop();
+        }
+    }
+    recurse(graph, &nodes, k, 0, &mut subset, &mut scratch, &mut best);
+    best
+}
+
+fn random_batch(rng: &mut Lcg, n_nodes: u64, max_l: u32, size: u64) -> Vec<TimedEdge> {
+    (0..size)
+        .filter_map(|_| {
+            let u = rng.next(n_nodes) as u32;
+            let v = rng.next(n_nodes) as u32;
+            if u == v {
+                None
+            } else {
+                Some(TimedEdge::new(u, v, 1 + rng.next(max_l as u64) as u32))
+            }
+        })
+        .collect()
+}
+
+/// Drives a tracker and a shadow graph together, checking the guarantee at
+/// every step.
+fn check_guarantee(
+    mut make: impl FnMut() -> Box<dyn InfluenceTracker>,
+    factor: f64,
+    seed: u64,
+) {
+    let k = 2;
+    let mut tracker = make();
+    let mut shadow = TdnGraph::new();
+    let mut rng = Lcg(seed);
+    for t in 0..40u64 {
+        let size = 1 + rng.next(3);
+        let batch = random_batch(&mut rng, 9, 6, size);
+        shadow.advance_to(t);
+        for e in &batch {
+            shadow.add_edge(e.src, e.dst, e.lifetime);
+        }
+        let sol = tracker.step(t, &batch);
+        let opt = brute_opt(&shadow, k);
+        assert!(
+            sol.value as f64 >= factor * opt as f64 - 1e-9,
+            "{} step {t}: value {} < {factor}·OPT ({opt})",
+            tracker.name(),
+            sol.value
+        );
+    }
+}
+
+#[test]
+fn basic_reduction_meets_half_minus_eps() {
+    for seed in [1u64, 7, 23] {
+        check_guarantee(
+            || Box::new(BasicReduction::new(&TrackerConfig::new(2, 0.1, 6))),
+            0.5 - 0.1,
+            seed,
+        );
+    }
+}
+
+#[test]
+fn hist_approx_meets_third_minus_eps() {
+    for seed in [1u64, 7, 23, 99] {
+        check_guarantee(
+            || Box::new(HistApprox::new(&TrackerConfig::new(2, 0.1, 6))),
+            1.0 / 3.0 - 0.1,
+            seed,
+        );
+    }
+}
+
+#[test]
+fn hist_approx_refeed_meets_half_minus_eps() {
+    for seed in [1u64, 7, 23, 99] {
+        check_guarantee(
+            || Box::new(HistApprox::new(&TrackerConfig::new(2, 0.1, 6)).with_refeed()),
+            0.5 - 0.1,
+            seed,
+        );
+    }
+}
+
+#[test]
+fn greedy_meets_one_minus_inv_e() {
+    for seed in [1u64, 7] {
+        check_guarantee(
+            || Box::new(GreedyTracker::new(&TrackerConfig::new(2, 0.1, 6))),
+            1.0 - (-1.0f64).exp(),
+            seed,
+        );
+    }
+}

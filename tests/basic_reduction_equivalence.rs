@@ -1,0 +1,57 @@
+//! Structural equivalence of BASICREDUCTION (Alg. 2).
+//!
+//! The correctness argument of §III-B is that instance `A_1` at time `t`
+//! has processed *exactly* the edges alive in `G_t`, in arrival order. We
+//! verify it operationally: replaying only the still-alive edges of each
+//! step into a fresh SIEVEADN instance must produce the identical solution
+//! (same deterministic code path), for every step of a random stream.
+
+use tdn::algorithms::SieveAdn;
+use tdn::prelude::*;
+use tdn::submodular::OracleCounter;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, m: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % m
+    }
+}
+
+#[test]
+fn front_instance_equals_replay_of_live_edges() {
+    let (k, eps, l_max) = (2usize, 0.15f64, 5u32);
+    let cfg = TrackerConfig::new(k, eps, l_max);
+    let mut br = BasicReduction::new(&cfg);
+    let mut rng = Lcg(0xFEED);
+    // History of (t, batch) so we can replay live edges per query time.
+    let mut history: Vec<(Time, Vec<TimedEdge>)> = Vec::new();
+    for t in 0..60u64 {
+        let batch: Vec<TimedEdge> = (0..1 + rng.next(3))
+            .filter_map(|_| {
+                let u = rng.next(12) as u32;
+                let v = rng.next(12) as u32;
+                (u != v).then(|| TimedEdge::new(u, v, 1 + rng.next(l_max as u64) as u32))
+            })
+            .collect();
+        history.push((t, batch.clone()));
+        let sol = br.step(t, &batch);
+        // Replay: feed a fresh instance the still-alive edges of each past
+        // step, preserving batch boundaries and order.
+        let mut replay = SieveAdn::new(k, eps, true, OracleCounter::new());
+        for (s, past) in &history {
+            let live: Vec<(NodeId, NodeId)> = past
+                .iter()
+                .filter(|e| s + e.lifetime.min(l_max) as u64 > t)
+                .map(|e| (e.src, e.dst))
+                .collect();
+            replay.feed(live);
+        }
+        let expect = replay.query();
+        assert_eq!(sol, expect, "diverged at step {t}");
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's Fig. 2 worked example, end to end, on every tracker.
+//!
+//! Fig. 2 is the only fully specified TDN in the paper (nine edges, L = 3,
+//! k = 2) and comes with the expected influential sets: {u1, u6} at time t
+//! and {u5, u7} at time t+1. Each tracker must reproduce them.
+
+use tdn::prelude::*;
+
+fn batch_t() -> Vec<TimedEdge> {
+    vec![
+        TimedEdge::new(1u32, 2u32, 1),
+        TimedEdge::new(1u32, 3u32, 1),
+        TimedEdge::new(1u32, 4u32, 2),
+        TimedEdge::new(5u32, 3u32, 3),
+        TimedEdge::new(6u32, 4u32, 1),
+        TimedEdge::new(6u32, 7u32, 1),
+    ]
+}
+
+fn batch_t1() -> Vec<TimedEdge> {
+    vec![
+        TimedEdge::new(5u32, 2u32, 1),
+        TimedEdge::new(7u32, 4u32, 2),
+        TimedEdge::new(7u32, 6u32, 3),
+    ]
+}
+
+fn check(tracker: &mut dyn InfluenceTracker) {
+    let sol = tracker.step(0, &batch_t());
+    assert_eq!(sol.value, 6, "{}: value at t", tracker.name());
+    let mut seeds = sol.seeds.clone();
+    seeds.sort();
+    assert_eq!(
+        seeds,
+        vec![NodeId(1), NodeId(6)],
+        "{}: seeds at t",
+        tracker.name()
+    );
+    let sol = tracker.step(1, &batch_t1());
+    assert_eq!(sol.value, 6, "{}: value at t+1", tracker.name());
+    let mut seeds = sol.seeds.clone();
+    seeds.sort();
+    assert_eq!(
+        seeds,
+        vec![NodeId(5), NodeId(7)],
+        "{}: seeds at t+1",
+        tracker.name()
+    );
+}
+
+#[test]
+fn basic_reduction_reproduces_fig2() {
+    check(&mut BasicReduction::new(&TrackerConfig::new(2, 0.1, 3)));
+}
+
+#[test]
+fn hist_approx_reproduces_fig2() {
+    check(&mut HistApprox::new(&TrackerConfig::new(2, 0.1, 3)));
+}
+
+#[test]
+fn hist_approx_with_refeed_reproduces_fig2() {
+    check(&mut HistApprox::new(&TrackerConfig::new(2, 0.1, 3)).with_refeed());
+}
+
+#[test]
+fn greedy_reproduces_fig2() {
+    check(&mut GreedyTracker::new(&TrackerConfig::new(2, 0.1, 3)));
+}
+
+#[test]
+fn tdn_graph_matches_fig2_lifetimes() {
+    // The graph-level view: counts of live edges at t and t+1.
+    let mut g = TdnGraph::new();
+    for e in batch_t() {
+        g.add_edge(e.src, e.dst, e.lifetime);
+    }
+    assert_eq!(g.edge_count(), 6);
+    assert_eq!(g.node_count(), 7);
+    g.advance_to(1);
+    for e in batch_t1() {
+        g.add_edge(e.src, e.dst, e.lifetime);
+    }
+    // e3 (1→4) and e4 (5→3) survive; e7, e8, e9 arrive.
+    assert_eq!(g.edge_count(), 5);
+    assert_eq!(g.multiplicity(NodeId(1), NodeId(4)), 1);
+    assert_eq!(g.multiplicity(NodeId(1), NodeId(2)), 0);
+    assert_eq!(g.multiplicity(NodeId(7), NodeId(6)), 1);
+}

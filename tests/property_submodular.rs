@@ -1,0 +1,156 @@
+//! Property tests for Theorem 1 (the influence spread `f_t` is a
+//! normalized monotone submodular set function) and for the sieve
+//! guarantee on the influence objective.
+
+use proptest::prelude::*;
+use tdn::graph::{marginal_gain, CoverSet, FxHashSet, ReachScratch, TdnGraph};
+use tdn::prelude::*;
+use tdn::submodular::{IncrementalObjective, OracleCounter};
+use tdn::algorithms::InfluenceObjective;
+
+fn graph_strategy() -> impl Strategy<Value = TdnGraph> {
+    prop::collection::vec((0u8..10, 0u8..10, 1u8..10), 0..40).prop_map(|edges| {
+        let mut g = TdnGraph::new();
+        for (u, v, l) in edges {
+            if u != v {
+                g.add_edge(NodeId(u as u32), NodeId(v as u32), l as u32);
+            }
+        }
+        g
+    })
+}
+
+/// Evaluates `f(S)` from scratch.
+fn f(graph: &TdnGraph, seeds: &[NodeId]) -> u64 {
+    let mut obj = InfluenceObjective::new(graph, OracleCounter::new());
+    obj.evaluate_seeds(seeds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normalization: f(∅) = 0.
+    #[test]
+    fn f_is_normalized(g in graph_strategy()) {
+        prop_assert_eq!(f(&g, &[]), 0);
+    }
+
+    /// Monotonicity: S ⊆ T ⇒ f(S) ≤ f(T).
+    #[test]
+    fn f_is_monotone(g in graph_strategy(), s in prop::collection::vec(0u8..10, 0..4), extra in prop::collection::vec(0u8..10, 0..4)) {
+        let s_nodes: Vec<NodeId> = s.iter().map(|&x| NodeId(x as u32)).collect();
+        let mut t_nodes = s_nodes.clone();
+        t_nodes.extend(extra.iter().map(|&x| NodeId(x as u32)));
+        prop_assert!(f(&g, &s_nodes) <= f(&g, &t_nodes));
+    }
+
+    /// Submodularity: S ⊆ T ⇒ δ_S(v) ≥ δ_T(v).
+    #[test]
+    fn f_is_submodular(
+        g in graph_strategy(),
+        s in prop::collection::vec(0u8..10, 0..3),
+        extra in prop::collection::vec(0u8..10, 0..3),
+        v in 0u8..10,
+    ) {
+        let v = NodeId(v as u32);
+        let s_nodes: Vec<NodeId> = s.iter().map(|&x| NodeId(x as u32)).collect();
+        let mut t_nodes = s_nodes.clone();
+        t_nodes.extend(extra.iter().map(|&x| NodeId(x as u32)));
+        let mut with_v_s = s_nodes.clone();
+        with_v_s.push(v);
+        let mut with_v_t = t_nodes.clone();
+        with_v_t.push(v);
+        let delta_s = f(&g, &with_v_s) - f(&g, &s_nodes);
+        let delta_t = f(&g, &with_v_t) - f(&g, &t_nodes);
+        prop_assert!(delta_s >= delta_t, "δ_S({v:?}) = {delta_s} < δ_T = {delta_t}");
+    }
+
+    /// The incremental-objective gain equals a from-scratch difference.
+    #[test]
+    fn objective_gain_matches_definition(
+        g in graph_strategy(),
+        s in prop::collection::vec(0u8..10, 0..3),
+        v in 0u8..10,
+    ) {
+        let v = NodeId(v as u32);
+        let seeds: Vec<NodeId> = s.iter().map(|&x| NodeId(x as u32)).collect();
+        let mut obj = InfluenceObjective::new(&g, OracleCounter::new());
+        let mut state = CoverSet::default();
+        for &x in &seeds {
+            obj.commit(&mut state, x);
+        }
+        let gain = obj.gain(&state, v) as u64;
+        let mut with_v = seeds.clone();
+        with_v.push(v);
+        prop_assert_eq!(gain, f(&g, &with_v) - f(&g, &seeds));
+    }
+
+    /// SieveADN over a single batch meets (1/2 − ε)·OPT with OPT from
+    /// exhaustive search (k = 2, tiny universes).
+    #[test]
+    fn sieve_adn_guarantee_holds(g_edges in prop::collection::vec((0u8..8, 0u8..8), 1..25)) {
+        let eps = 0.1;
+        let mut tracker = SieveAdnTracker::new(&TrackerConfig::new(2, eps, 10));
+        let batch: Vec<TimedEdge> = g_edges
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| TimedEdge::new(u as u32, v as u32, 1))
+            .collect();
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let sol = tracker.step(0, &batch);
+        // Exhaustive OPT over pairs on the same (addition-only) graph.
+        let mut g = tdn::graph::AdnGraph::new();
+        for e in &batch {
+            g.add_edge(e.src, e.dst);
+        }
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let mut scratch = ReachScratch::new();
+        let mut opt = 0u64;
+        for i in 0..nodes.len() {
+            for j in i..nodes.len() {
+                let mut cover = CoverSet::new();
+                let mut gained = Vec::new();
+                let mut val = 0u64;
+                for &x in [nodes[i], nodes[j]].iter() {
+                    val += marginal_gain(&g, x, &cover, &mut scratch, &mut gained);
+                    for &n in &gained {
+                        cover.insert(n);
+                    }
+                }
+                opt = opt.max(val);
+            }
+        }
+        prop_assert!(
+            sol.value as f64 >= (0.5 - eps) * opt as f64 - 1e-9,
+            "sieve {} < (1/2-eps)·OPT ({})", sol.value, opt
+        );
+    }
+
+    /// HistApprox histogram indices are strictly increasing and instance
+    /// counts stay well below L on random streams.
+    #[test]
+    fn hist_approx_histogram_invariants(
+        evs in prop::collection::vec((0u8..10, 0u8..10, 1u8..40), 1..80),
+    ) {
+        let l_max = 40;
+        let mut h = HistApprox::new(&TrackerConfig::new(2, 0.2, l_max));
+        for (t, chunk) in evs.chunks(2).enumerate() {
+            let batch: Vec<TimedEdge> = chunk
+                .iter()
+                .filter(|(u, v, _)| u != v)
+                .map(|&(u, v, l)| TimedEdge::new(u as u32, v as u32, l as u32))
+                .collect();
+            let sol = h.step(t as Time, &batch);
+            let idx = h.indices();
+            let strictly_increasing = idx.windows(2).all(|w| w[0] < w[1]);
+            prop_assert!(strictly_increasing, "indices not strictly increasing: {idx:?}");
+            prop_assert!(idx.iter().all(|&x| x >= 1 && x <= l_max));
+            // Seeds are distinct and within budget.
+            let distinct: FxHashSet<NodeId> = sol.seeds.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), sol.seeds.len(), "duplicate seeds");
+            prop_assert!(sol.seeds.len() <= 2, "budget exceeded");
+        }
+    }
+}
