@@ -170,7 +170,11 @@ impl InfluenceTracker for DimTracker {
             let index = &self.index;
             self.graph.advance_to_with(t, |u, v| {
                 if let (Some(su), Some(sv)) = (index.get(&u), index.get(&v)) {
-                    let (small, large) = if su.len() <= sv.len() { (su, sv) } else { (sv, su) };
+                    let (small, large) = if su.len() <= sv.len() {
+                        (su, sv)
+                    } else {
+                        (sv, su)
+                    };
                     for &id in small {
                         if large.contains(&id) {
                             dirty.insert(id);
@@ -192,7 +196,8 @@ impl InfluenceTracker for DimTracker {
                     let sketch = &mut self.sketches[id as usize];
                     let before = sketch.nodes.len();
                     if extend_rr_on_insert(&self.graph, sketch, e.src, e.dst, &mut self.rng) {
-                        let added: Vec<NodeId> = self.sketches[id as usize].nodes[before..].to_vec();
+                        let added: Vec<NodeId> =
+                            self.sketches[id as usize].nodes[before..].to_vec();
                         self.index_add(id, &added);
                     }
                 }

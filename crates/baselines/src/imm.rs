@@ -41,8 +41,7 @@ pub fn imm_select(
     let ln2 = std::f64::consts::LN_2;
     // Phase 1: doubling search for a lower bound on OPT.
     let eps_p = eps * std::f64::consts::SQRT_2;
-    let lambda_p =
-        (2.0 + 2.0 / 3.0 * eps_p) * (ln_nk + ln_n + ln2) * nf / (eps_p * eps_p);
+    let lambda_p = (2.0 + 2.0 / 3.0 * eps_p) * (ln_nk + ln_n + ln2) * nf / (eps_p * eps_p);
     let mut pool: Vec<RrSet> = Vec::new();
     let mut lb = 1.0f64;
     let levels = (nf.log2().floor() as i32).max(1);

@@ -32,14 +32,15 @@ pub fn max_cover(pool: &[RrSet], k: usize, n_live: usize) -> CoverResult {
             index.entry(v).or_default().push(i as u32);
         }
     }
-    let mut degree: FxHashMap<NodeId, usize> =
-        index.iter().map(|(&v, l)| (v, l.len())).collect();
+    let mut degree: FxHashMap<NodeId, usize> = index.iter().map(|(&v, l)| (v, l.len())).collect();
     let mut covered = vec![false; pool.len()];
     let mut covered_count = 0usize;
     let mut seeds = Vec::with_capacity(k);
     for _ in 0..k {
         // Lazy-greedy would also work; pools are small enough for a scan.
-        let Some((&best, &d)) = degree.iter().max_by_key(|&(v, d)| (*d, std::cmp::Reverse(*v)))
+        let Some((&best, &d)) = degree
+            .iter()
+            .max_by_key(|&(v, d)| (*d, std::cmp::Reverse(*v)))
         else {
             break;
         };

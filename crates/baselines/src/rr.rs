@@ -190,6 +190,12 @@ mod tests {
             root: NodeId(0),
             nodes: vec![NodeId(0)],
         };
-        assert!(!extend_rr_on_insert(&g, &mut rr2, NodeId(5), NodeId(2), &mut rng));
+        assert!(!extend_rr_on_insert(
+            &g,
+            &mut rr2,
+            NodeId(5),
+            NodeId(2),
+            &mut rng
+        ));
     }
 }

@@ -75,8 +75,8 @@ pub fn tim_select(
     let nf = n as f64;
     let ln_n = nf.ln().max(1.0);
     let kpt = estimate_kpt(graph, k, max_rr / 4, rng);
-    let lambda = (8.0 + 2.0 * eps) * nf * (ln_n + ln_binom(n, k) + std::f64::consts::LN_2)
-        / (eps * eps);
+    let lambda =
+        (8.0 + 2.0 * eps) * nf * (ln_n + ln_binom(n, k) + std::f64::consts::LN_2) / (eps * eps);
     let theta = ((lambda / kpt).ceil() as usize).clamp(1, max_rr);
     let mut pool: Vec<RrSet> = Vec::with_capacity(theta);
     for _ in 0..theta {

@@ -50,7 +50,15 @@ fn main() -> ExitCode {
                 });
             }
             "all" => {
-                for t in ["table1", "fig7", "fig8", "fig11", "fig12", "fig13", "ablations"] {
+                for t in [
+                    "table1",
+                    "fig7",
+                    "fig8",
+                    "fig11",
+                    "fig12",
+                    "fig13",
+                    "ablations",
+                ] {
                     targets.insert(t);
                 }
             }

@@ -14,9 +14,7 @@ use crate::driver::{run_tracker, PreparedStream};
 use crate::report::{f, print_table, CsvWriter};
 use crate::scale::Scale;
 use std::path::Path;
-use tdn_core::{
-    GreedyTracker, HistApprox, InfluenceObjective, InfluenceTracker, TrackerConfig,
-};
+use tdn_core::{GreedyTracker, HistApprox, InfluenceObjective, InfluenceTracker, TrackerConfig};
 use tdn_graph::{NodeId, Time};
 use tdn_streams::{ConstantLifetime, Dataset, GeometricLifetime, Interaction};
 use tdn_submodular::{eager_greedy, lazy_greedy, OracleCounter};
@@ -71,11 +69,8 @@ pub fn run_window(out_dir: &Path, _scale: &Scale) -> std::io::Result<()> {
     let events = alice_stream(steps, qs, qe);
     let window_w = 60u32;
     // Same mean lifetime for both policies: W vs Geo(1/W).
-    let windowed = PreparedStream::with_assigner(
-        events.iter().copied(),
-        ConstantLifetime(window_w),
-        steps,
-    );
+    let windowed =
+        PreparedStream::with_assigner(events.iter().copied(), ConstantLifetime(window_w), steps);
     let decayed = PreparedStream::with_assigner(
         events.iter().copied(),
         GeometricLifetime::new(1.0 / window_w as f64, 100_000, 7),
@@ -112,8 +107,7 @@ pub fn run_refeed(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
     )?;
     let mut rows = Vec::new();
     for dataset in [Dataset::Brightkite, Dataset::TwitterHk] {
-        let stream =
-            PreparedStream::geometric(dataset, scale.seed, 0.002, 1_000, scale.steps_fig7);
+        let stream = PreparedStream::geometric(dataset, scale.seed, 0.002, 1_000, scale.steps_fig7);
         let cfg = TrackerConfig::new(10, 0.1, 1_000);
         let mut plain = HistApprox::new(&cfg);
         let mut refeed = HistApprox::new(&cfg).with_refeed();
@@ -122,7 +116,12 @@ pub fn run_refeed(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
         for log in [&lp, &lr] {
             csv.row(&[
                 dataset.slug().to_string(),
-                if std::ptr::eq(log, &lr) { "refeed" } else { "plain" }.to_string(),
+                if std::ptr::eq(log, &lr) {
+                    "refeed"
+                } else {
+                    "plain"
+                }
+                .to_string(),
                 f(log.mean_value()),
                 log.total_calls().to_string(),
             ])?;
@@ -160,13 +159,20 @@ pub fn run_lazy(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
     let eager_counter = OracleCounter::new();
     let mut eager_obj = InfluenceObjective::new(graph, eager_counter.clone());
     let eager_res = eager_greedy(&mut eager_obj, &candidates, 10);
-    assert_eq!(lazy_res.value, eager_res.value, "CELF must not change values");
+    assert_eq!(
+        lazy_res.value, eager_res.value,
+        "CELF must not change values"
+    );
     let mut csv = CsvWriter::create(
         out_dir,
         "ablation_lazy",
         &["variant", "value", "oracle_calls"],
     )?;
-    csv.row(&["celf".into(), f(lazy_res.value), lazy_counter.get().to_string()])?;
+    csv.row(&[
+        "celf".into(),
+        f(lazy_res.value),
+        lazy_counter.get().to_string(),
+    ])?;
     csv.row(&[
         "eager".into(),
         f(eager_res.value),
@@ -177,7 +183,11 @@ pub fn run_lazy(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
         "Ablation: CELF lazy evaluation vs eager greedy",
         &["variant", "value", "oracle calls"],
         &[
-            vec!["celf".into(), f(lazy_res.value), lazy_counter.get().to_string()],
+            vec![
+                "celf".into(),
+                f(lazy_res.value),
+                lazy_counter.get().to_string(),
+            ],
             vec![
                 "eager".into(),
                 f(eager_res.value),
@@ -203,7 +213,11 @@ pub fn run_prune(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
         "ablation_prune",
         &["variant", "mean_value", "oracle_calls"],
     )?;
-    csv.row(&["prune_on".into(), f(lon.mean_value()), lon.total_calls().to_string()])?;
+    csv.row(&[
+        "prune_on".into(),
+        f(lon.mean_value()),
+        lon.total_calls().to_string(),
+    ])?;
     csv.row(&[
         "prune_off".into(),
         f(loff.mean_value()),
@@ -214,7 +228,11 @@ pub fn run_prune(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
         "Ablation: singleton-value threshold prune",
         &["variant", "mean value", "oracle calls"],
         &[
-            vec!["prune_on".into(), f(lon.mean_value()), lon.total_calls().to_string()],
+            vec![
+                "prune_on".into(),
+                f(lon.mean_value()),
+                lon.total_calls().to_string(),
+            ],
             vec![
                 "prune_off".into(),
                 f(loff.mean_value()),
@@ -238,7 +256,13 @@ pub fn run_memory(out_dir: &Path, _scale: &Scale) -> std::io::Result<()> {
     let mut csv = CsvWriter::create(
         out_dir,
         "ablation_memory",
-        &["step", "basic_bytes", "hist_bytes", "basic_instances", "hist_instances"],
+        &[
+            "step",
+            "basic_bytes",
+            "hist_bytes",
+            "basic_instances",
+            "hist_instances",
+        ],
     )?;
     let mut peak = (0usize, 0usize);
     for (t, batch) in &stream.steps {

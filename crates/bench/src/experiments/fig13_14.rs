@@ -47,13 +47,11 @@ fn run_point(dataset: Dataset, axis: &'static str, k: usize, l: u32, scale: &Sca
         contenders.push(run_tracker(&mut h, &stream));
     }
     {
-        let mut imm =
-            ImmTracker::new(&cfg, EPS_RIS, scale.seed ^ 0x1111).with_max_rr(scale.max_rr);
+        let mut imm = ImmTracker::new(&cfg, EPS_RIS, scale.seed ^ 0x1111).with_max_rr(scale.max_rr);
         contenders.push(run_tracker(&mut imm, &stream));
     }
     {
-        let mut tim =
-            TimTracker::new(&cfg, EPS_RIS, scale.seed ^ 0x2222).with_max_rr(scale.max_rr);
+        let mut tim = TimTracker::new(&cfg, EPS_RIS, scale.seed ^ 0x2222).with_max_rr(scale.max_rr);
         contenders.push(run_tracker(&mut tim, &stream));
     }
     {

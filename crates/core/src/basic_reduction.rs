@@ -188,10 +188,7 @@ mod tests {
         // The paper's Fig. 2 marks {u1, u6}.
         assert_eq!(sol_t.value, 6);
         assert!(sol_t.seeds.contains(&NodeId(1)) && sol_t.seeds.contains(&NodeId(6)));
-        let sol_t1 = br.step(
-            1,
-            &[e(u5, 2, 1), e(u7, 4, 2), e(u7, u6, 3)],
-        );
+        let sol_t1 = br.step(1, &[e(u5, 2, 1), e(u7, 4, 2), e(u7, u6, 3)]);
         // Live edges now: (1,4), (5,3), (5,2), (7,4), (7,6).
         // u5 reaches {5,3,2}; u7 reaches {7,4,6}; together 6 nodes —
         // matching Fig. 2's influential set {u5, u7}.

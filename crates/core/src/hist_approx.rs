@@ -395,13 +395,7 @@ mod tests {
         };
         for t in 0..120u64 {
             let batch: Vec<TimedEdge> = (0..3)
-                .map(|_| {
-                    e(
-                        rnd(30) as u32,
-                        30 + rnd(40) as u32,
-                        1 + rnd(40) as Lifetime,
-                    )
-                })
+                .map(|_| e(rnd(30) as u32, 30 + rnd(40) as u32, 1 + rnd(40) as Lifetime))
                 .collect();
             let a = plain.step(t, &batch);
             let b = refed.step(t, &batch);
@@ -436,10 +430,7 @@ mod tests {
             hist.step(t, &batch);
         }
         let (b, h) = (basic.approx_bytes(), hist.approx_bytes());
-        assert!(
-            h * 3 < b,
-            "hist {h} bytes not well below basic {b} bytes"
-        );
+        assert!(h * 3 < b, "hist {h} bytes not well below basic {b} bytes");
     }
 
     #[test]

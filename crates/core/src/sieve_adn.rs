@@ -248,7 +248,11 @@ mod tests {
     #[test]
     fn single_star_is_found() {
         let mut s = inst(1, 0.1);
-        s.feed([(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2)), (NodeId(0), NodeId(3))]);
+        s.feed([
+            (NodeId(0), NodeId(1)),
+            (NodeId(0), NodeId(2)),
+            (NodeId(0), NodeId(3)),
+        ]);
         let sol = s.query();
         assert_eq!(sol.seeds, vec![NodeId(0)]);
         assert_eq!(sol.value, 4);
@@ -313,7 +317,10 @@ mod tests {
         assert_eq!(b.query().value, 3);
         let calls_before = counter.get();
         b.feed([(NodeId(2), NodeId(3))]);
-        assert!(counter.get() > calls_before, "clone must bill shared counter");
+        assert!(
+            counter.get() > calls_before,
+            "clone must bill shared counter"
+        );
     }
 
     #[test]
@@ -339,7 +346,9 @@ mod tests {
         use tdn_graph::reach::CoverSet;
         let mut state = 0xDEADBEEFu64;
         let mut rnd = move |m: u32| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as u32) % m
         };
         for trial in 0..10 {

@@ -69,13 +69,9 @@ impl Condensation {
 /// propagation (exact set-union semantics, O(V·C/64) words).
 pub fn condense<G: OutGraph>(g: &G, nodes: impl IntoIterator<Item = NodeId>) -> Condensation {
     let nodes: Vec<NodeId> = nodes.into_iter().collect();
-    let bound = g.node_index_bound().max(
-        nodes
-            .iter()
-            .map(|n| n.index() + 1)
-            .max()
-            .unwrap_or(0),
-    );
+    let bound = g
+        .node_index_bound()
+        .max(nodes.iter().map(|n| n.index() + 1).max().unwrap_or(0));
     // Iterative Tarjan.
     const UNSEEN: u32 = u32::MAX;
     let mut index = vec![UNSEEN; bound];

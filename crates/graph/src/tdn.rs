@@ -312,7 +312,11 @@ impl TdnGraph {
             "per-list live bookkeeping drifted"
         );
         let live_by_degree = self.degree.iter().filter(|&&d| d > 0).count();
-        assert_eq!(live_by_degree, self.live_nodes.len(), "live node set drifted");
+        assert_eq!(
+            live_by_degree,
+            self.live_nodes.len(),
+            "live node set drifted"
+        );
     }
 }
 
@@ -452,19 +456,13 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 1);
         g.add_edge(NodeId(0), NodeId(2), 2);
         g.add_edge(NodeId(0), NodeId(3), 4);
-        let in_range: Vec<_> = g
-            .edges_with_remaining_in(2, 4)
-            .map(|e| e.dst)
-            .collect();
+        let in_range: Vec<_> = g.edges_with_remaining_in(2, 4).map(|e| e.dst).collect();
         assert_eq!(in_range, vec![NodeId(2)]);
         let all: Vec<_> = g.live_edges_iter().collect();
         assert_eq!(all.len(), 3);
         // After one step, remaining lifetimes shrink by one.
         g.advance_to(6);
-        let in_range: Vec<_> = g
-            .edges_with_remaining_in(1, 2)
-            .map(|e| e.dst)
-            .collect();
+        let in_range: Vec<_> = g.edges_with_remaining_in(1, 2).map(|e| e.dst).collect();
         assert_eq!(in_range, vec![NodeId(2)]);
     }
 

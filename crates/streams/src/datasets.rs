@@ -258,7 +258,11 @@ mod tests {
             let stats = dataset_stats(d.stream(1), 2_000);
             assert_eq!(stats.interactions, 2_000, "{}", d.slug());
             assert!(stats.nodes > 100, "{} too few nodes", d.slug());
-            assert!(stats.last_t >= 1_999, "{} must be one event per step", d.slug());
+            assert!(
+                stats.last_t >= 1_999,
+                "{} must be one event per step",
+                d.slug()
+            );
         }
     }
 

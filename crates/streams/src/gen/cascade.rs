@@ -134,8 +134,7 @@ impl Iterator for CascadeGen {
         let burst = self.active_burst(self.t);
         let depth_prob = burst.map_or(self.cfg.depth_prob, |i| self.cfg.bursts[i].depth_prob);
         // Source: continue a cascade from the frontier, or a fresh author.
-        let from_frontier =
-            !self.frontier.is_empty() && self.rng.gen_bool(self.cfg.continue_prob);
+        let from_frontier = !self.frontier.is_empty() && self.rng.gen_bool(self.cfg.continue_prob);
         let src = if from_frontier {
             let idx = self.rng.gen_range(0..self.frontier.len());
             self.frontier[idx]
@@ -246,8 +245,12 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<_> = CascadeGen::new(CascadeConfig::default()).take(200).collect();
-        let b: Vec<_> = CascadeGen::new(CascadeConfig::default()).take(200).collect();
+        let a: Vec<_> = CascadeGen::new(CascadeConfig::default())
+            .take(200)
+            .collect();
+        let b: Vec<_> = CascadeGen::new(CascadeConfig::default())
+            .take(200)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -103,6 +103,9 @@ mod tests {
         for _ in 0..100 {
             d.tick(&mut rng);
         }
-        assert_eq!((0..10).map(|r| d.entity(r)).collect::<Vec<_>>(), (0..10u32).collect::<Vec<_>>());
+        assert_eq!(
+            (0..10).map(|r| d.entity(r)).collect::<Vec<_>>(),
+            (0..10u32).collect::<Vec<_>>()
+        );
     }
 }

@@ -95,8 +95,7 @@ impl Iterator for QaGen {
     type Item = Interaction;
 
     fn next(&mut self) -> Option<Interaction> {
-        let from_thread =
-            !self.recent_owners.is_empty() && self.rng.gen_bool(self.cfg.thread_prob);
+        let from_thread = !self.recent_owners.is_empty() && self.rng.gen_bool(self.cfg.thread_prob);
         let src = if from_thread {
             let idx = self.rng.gen_range(0..self.recent_owners.len());
             self.recent_owners[idx]

@@ -234,7 +234,10 @@ mod tests {
         let n = 20_000;
         let ones = (0..n).filter(|_| g.sample() == 1).count();
         let frac = ones as f64 / n as f64;
-        assert!((frac - 0.5).abs() < 0.02, "Pr(l=1) = {frac}, expected ≈ 0.5");
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "Pr(l=1) = {frac}, expected ≈ 0.5"
+        );
     }
 
     #[test]

@@ -13,8 +13,14 @@ where
 {
     let mut best = 0.0f64;
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
-    fn recurse<O>(obj: &mut O, n: usize, k: usize, start: usize, chosen: &mut Vec<usize>, best: &mut f64)
-    where
+    fn recurse<O>(
+        obj: &mut O,
+        n: usize,
+        k: usize,
+        start: usize,
+        chosen: &mut Vec<usize>,
+        best: &mut f64,
+    ) where
         O: IncrementalObjective<Elem = usize>,
     {
         // Evaluate the current subset from scratch.
@@ -81,10 +87,8 @@ mod tests {
         let sets = vec![vec![0, 1], vec![1, 2], vec![3], vec![0, 1, 2]];
         let mut f = WeightedCoverage::unit(sets, 4);
         assert_eq!(brute_force_best(&mut f, 4, 1), 3.0);
-        let mut f2 = WeightedCoverage::unit(
-            vec![vec![0, 1], vec![1, 2], vec![3], vec![0, 1, 2]],
-            4,
-        );
+        let mut f2 =
+            WeightedCoverage::unit(vec![vec![0, 1], vec![1, 2], vec![3], vec![0, 1, 2]], 4);
         assert_eq!(brute_force_best(&mut f2, 4, 2), 4.0);
     }
 

@@ -11,16 +11,17 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A heap entry: stale gain upper bound for `elem`, tagged with the round
-/// it was computed in.
+/// it was computed in and the element's position in the candidate order.
 struct HeapEntry<E> {
     bound: f64,
     elem: E,
     round: u32,
+    index: usize,
 }
 
 impl<E> PartialEq for HeapEntry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound
+        self.bound == other.bound && self.index == other.index
     }
 }
 impl<E> Eq for HeapEntry<E> {}
@@ -31,10 +32,16 @@ impl<E> PartialOrd for HeapEntry<E> {
 }
 impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on the bound; NaN never occurs (gains are finite counts).
+        // Max-heap on the bound, ties broken toward the earliest candidate
+        // — the same rule eager greedy's linear scan applies — so CELF
+        // selects the identical chain. Influence gains are integer counts,
+        // so ties are the common case, and an arbitrary tie-break lets the
+        // two variants drift onto different (differently-valued) chains.
+        // NaN never occurs (gains are finite counts).
         self.bound
             .partial_cmp(&other.bound)
             .unwrap_or(Ordering::Equal)
+            .then_with(|| other.index.cmp(&self.index))
     }
 }
 
@@ -63,10 +70,12 @@ pub fn lazy_greedy<O: IncrementalObjective>(
     let mut seeds = Vec::with_capacity(k);
     let mut heap: BinaryHeap<HeapEntry<O::Elem>> = candidates
         .into_iter()
-        .map(|e| HeapEntry {
+        .enumerate()
+        .map(|(index, e)| HeapEntry {
             bound: f64::INFINITY,
             elem: e,
             round: u32::MAX,
+            index,
         })
         .collect();
     let mut round = 0u32;
@@ -87,6 +96,7 @@ pub fn lazy_greedy<O: IncrementalObjective>(
                     bound: gain,
                     elem: top.elem,
                     round,
+                    index: top.index,
                 });
             }
             // gain == 0 ⇒ can never become positive again (monotone +
@@ -184,6 +194,29 @@ mod tests {
             f1.calls,
             f2.calls
         );
+    }
+
+    #[test]
+    fn lazy_matches_eager_chain_under_ties() {
+        // Every set has size 2 and the overlaps make later gains depend on
+        // which of the tied sets was taken first: tie-breaking must follow
+        // candidate order, exactly like eager's linear scan.
+        let sets: Vec<Vec<u32>> = vec![
+            vec![0, 1],
+            vec![2, 3],
+            vec![1, 2],
+            vec![3, 4],
+            vec![4, 5],
+            vec![0, 5],
+        ];
+        for k in 1..=6 {
+            let mut f1 = WeightedCoverage::unit(sets.clone(), 6);
+            let lazy = lazy_greedy(&mut f1, 0..sets.len(), k);
+            let mut f2 = WeightedCoverage::unit(sets.clone(), 6);
+            let eager = eager_greedy(&mut f2, &(0..sets.len()).collect::<Vec<_>>(), k);
+            assert_eq!(lazy.seeds, eager.seeds, "k={k}: chains diverged");
+            assert_eq!(lazy.value, eager.value, "k={k}");
+        }
     }
 
     #[test]

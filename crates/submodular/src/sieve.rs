@@ -161,18 +161,16 @@ mod tests {
         // Deterministic pseudo-random instances checked against exhaustive OPT.
         let mut rng_state = 0x1234_5678_u64;
         let mut next = move || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rng_state >> 33
         };
         for trial in 0..25 {
             let n = 6 + (trial % 5);
             let universe = 12;
             let sets: Vec<Vec<u32>> = (0..n)
-                .map(|_| {
-                    (0..universe as u32)
-                        .filter(|_| next() % 3 == 0)
-                        .collect()
-                })
+                .map(|_| (0..universe as u32).filter(|_| next() % 3 == 0).collect())
                 .collect();
             let k = 2 + (trial % 2);
             let eps = 0.1;

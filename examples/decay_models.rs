@@ -57,7 +57,9 @@ fn run(policy: &str, mut assigner: impl LifetimeAssigner, events: &[Interaction]
         Some(t) => println!(
             "{policy:>16}: Alice present {pct:5.1}% of the quiet period (first dropped at t={t})"
         ),
-        None => println!("{policy:>16}: Alice present {pct:5.1}% of the quiet period (never dropped)"),
+        None => {
+            println!("{policy:>16}: Alice present {pct:5.1}% of the quiet period (never dropped)")
+        }
     }
 }
 

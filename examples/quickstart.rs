@@ -21,7 +21,10 @@ fn main() {
         TimedEdge::new(6u32, 7u32, 1),
     ];
     let sol = tracker.step(0, &batch_t);
-    println!("t = 0: influential nodes {:?} (spread {})", sol.seeds, sol.value);
+    println!(
+        "t = 0: influential nodes {:?} (spread {})",
+        sol.seeds, sol.value
+    );
     assert_eq!(sol.value, 6); // {u1, u6} reach {1,2,3,4} ∪ {6,4,7}
 
     // Time t+1: three more interactions; the lifetime-1 edges have expired.
@@ -31,7 +34,10 @@ fn main() {
         TimedEdge::new(7u32, 6u32, 3),
     ];
     let sol = tracker.step(1, &batch_t1);
-    println!("t = 1: influential nodes {:?} (spread {})", sol.seeds, sol.value);
+    println!(
+        "t = 1: influential nodes {:?} (spread {})",
+        sol.seeds, sol.value
+    );
     assert_eq!(sol.value, 6); // {u5, u7} — the influencers changed!
 
     // Names instead of raw ids: intern them.

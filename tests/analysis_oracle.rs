@@ -124,8 +124,7 @@ fn churn_is_lower_under_decay_when_influencers_pause() {
         (present as f64 / total.max(1) as f64, churn)
     };
     let (window_presence, window_churn) = measure(Box::new(ConstantLifetime(60)));
-    let (decay_presence, _) =
-        measure(Box::new(GeometricLifetime::new(1.0 / 60.0, 100_000, 6)));
+    let (decay_presence, _) = measure(Box::new(GeometricLifetime::new(1.0 / 60.0, 100_000, 6)));
     assert!(
         decay_presence > window_presence + 0.3,
         "decay presence {decay_presence} not well above window {window_presence}"

@@ -75,11 +75,7 @@ fn random_batch(rng: &mut Lcg, n_nodes: u64, max_l: u32, size: u64) -> Vec<Timed
 
 /// Drives a tracker and a shadow graph together, checking the guarantee at
 /// every step.
-fn check_guarantee(
-    mut make: impl FnMut() -> Box<dyn InfluenceTracker>,
-    factor: f64,
-    seed: u64,
-) {
+fn check_guarantee(mut make: impl FnMut() -> Box<dyn InfluenceTracker>, factor: f64, seed: u64) {
     let k = 2;
     let mut tracker = make();
     let mut shadow = TdnGraph::new();

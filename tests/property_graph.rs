@@ -2,6 +2,10 @@
 //! bucket-evicted `TdnGraph` must agree with a naive reference model on
 //! arbitrary schedules, and incremental covers must equal from-scratch
 //! reachability.
+//!
+//! Determinism: the vendored proptest runner derives each property's RNG
+//! seed from the test name, so these suites are flake-free in tier-1; set
+//! `TDN_PROPTEST_SEED=<u64>` to explore other case streams.
 
 use proptest::prelude::*;
 use tdn::graph::{
@@ -14,10 +18,7 @@ use tdn::prelude::*;
 type Ev = (u8, u8, u8, u8);
 
 fn schedule() -> impl Strategy<Value = Vec<Ev>> {
-    prop::collection::vec(
-        (0u8..20, 0u8..10, 0u8..10, 1u8..8),
-        1..60,
-    )
+    prop::collection::vec((0u8..20, 0u8..10, 0u8..10, 1u8..8), 1..60)
 }
 
 /// Naive reference: a flat list of (src, dst, expiry).

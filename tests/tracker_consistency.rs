@@ -81,9 +81,18 @@ fn trackers_are_deterministic() {
     let w = workload(Dataset::TwitterHk, 200, 0.01, 200);
     let cfg = TrackerConfig::new(5, 0.15, 200);
     for mk in [
-        || Box::new(HistApprox::new(&TrackerConfig::new(5, 0.15, 200))) as Box<dyn InfluenceTracker>,
-        || Box::new(BasicReduction::new(&TrackerConfig::new(5, 0.15, 200))) as Box<dyn InfluenceTracker>,
-        || Box::new(GreedyTracker::new(&TrackerConfig::new(5, 0.15, 200))) as Box<dyn InfluenceTracker>,
+        || {
+            Box::new(HistApprox::new(&TrackerConfig::new(5, 0.15, 200)))
+                as Box<dyn InfluenceTracker>
+        },
+        || {
+            Box::new(BasicReduction::new(&TrackerConfig::new(5, 0.15, 200)))
+                as Box<dyn InfluenceTracker>
+        },
+        || {
+            Box::new(GreedyTracker::new(&TrackerConfig::new(5, 0.15, 200)))
+                as Box<dyn InfluenceTracker>
+        },
     ] {
         let mut a = mk();
         let mut b = mk();

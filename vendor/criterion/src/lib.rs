@@ -1,0 +1,270 @@
+//! Offline, dependency-free shim implementing the subset of the
+//! `criterion` benchmarking API this workspace's bench targets use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], `bench_function`, and
+//! [`Bencher::iter`] / [`Bencher::iter_batched`] with [`BatchSize`].
+//!
+//! Instead of criterion's statistical engine it runs a fixed warm-up plus
+//! `sample_size` timed samples and prints the median, mean, and min per
+//! benchmark — enough to compare hot paths release-to-release in an
+//! offline container. Benchmarks compiled under `cargo test` (criterion's
+//! `--test` mode) run a single iteration so CI stays fast.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How per-sample setup output is batched (accepted for API compatibility;
+/// the shim always runs one setup per measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is small: many invocations per batch in criterion.
+    SmallInput,
+    /// Routine input is large: fewer invocations per batch.
+    LargeInput,
+    /// One setup per invocation.
+    PerIteration,
+}
+
+/// Opaque measurement collector handed to the closure of `bench_function`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    fn new(target_samples: usize, test_mode: bool) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            target_samples,
+            test_mode,
+        }
+    }
+
+    fn rounds(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            // One unrecorded warm-up round plus the measured samples.
+            self.target_samples + 1
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for round in 0..self.rounds() {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            if round > 0 || self.test_mode {
+                self.samples.push(dt);
+            }
+        }
+    }
+
+    /// Times repeated calls of `routine` on fresh input from `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for round in 0..self.rounds() {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            if round > 0 || self.test_mode {
+                self.samples.push(dt);
+            }
+        }
+    }
+}
+
+/// Identifier newtype accepted anywhere criterion takes a benchmark id.
+pub struct BenchmarkId(String);
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl BenchmarkId {
+    /// `group/parameter`-style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` (and `cargo test --benches`) invokes harness=false
+        // bench binaries with `--test`; run one iteration there.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(&id.into().0, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(sample_size, self.test_mode);
+        f(&mut b);
+        report(id, &b.samples);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let sample_size = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{id:<48} median {:>12?}  mean {:>12?}  min {:>12?}  ({} samples)",
+        median,
+        mean,
+        min,
+        sorted.len()
+    );
+}
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies (same contract as `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function for a set of [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut calls = 0u32;
+        c.bench_function("smoke/iter", |b| b.iter(|| calls += 1));
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32, 2, 3],
+                |mut v| {
+                    v.push(4);
+                    assert_eq!(v.len(), 4);
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline, dependency-free shim implementing the subset of the `proptest`
+//! API this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * range strategies (`0u8..20`), tuple strategies (arity 2–4),
+//!   [`collection::vec`], and [`Strategy::prop_map`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] and `return Ok(())` early
+//!   exits via [`TestCaseError`].
+//!
+//! Design differences from the real crate, chosen for a hermetic build:
+//!
+//! * **Deterministic by construction.** Every test derives its RNG seed
+//!   from a fixed workspace constant and the test's own name (FNV-1a), so
+//!   tier-1 runs are flake-free with no `PROPTEST_*` env vars or
+//!   regression files. Override with `TDN_PROPTEST_SEED=<u64>` to explore.
+//! * **No shrinking.** On failure the shim reports the case index and
+//!   re-runnable seed instead of a minimized input. Paper-scale inputs
+//!   here are small (≤ 80 events), so raw cases are readable enough.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rejection or assertion failure raised inside a property test body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// An assertion-failure error with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a seeded sampler.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, resampling until `f` accepts (bounded).
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples");
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// `Just`-style constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with lengths drawn from `len`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "collection::vec: empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs `config.cases` seeded cases of a property, panicking with a
+/// reproducible seed report on the first failure. Called by [`proptest!`];
+/// not part of the public proptest API.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = std::env::var("TDN_PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(test_name) ^ 0x7d4e_2019_0000_5eed);
+    for i in 0..config.cases {
+        let seed = base.wrapping_add(i as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "property `{test_name}` failed at case {i}/{}: {e}\n\
+                 (re-run just this case with TDN_PROPTEST_SEED={seed} and with_cases(1))",
+                config.cases
+            );
+        }
+    }
+}
+
+/// FNV-1a, used to give each property its own deterministic seed stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The `proptest::prelude` namespace.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+
+    /// Mirror of the `proptest::prelude::prop` re-export module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, returning `Err` (not panicking)
+/// so the runner can report the failing seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Declares deterministic property tests (shim for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), &config, |prop_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), prop_rng);)+
+                    #[allow(unreachable_code)]
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use rand::SeedableRng;
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
+        let strat = (0u8..20, 1u8..8);
+        for _ in 0..100 {
+            let (a, b) = crate::Strategy::generate(&strat, &mut rng);
+            assert!(a < 20 && (1..8).contains(&b));
+            // Determinism: same seed, same stream.
+            assert_eq!((a, b), crate::Strategy::generate(&strat, &mut rng2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0u8..10, 1..60)) {
+            prop_assert!((1..60).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 200);
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(x in 0u8..10) {
+            if x > 100 {
+                return Ok(());
+            }
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_seed() {
+        crate::run_cases("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}
