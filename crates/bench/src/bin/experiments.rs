@@ -12,13 +12,13 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tdn_bench::experiments::{ablations, fig11_12, fig13_14, fig7, fig8_10, table1};
+use tdn_bench::experiments::{ablations, fig11_12, fig13_14, fig7, fig8_10, table1, throughput};
 use tdn_bench::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <target>... [--full] [--out DIR]\n\
-         targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations all"
+         targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations throughput all"
     );
     ExitCode::FAILURE
 }
@@ -41,7 +41,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             t @ ("table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
-            | "fig14" | "ablations") => {
+            | "fig14" | "ablations" | "throughput") => {
                 // Shared runners: figs 8-10 and 13-14 are joint.
                 targets.insert(match t {
                     "fig9" | "fig10" => "fig8",
@@ -58,6 +58,7 @@ fn main() -> ExitCode {
                     "fig12",
                     "fig13",
                     "ablations",
+                    "throughput",
                 ] {
                     targets.insert(t);
                 }
@@ -85,6 +86,7 @@ fn main() -> ExitCode {
             "fig12" => fig11_12::run_fig12(&out, &scale),
             "fig13" => fig13_14::run(&out, &scale),
             "ablations" => ablations::run(&out, &scale),
+            "throughput" => throughput::run(&out, &scale),
             _ => unreachable!("validated above"),
         };
         match res {

@@ -49,6 +49,28 @@ impl PreparedStream {
         PreparedStream { steps: out, edges }
     }
 
+    /// Coalesces every `width` consecutive ticks into one batch stamped at
+    /// the window's first tick (lifetimes are left untouched, so edges in a
+    /// window share the window's arrival time). Synthetic streams emit only
+    /// a few interactions per tick; batched arrival is how a high-traffic
+    /// deployment would feed the trackers and is what gives the parallel
+    /// phases enough independent work per step to amortize fan-out.
+    pub fn coalesce(self, width: usize) -> Self {
+        assert!(width >= 1, "coalesce width must be positive");
+        let edges = self.edges;
+        let steps = self
+            .steps
+            .chunks(width)
+            .map(|window| {
+                let t = window[0].0;
+                let batch: Vec<TimedEdge> =
+                    window.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+                (t, batch)
+            })
+            .collect();
+        PreparedStream { steps, edges }
+    }
+
     /// Number of time steps.
     pub fn len(&self) -> usize {
         self.steps.len()
@@ -68,6 +90,8 @@ pub struct RunLog {
     pub values: Vec<u64>,
     /// Cumulative oracle calls after each step.
     pub calls: Vec<u64>,
+    /// Wall-clock seconds of each individual step (latency distribution).
+    pub step_secs: Vec<f64>,
     /// Wall-clock seconds for the whole run.
     pub wall_secs: f64,
     /// Edges processed.
@@ -96,6 +120,12 @@ impl RunLog {
         self.edges as f64 / self.wall_secs
     }
 
+    /// Step-latency percentile in seconds (`q` in `[0, 1]`; e.g. `0.5` for
+    /// p50, `0.99` for p99) over the per-step wall times.
+    pub fn step_latency_secs(&self, q: f64) -> f64 {
+        crate::report::percentile(&self.step_secs, q)
+    }
+
     /// Mean of `self.values[i] / other.values[i]` (solution-quality ratio,
     /// Figs. 9/11/12/13). Steps where the reference is 0 are skipped.
     pub fn mean_ratio_to(&self, other: &RunLog) -> f64 {
@@ -119,9 +149,12 @@ impl RunLog {
 pub fn run_tracker(tracker: &mut dyn InfluenceTracker, stream: &PreparedStream) -> RunLog {
     let mut values = Vec::with_capacity(stream.len());
     let mut calls = Vec::with_capacity(stream.len());
+    let mut step_secs = Vec::with_capacity(stream.len());
     let start = Instant::now();
     for (t, batch) in &stream.steps {
+        let step_start = Instant::now();
         let sol = tracker.step(*t, batch);
+        step_secs.push(step_start.elapsed().as_secs_f64());
         values.push(sol.value);
         calls.push(tracker.oracle_calls());
     }
@@ -129,6 +162,7 @@ pub fn run_tracker(tracker: &mut dyn InfluenceTracker, stream: &PreparedStream) 
         name: tracker.name().to_string(),
         values,
         calls,
+        step_secs,
         wall_secs: start.elapsed().as_secs_f64(),
         edges: stream.edges,
     }
@@ -151,6 +185,20 @@ mod tests {
     }
 
     #[test]
+    fn coalesce_preserves_edges_and_monotone_times() {
+        let fine = PreparedStream::geometric(Dataset::Brightkite, 3, 0.01, 100, 64);
+        let coarse = PreparedStream::geometric(Dataset::Brightkite, 3, 0.01, 100, 64).coalesce(8);
+        assert_eq!(coarse.len(), 8);
+        assert_eq!(coarse.edges, fine.edges);
+        let fine_total: usize = fine.steps.iter().map(|(_, b)| b.len()).sum();
+        let coarse_total: usize = coarse.steps.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(fine_total, coarse_total);
+        for pair in coarse.steps.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "times stay strictly increasing");
+        }
+    }
+
+    #[test]
     fn run_log_metrics() {
         let stream = PreparedStream::geometric(Dataset::Brightkite, 2, 0.01, 100, 60);
         let mut tr = HistApprox::new(&TrackerConfig::new(5, 0.2, 100));
@@ -161,5 +209,11 @@ mod tests {
         assert!(log.mean_value() > 0.0);
         let ratio = log.mean_ratio_to(&log);
         assert!((ratio - 1.0).abs() < 1e-12);
+        // Per-step latency: one sample per step, percentiles ordered, and
+        // the samples must sum to (at most) the whole-run wall time.
+        assert_eq!(log.step_secs.len(), 60);
+        let (p50, p99) = (log.step_latency_secs(0.5), log.step_latency_secs(0.99));
+        assert!(p50 > 0.0 && p50 <= p99);
+        assert!(log.step_secs.iter().sum::<f64>() <= log.wall_secs);
     }
 }

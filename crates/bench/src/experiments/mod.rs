@@ -7,3 +7,4 @@ pub mod fig13_14;
 pub mod fig7;
 pub mod fig8_10;
 pub mod table1;
+pub mod throughput;

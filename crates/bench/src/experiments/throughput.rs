@@ -1,0 +1,168 @@
+//! Parallel-scaling experiment: HISTAPPROX stream-processing throughput
+//! (edges/sec) versus execution-engine thread count on one fixed workload.
+//!
+//! This is the perf-trajectory anchor for the parallel execution engine:
+//! every run replays the *identical* prepared stream at each thread count,
+//! asserts the determinism invariant (bit-identical per-step values and
+//! oracle-call tallies), and emits machine-readable
+//! `BENCH_throughput.json` next to the CSVs so successive commits can be
+//! compared. Speedup is physically bounded by the host's core count — on a
+//! single-core container every setting clusters around 1×, which the JSON
+//! records honestly via `available_parallelism`.
+
+use crate::driver::{run_tracker, PreparedStream, RunLog};
+use crate::report::{f, latency_cells_ms, print_table};
+use crate::scale::Scale;
+use std::io::Write;
+use std::path::Path;
+use tdn_core::{HistApprox, TrackerConfig};
+use tdn_streams::Dataset;
+
+const EPS: f64 = 0.3;
+const P: f64 = 0.001;
+const K: usize = 10;
+const L: u32 = 10_000;
+/// Ticks coalesced per arrival batch: synthetic streams emit only a few
+/// interactions per tick, while the parallel phases feed on batch-sized
+/// independent work — batched arrival is the serving-scale shape.
+const BATCH_TICKS: usize = 16;
+
+/// Thread counts swept (1 must come first: it is the speedup baseline).
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One thread-count measurement.
+pub struct ScalingPoint {
+    /// Engine thread count for this run.
+    pub threads: usize,
+    /// The full run log (throughput, latency distribution, calls).
+    pub log: RunLog,
+}
+
+/// Runs the sweep: same stream, fresh tracker per thread count.
+pub fn sweep(scale: &Scale) -> Vec<ScalingPoint> {
+    let stream =
+        PreparedStream::geometric(Dataset::TwitterHiggs, scale.seed, P, L, scale.steps_main)
+            .coalesce(BATCH_TICKS);
+    // Discarded warm-up run: the first measured run must not absorb the
+    // one-time page-fault/allocator costs, or the serial baseline looks
+    // artificially slow and "speedup" appears even on one core.
+    exec::with_threads(1, || {
+        let mut tracker = HistApprox::new(&TrackerConfig::new(K, EPS, L));
+        run_tracker(&mut tracker, &stream)
+    });
+    THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let cfg = TrackerConfig::new(K, EPS, L);
+            let log = exec::with_threads(threads, || {
+                let mut tracker = HistApprox::new(&cfg);
+                run_tracker(&mut tracker, &stream)
+            });
+            ScalingPoint { threads, log }
+        })
+        .collect()
+}
+
+/// Escapes nothing (all emitted strings are identifiers) but keeps JSON
+/// assembly in one place: one `{...}` object per scaling point.
+fn json_point(p: &ScalingPoint) -> String {
+    format!(
+        "    {{\"threads\": {}, \"edges_per_sec\": {}, \"wall_secs\": {}, \
+         \"p50_step_ms\": {}, \"p99_step_ms\": {}, \"oracle_calls\": {}, \"mean_value\": {}}}",
+        p.threads,
+        f(p.log.throughput()),
+        f(p.log.wall_secs),
+        f(p.log.step_latency_secs(0.5) * 1e3),
+        f(p.log.step_latency_secs(0.99) * 1e3),
+        p.log.total_calls(),
+        f(p.log.mean_value()),
+    )
+}
+
+/// Runs the scaling sweep, checks determinism, writes
+/// `BENCH_throughput.json`, and prints the summary table.
+pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    let points = sweep(scale);
+    let base = &points[0];
+    // The determinism invariant is part of the experiment: a speedup that
+    // changes answers would be measuring a different algorithm.
+    let deterministic = points
+        .iter()
+        .all(|p| p.log.values == base.log.values && p.log.total_calls() == base.log.total_calls());
+    assert!(
+        deterministic,
+        "parallel HISTAPPROX diverged from the serial run"
+    );
+    let base_tp = base.log.throughput();
+    let best_speedup = points
+        .iter()
+        .map(|p| p.log.throughput() / base_tp)
+        .fold(f64::NAN, f64::max);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Enforce the scaling half of the acceptance criterion wherever it is
+    // physically satisfiable: a host with >= 4 cores must show >= 1.5x at
+    // the best thread count, or parallel scaling has regressed. Smaller
+    // hosts (e.g. 1-core CI containers) can only verify determinism.
+    if cores >= 4 {
+        assert!(
+            best_speedup >= 1.5,
+            "parallel scaling regressed: best speedup {best_speedup:.2}x on a {cores}-core host"
+        );
+    }
+
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_throughput.json");
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"experiment\": \"throughput_scaling\",")?;
+    writeln!(out, "  \"tracker\": \"HistApprox\",")?;
+    writeln!(
+        out,
+        "  \"workload\": {{\"dataset\": \"{}\", \"steps\": {}, \"edges\": {}, \
+         \"k\": {K}, \"eps\": {EPS}, \"max_lifetime\": {L}, \"geo_p\": {P}, \"seed\": {}}},",
+        Dataset::TwitterHiggs.slug(),
+        base.log.values.len(),
+        base.log.edges,
+        scale.seed,
+    )?;
+    writeln!(out, "  \"host_cores\": {cores},")?;
+    writeln!(out, "  \"deterministic\": {deterministic},")?;
+    writeln!(out, "  \"best_speedup\": {},", f(best_speedup))?;
+    writeln!(out, "  \"runs\": [")?;
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        writeln!(out, "{}{sep}", json_point(p))?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    out.flush()?;
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let [p50, p99] = latency_cells_ms(&p.log.step_secs);
+            vec![
+                p.threads.to_string(),
+                format!("{:.0}", p.log.throughput()),
+                f(p.log.throughput() / base_tp),
+                p50,
+                p99,
+                p.log.total_calls().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Throughput scaling on {cores}-core host (HISTAPPROX, identical answers)"),
+        &[
+            "threads",
+            "edges/s",
+            "speedup",
+            "p50 ms",
+            "p99 ms",
+            "oracle calls",
+        ],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -12,6 +12,7 @@
 //! | `experiments fig12`  | Fig. 12 (sweep L) |
 //! | `experiments fig13`  | Figs. 13–14 (RIS baselines, throughput) |
 //! | `experiments ablations` | refeed / window / lazy / prune |
+//! | `experiments throughput` | edges/sec vs `TDN_THREADS` (`BENCH_throughput.json`) |
 //!
 //! Run `cargo run --release -p tdn-bench --bin experiments -- all --full`
 //! for paper-scale sweeps; the default `--quick` scale finishes in minutes.

@@ -39,6 +39,29 @@ pub fn f(x: f64) -> String {
     format!("{x:.4}")
 }
 
+/// Nearest-rank percentile of `xs` (`q` in `[0, 1]`; `0.5` = median, `0.99`
+/// = p99). Returns 0 for an empty sample. Used for step-latency reporting.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[rank]
+}
+
+/// Step-latency summary row `[p50, p99]` (milliseconds, 4 decimals) for
+/// aligned tables; pairs with [`percentile`].
+pub fn latency_cells_ms(step_secs: &[f64]) -> [String; 2] {
+    [
+        f(percentile(step_secs, 0.5) * 1e3),
+        f(percentile(step_secs, 0.99) * 1e3),
+    ]
+}
+
 /// Prints an aligned table to stdout (header + rows).
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -85,5 +108,24 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(0.123456), "0.1235");
         assert_eq!(f(2.0), "2.0000");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        // Unsorted input is handled (percentile sorts a copy).
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+    }
+
+    #[test]
+    fn latency_cells_are_milliseconds() {
+        let cells = latency_cells_ms(&[0.001, 0.002, 0.100]);
+        assert_eq!(cells[0], "2.0000");
+        assert_eq!(cells[1], "100.0000");
     }
 }

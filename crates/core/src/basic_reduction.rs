@@ -88,16 +88,27 @@ impl InfluenceTracker for BasicReduction {
             }
         }
         self.last_t = Some(t);
-        // Feed: edge with (clamped) lifetime l goes to A_1 … A_l.
+        // Feed: edge with (clamped) lifetime l goes to A_1 … A_l. The L
+        // instances are fully independent SIEVEADN states, so the feeds fan
+        // out across the execution engine's workers; each instance consumes
+        // its filtered batch in arrival order, exactly as the serial loop
+        // did, so results are bit-identical at any thread count.
         let l_max = self.cfg.max_lifetime;
-        for (idx, inst) in self.instances.iter_mut().enumerate() {
-            let min_l = (idx + 1) as Lifetime;
-            let feed = batch
-                .iter()
-                .filter(|e| e.lifetime.min(l_max) >= min_l)
-                .map(|e| (e.src, e.dst));
-            inst.feed(feed);
-        }
+        let mut work: Vec<(Lifetime, &mut SieveAdn)> = self
+            .instances
+            .iter_mut()
+            .enumerate()
+            .map(|(idx, inst)| ((idx + 1) as Lifetime, inst))
+            .collect();
+        exec::par_for_each_mut(&mut work, |(min_l, inst)| {
+            let min_l = *min_l;
+            inst.feed(
+                batch
+                    .iter()
+                    .filter(|e| e.lifetime.min(l_max) >= min_l)
+                    .map(|e| (e.src, e.dst)),
+            );
+        });
         let sol = self.instances.front().expect("L ≥ 1 instances").query();
         self.shift();
         sol

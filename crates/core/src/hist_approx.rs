@@ -119,10 +119,18 @@ impl HistApprox {
             let _ = &mut inst;
             self.instances.insert(deadline, inst);
         }
-        // Line 17: feed every instance with index ≤ l.
-        for (_, inst) in self.instances.range_mut(..=deadline) {
+        // Line 17: feed every instance with index ≤ l. The affected
+        // instances are independent SIEVEADN states, so the feeds fan out
+        // across the execution engine's workers (each instance still sees
+        // the edges in arrival order — bit-identical at any thread count).
+        let mut affected: Vec<&mut SieveAdn> = self
+            .instances
+            .range_mut(..=deadline)
+            .map(|(_, inst)| inst)
+            .collect();
+        exec::par_for_each_mut(&mut affected, |inst| {
             inst.feed(edges.iter().map(|e| (e.src, e.dst)));
-        }
+        });
         self.reduce_redundancy(t);
     }
 

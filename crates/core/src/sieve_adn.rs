@@ -13,14 +13,27 @@
 //!   query-time `argmax` needs no extra oracle calls.
 //!
 //! Oracle-call accounting: one call per singleton evaluation, per marginal
-//! gain test, and per cover-extension BFS.
+//! gain test, and per cover-extension BFS. Thresholds dropped by a ladder
+//! shift *within the same batch* are never evaluated (batch-lazy sieving),
+//! so the tally is independent of thread count by construction.
+//!
+//! ## Parallel decomposition (see DESIGN.md "Concurrency architecture")
+//!
+//! [`SieveAdn::feed`] runs in phases. Graph insertion and the Δ-ladder
+//! replay are serial (order-sensitive, O(1) per event); everything
+//! expensive — cover maintenance per threshold, singleton spreads per
+//! affected node, and candidate admission per threshold — fans out on the
+//! execution engine over *independent* state, each worker holding a
+//! thread-confined [`ScratchPool`] arena. Every threshold's admission
+//! decisions depend only on its own cover and the (fixed) `V̄_t` order, so
+//! results are bit-identical at any `TDN_THREADS` setting.
 
 use crate::config::TrackerConfig;
 use crate::tracker::{InfluenceTracker, Solution};
 use std::collections::BTreeMap;
 use tdn_graph::{
     marginal_gain, reach_count, reverse_reach_collect, AdnGraph, CoverSet, FxHashSet, NodeId,
-    ReachScratch, Time,
+    ScratchPool, Time,
 };
 use tdn_streams::TimedEdge;
 use tdn_submodular::{OracleCounter, ThresholdLadder};
@@ -44,7 +57,7 @@ pub struct SieveAdn {
     k: usize,
     singleton_prune: bool,
     counter: OracleCounter,
-    scratch: ReachScratch,
+    scratch: ScratchPool,
 }
 
 impl SieveAdn {
@@ -58,7 +71,7 @@ impl SieveAdn {
             k,
             singleton_prune,
             counter,
-            scratch: ReachScratch::new(),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -78,12 +91,15 @@ impl SieveAdn {
     }
 
     /// Feeds a batch of edges (Alg. 1 lines 2–11) and updates all sieves.
+    ///
+    /// Expensive phases fan out on the execution engine (see the module
+    /// docs); the answer and the oracle-call tally are bit-identical at any
+    /// thread count.
     pub fn feed<I>(&mut self, edges: I)
     where
         I: IntoIterator<Item = (NodeId, NodeId)>,
     {
-        // Lines 2–3 (plus cover maintenance): insert edges, keeping every
-        // slot's cover closed under reachability.
+        // Phase 1 (serial, order-sensitive): lines 2–3, insert the batch.
         let mut fresh: Vec<(NodeId, NodeId)> = Vec::new();
         for (u, v) in edges {
             if self.graph.add_edge(u, v) {
@@ -93,64 +109,145 @@ impl SieveAdn {
         if fresh.is_empty() {
             return;
         }
-        for slot in self.slots.values_mut() {
-            for &(u, v) in &fresh {
-                if slot.cover.contains(u) && !slot.cover.contains(v) {
-                    self.counter.incr();
+        let graph = &self.graph;
+        let scratch = &self.scratch;
+        let counter = &self.counter;
+        // Phase 2 (parallel across thresholds): cover maintenance — keep
+        // every slot's cover closed under reachability. Each slot's cover
+        // evolves independently of the others.
+        {
+            let fresh = &fresh;
+            let mut slots: Vec<&mut Slot> = self.slots.values_mut().collect();
+            exec::par_for_each_mut(&mut slots, |slot| {
+                let mut calls = counter.batch();
+                scratch.with(|s| {
                     let mut gained = Vec::new();
-                    marginal_gain(&self.graph, v, &slot.cover, &mut self.scratch, &mut gained);
-                    for n in gained {
-                        slot.cover.insert(n);
+                    for &(u, v) in fresh {
+                        if slot.cover.contains(u) && !slot.cover.contains(v) {
+                            calls.incr();
+                            marginal_gain(graph, v, &slot.cover, s, &mut gained);
+                            for &n in &gained {
+                                slot.cover.insert(n);
+                            }
+                        }
                     }
+                });
+            });
+        }
+        // Phase 3: V̄_t — reverse BFS per distinct source fans out; the
+        // merge dedups serially in source order, so `vbar`'s order (which
+        // the sieve replay below depends on) is schedule-independent.
+        let mut sources: Vec<NodeId> = Vec::new();
+        {
+            let mut seen_src: FxHashSet<NodeId> = FxHashSet::default();
+            for &(u, _) in &fresh {
+                if seen_src.insert(u) {
+                    sources.push(u);
                 }
             }
         }
-        // V̄_t: ancestors of the new edges' sources (dedup across edges).
         let mut vbar: Vec<NodeId> = Vec::new();
         let mut seen: FxHashSet<NodeId> = FxHashSet::default();
-        let mut ancestors = Vec::new();
-        for &(u, _) in &fresh {
-            if !seen.contains(&u) {
-                reverse_reach_collect(&self.graph, u, &mut self.scratch, &mut ancestors);
-                for &a in &ancestors {
+        if exec::threads() <= 1 {
+            // Serial path keeps the subsumption skip: if `u` is already a
+            // known ancestor, ancestors(u) ⊆ seen (reverse reachability is
+            // transitive), so its BFS is provably redundant. The skip only
+            // elides work — `vbar` is identical either way.
+            scratch.with(|s| {
+                let mut ancestors = Vec::new();
+                for &u in &sources {
+                    if !seen.contains(&u) {
+                        reverse_reach_collect(graph, u, s, &mut ancestors);
+                        for &a in &ancestors {
+                            if seen.insert(a) {
+                                vbar.push(a);
+                            }
+                        }
+                    }
+                }
+            });
+        } else {
+            let ancestor_sets: Vec<Vec<NodeId>> = exec::par_map(&sources, |&u| {
+                scratch.with(|s| {
+                    let mut out = Vec::new();
+                    reverse_reach_collect(graph, u, s, &mut out);
+                    out
+                })
+            });
+            for ancestors in &ancestor_sets {
+                for &a in ancestors {
                     if seen.insert(a) {
                         vbar.push(a);
                     }
                 }
             }
         }
-        // Lines 4–11: sieve each affected node.
-        for v in vbar {
-            self.counter.incr();
-            let singleton = reach_count(&self.graph, v, &mut self.scratch) as f64;
-            if let Some(change) = self.ladder.update_delta(singleton) {
-                self.slots.retain(|i, _| change.kept.contains(i));
+        // Phase 4a (parallel across nodes): singleton spreads f({v}) for
+        // every affected node — the heavy oracle calls of lines 4–5. The
+        // graph is frozen for the rest of the batch, so these match what
+        // the serial loop would compute one at a time. The serial path
+        // checks one arena out for the whole loop instead of per node.
+        let singletons: Vec<u64> = if exec::threads() <= 1 {
+            scratch.with(|s| vbar.iter().map(|&v| reach_count(graph, v, s)).collect())
+        } else {
+            exec::par_map(&vbar, |&v| scratch.with(|s| reach_count(graph, v, s)))
+        };
+        counter.add(vbar.len() as u64);
+        // Phase 4b (serial, order-sensitive): replay the Δ/ladder updates,
+        // recording each surviving slot's *birth index* in the V̄_t
+        // sequence. Slots dropped by a later shift die with their state —
+        // batch-lazy sieving never evaluates them at all.
+        let mut pending: BTreeMap<i64, (Slot, usize)> = std::mem::take(&mut self.slots)
+            .into_iter()
+            .map(|(i, slot)| (i, (slot, 0)))
+            .collect();
+        for (j, &singleton) in singletons.iter().enumerate() {
+            if let Some(change) = self.ladder.update_delta(singleton as f64) {
+                pending.retain(|i, _| change.kept.contains(i));
                 for i in change.added {
-                    self.slots.insert(i, Slot::default());
-                }
-            }
-            for (&i, slot) in self.slots.iter_mut() {
-                if slot.seeds.len() >= self.k {
-                    continue;
-                }
-                let theta = self.ladder.theta(i);
-                if self.singleton_prune && singleton < theta {
-                    // δ_S(v) ≤ f({v}) < θ: cannot be accepted; skip the call.
-                    continue;
-                }
-                self.counter.incr();
-                let mut gained = Vec::new();
-                let gain =
-                    marginal_gain(&self.graph, v, &slot.cover, &mut self.scratch, &mut gained)
-                        as f64;
-                if gain >= theta {
-                    for n in gained {
-                        slot.cover.insert(n);
-                    }
-                    slot.seeds.push(v);
+                    pending.insert(i, (Slot::default(), j));
                 }
             }
         }
+        // Phase 4c (parallel across thresholds): per-slot admission replay
+        // (lines 6–11). A slot's decisions depend only on its own cover and
+        // the fixed (v, singleton) sequence from its birth onward, so the
+        // fan-out is deterministic and equals the serial interleaving.
+        let k = self.k;
+        let prune = self.singleton_prune;
+        let ladder = &self.ladder;
+        let (vbar, singletons) = (&vbar, &singletons);
+        let mut entries: Vec<(i64, Slot, usize)> = pending
+            .into_iter()
+            .map(|(i, (slot, birth))| (i, slot, birth))
+            .collect();
+        exec::par_for_each_mut(&mut entries, |(i, slot, birth)| {
+            let theta = ladder.theta(*i);
+            let mut calls = counter.batch();
+            scratch.with(|s| {
+                let mut gained = Vec::new();
+                for j in *birth..vbar.len() {
+                    if slot.seeds.len() >= k {
+                        break;
+                    }
+                    let v = vbar[j];
+                    if prune && (singletons[j] as f64) < theta {
+                        // δ_S(v) ≤ f({v}) < θ: cannot be accepted; skip the
+                        // oracle call.
+                        continue;
+                    }
+                    calls.incr();
+                    let gain = marginal_gain(graph, v, &slot.cover, s, &mut gained) as f64;
+                    if gain >= theta {
+                        for &n in &gained {
+                            slot.cover.insert(n);
+                        }
+                        slot.seeds.push(v);
+                    }
+                }
+            });
+        });
+        self.slots = entries.into_iter().map(|(i, slot, _)| (i, slot)).collect();
     }
 
     /// Current best solution across thresholds (Alg. 1 line 12). Free of
@@ -171,15 +268,17 @@ impl SieveAdn {
         }
     }
 
-    /// Approximate heap footprint in bytes: instance graph plus all
-    /// threshold slots (Theorem 3's `O(k ε⁻¹ log k)` state, in practice).
+    /// Approximate heap footprint in bytes: instance graph, all threshold
+    /// slots (Theorem 3's `O(k ε⁻¹ log k)` state, in practice), and the
+    /// per-worker BFS scratch arenas — parallelism must not hide memory
+    /// from the Fig. 13/14-style accounting.
     pub fn approx_bytes(&self) -> usize {
         let slots: usize = self
             .slots
             .values()
             .map(|s| s.cover.approx_bytes() + s.seeds.capacity() * 4 + 64)
             .sum();
-        self.graph.approx_bytes() + slots
+        self.graph.approx_bytes() + slots + self.scratch.approx_bytes()
     }
 
     /// Current best value `g_t` (the histogram ordinate in HISTAPPROX).
@@ -233,6 +332,7 @@ impl InfluenceTracker for SieveAdnTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tdn_graph::ReachScratch;
 
     fn inst(k: usize, eps: f64) -> SieveAdn {
         SieveAdn::new(k, eps, true, OracleCounter::new())

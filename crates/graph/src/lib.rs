@@ -12,8 +12,9 @@
 //! * [`tdn::TdnGraph`] — the live time-decaying network `G_t` with
 //!   lifetime-bucketed expiry (§II-B), used by the recompute baselines and
 //!   by HISTAPPROX's instance-creation range queries;
-//! * [`reach`] — BFS reachability with reusable scratch, incremental cover
-//!   sets, and pruned marginal-gain evaluation;
+//! * [`reach`] — BFS reachability with reusable scratch (pooled per worker
+//!   for parallel callers), incremental cover sets, and pruned
+//!   marginal-gain evaluation;
 //! * [`hash`] — in-tree Fx hashing so hot maps avoid SipHash;
 //! * [`indexed_set::IndexedSet`] — O(1) sampleable live-node set;
 //! * [`analysis`] — offline SCC condensation + exact all-node spreads
@@ -37,7 +38,7 @@ pub use indexed_set::IndexedSet;
 pub use node::{pack_pair, unpack_pair, Lifetime, NodeId, NodeInterner, Time};
 pub use reach::{
     extend_cover, marginal_gain, reach_collect, reach_count, reverse_reach_collect, CoverSet,
-    ReachScratch,
+    ReachScratch, ScratchPool,
 };
 pub use tdn::{LiveEdge, TdnGraph};
 pub use traits::{InGraph, OutGraph};

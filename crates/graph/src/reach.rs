@@ -15,6 +15,7 @@
 use crate::hash::FxHashSet;
 use crate::node::NodeId;
 use crate::traits::{InGraph, OutGraph};
+use std::sync::Mutex;
 
 /// Reusable BFS scratch: an epoch-stamped visited array and a queue.
 ///
@@ -40,6 +41,13 @@ impl ReachScratch {
         Self::default()
     }
 
+    /// Approximate heap footprint of the scratch buffers in bytes (counted
+    /// in memory experiments so per-worker arenas stay visible).
+    pub fn approx_bytes(&self) -> usize {
+        self.visited.capacity() * std::mem::size_of::<u32>()
+            + self.queue.capacity() * std::mem::size_of::<NodeId>()
+    }
+
     /// Starts a new traversal, sizing the visited array for `bound` nodes.
     fn begin(&mut self, bound: usize) {
         if self.visited.len() < bound {
@@ -53,6 +61,65 @@ impl ReachScratch {
             self.epoch = 1;
         }
         self.queue.clear();
+    }
+}
+
+/// A pool of thread-confined [`ReachScratch`] arenas for parallel BFS.
+///
+/// Concurrent workers each check out an exclusive scratch for the duration
+/// of one traversal (or a run of traversals), so no `visited` array or
+/// queue is ever shared between threads. Buffers return to the pool warm,
+/// keeping the epoch-stamping amortization across calls — including the
+/// serial path, which simply checks out the same scratch every time.
+#[derive(Default)]
+pub struct ScratchPool {
+    idle: Mutex<Vec<ReachScratch>>,
+}
+
+impl Clone for ScratchPool {
+    /// Like [`ReachScratch`], pools hold no logical state; clones start
+    /// fresh (used by SIEVEADN instance copies).
+    fn clone(&self) -> Self {
+        ScratchPool::default()
+    }
+}
+
+impl std::fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.idle.lock().map(|v| v.len()).unwrap_or(0);
+        write!(f, "ScratchPool {{ idle: {n} }}")
+    }
+}
+
+impl ScratchPool {
+    /// Creates an empty pool; arenas are created on first checkout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a scratch arena, runs `f` with exclusive access, and
+    /// returns the arena to the pool (dropped instead if `f` panics).
+    pub fn with<R>(&self, f: impl FnOnce(&mut ReachScratch) -> R) -> R {
+        let mut scratch = self
+            .idle
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let out = f(&mut scratch);
+        self.idle
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+        out
+    }
+
+    /// Approximate heap footprint of all pooled arenas in bytes. Memory
+    /// experiments (Figs. 13/14 analogue) add this so per-worker scratch
+    /// does not hide from the accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let idle = self.idle.lock().expect("scratch pool poisoned");
+        idle.iter().map(|s| s.approx_bytes()).sum::<usize>() + idle.capacity() * 8
     }
 }
 
@@ -332,6 +399,37 @@ mod tests {
         assert_eq!(out, vec![NodeId(0), NodeId(1), NodeId(2)]);
         reverse_reach_collect(&g, NodeId(3), &mut s, &mut out);
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn scratch_pool_reuses_and_accounts_arenas() {
+        let g = line_graph(64);
+        let pool = ScratchPool::new();
+        assert_eq!(pool.approx_bytes(), 0, "fresh pool owns no buffers");
+        assert_eq!(pool.with(|s| reach_count(&g, NodeId(0), s)), 64);
+        let warm = pool.approx_bytes();
+        assert!(warm > 0, "used arena must be accounted");
+        // A second serial traversal checks out the same warm arena.
+        assert_eq!(pool.with(|s| reach_count(&g, NodeId(1), s)), 63);
+        assert_eq!(pool.approx_bytes(), warm);
+        // Clones (instance copies) start cold.
+        assert_eq!(pool.clone().approx_bytes(), 0);
+    }
+
+    #[test]
+    fn scratch_pool_serves_concurrent_workers() {
+        let g = line_graph(32);
+        let pool = ScratchPool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..32u32 {
+                        let n = pool.with(|s| reach_count(&g, NodeId(i), s));
+                        assert_eq!(n, 32 - i as u64);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! in this workspace increments a shared counter per evaluation; clones of
 //! a counter share the same underlying tally, so SIEVEADN instance copies
 //! made by HISTAPPROX keep contributing to one experiment-wide total.
+//!
+//! The tally is an atomic, so it stays **exact under concurrency**: the
+//! parallel execution engine's workers bill the same counter from many
+//! threads, and because every parallel region joins before its tracker
+//! step returns, a read after the step observes the complete count — equal
+//! at any `TDN_THREADS` setting. Hot loops can use [`OracleCounter::batch`]
+//! to accumulate locally (one atomic add per worker instead of per call).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,6 +49,56 @@ impl OracleCounter {
     pub fn reset(&self) {
         self.0.store(0, Ordering::Relaxed);
     }
+
+    /// Creates a per-worker handle that accumulates increments locally and
+    /// merges them into the shared tally when dropped (or on
+    /// [`CounterBatch::flush`]). Used by parallel loops so contended
+    /// atomics do not serialize the workers.
+    pub fn batch(&self) -> CounterBatch<'_> {
+        CounterBatch {
+            counter: self,
+            pending: 0,
+        }
+    }
+}
+
+/// A per-worker oracle-call accumulator; see [`OracleCounter::batch`].
+///
+/// Dropping the batch merges its pending count, so as long as the batch is
+/// confined to one parallel region the shared tally is exact once that
+/// region joins.
+#[derive(Debug)]
+pub struct CounterBatch<'a> {
+    counter: &'a OracleCounter,
+    pending: u64,
+}
+
+impl CounterBatch<'_> {
+    /// Records one oracle call (no atomic traffic until the merge).
+    #[inline]
+    pub fn incr(&mut self) {
+        self.pending += 1;
+    }
+
+    /// Records `n` oracle calls.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.pending += n;
+    }
+
+    /// Merges the pending count into the shared tally now.
+    pub fn flush(&mut self) {
+        if self.pending > 0 {
+            self.counter.add(self.pending);
+            self.pending = 0;
+        }
+    }
+}
+
+impl Drop for CounterBatch<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
 }
 
 #[cfg(test)]
@@ -58,5 +115,35 @@ mod tests {
         assert_eq!(b.get(), 5);
         a.reset();
         assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn batches_merge_on_flush_and_drop() {
+        let c = OracleCounter::new();
+        let mut b = c.batch();
+        b.incr();
+        b.add(2);
+        assert_eq!(c.get(), 0, "pending counts are local until merged");
+        b.flush();
+        assert_eq!(c.get(), 3);
+        b.incr();
+        drop(b);
+        assert_eq!(c.get(), 4, "drop merges the remainder");
+    }
+
+    #[test]
+    fn concurrent_batches_stay_exact() {
+        let c = OracleCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut b = c.batch();
+                    for _ in 0..1000 {
+                        b.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
     }
 }

@@ -26,8 +26,8 @@ pub mod sieve;
 pub mod thresholds;
 
 pub use brute_force::{brute_force_argmax, brute_force_best};
-pub use counting::OracleCounter;
+pub use counting::{CounterBatch, OracleCounter};
 pub use lazy_greedy::{eager_greedy, lazy_greedy, GreedyResult};
-pub use objective::{IncrementalObjective, WeightedCoverage};
+pub use objective::{IncrementalObjective, SharedObjective, WeightedCoverage};
 pub use sieve::{SieveSlot, SieveStreaming};
 pub use thresholds::{LadderChange, ThresholdLadder};

@@ -30,6 +30,25 @@ pub trait IncrementalObjective {
     fn value(&self, state: &Self::State) -> f64;
 }
 
+/// An objective whose evaluations are safe to run concurrently from many
+/// workers against *distinct* solution states.
+///
+/// This is what lets the threshold ladder fan candidate admission out
+/// across cores: each threshold owns its state, the objective itself is
+/// only read (any internal accounting must be atomic — see
+/// [`OracleCounter`](crate::counting::OracleCounter)). Implementations
+/// must give `gain_shared`/`commit_shared` semantics identical to
+/// [`IncrementalObjective::gain`]/[`commit`](IncrementalObjective::commit)
+/// so serial and parallel admission produce bit-identical solutions.
+pub trait SharedObjective: IncrementalObjective + Sync {
+    /// [`IncrementalObjective::gain`] through a shared reference.
+    fn gain_shared(&self, state: &Self::State, e: Self::Elem) -> f64;
+
+    /// [`IncrementalObjective::commit`] through a shared reference (the
+    /// state is still exclusive to the caller).
+    fn commit_shared(&self, state: &mut Self::State, e: Self::Elem) -> f64;
+}
+
 /// A weighted-coverage toy objective over small universes, used by unit and
 /// property tests as a trusted reference implementation.
 #[derive(Clone, Debug)]
@@ -38,8 +57,9 @@ pub struct WeightedCoverage {
     pub sets: Vec<Vec<u32>>,
     /// `weights[x]` = weight of universe element `x` (1.0 = plain coverage).
     pub weights: Vec<f64>,
-    /// Oracle calls performed.
-    pub calls: u64,
+    /// Oracle calls performed (atomic so shared-reference evaluation from
+    /// parallel admission keeps the tally exact; read via `calls.get()`).
+    pub calls: crate::counting::OracleCounter,
 }
 
 impl WeightedCoverage {
@@ -48,7 +68,7 @@ impl WeightedCoverage {
         WeightedCoverage {
             sets,
             weights: vec![1.0; universe],
-            calls: 0,
+            calls: crate::counting::OracleCounter::new(),
         }
     }
 
@@ -66,22 +86,32 @@ impl IncrementalObjective for WeightedCoverage {
     type State = CoverState;
 
     fn gain(&mut self, state: &CoverState, e: usize) -> f64 {
-        self.calls += 1;
+        self.gain_shared(state, e)
+    }
+
+    fn commit(&mut self, state: &mut CoverState, e: usize) -> f64 {
+        self.commit_shared(state, e)
+    }
+
+    fn value(&self, state: &CoverState) -> f64 {
+        state.value
+    }
+}
+
+impl SharedObjective for WeightedCoverage {
+    fn gain_shared(&self, state: &CoverState, e: usize) -> f64 {
+        self.calls.incr();
         let covered = state.covered(self.weights.len());
         self.gain_of(&covered, e)
     }
 
-    fn commit(&mut self, state: &mut CoverState, e: usize) -> f64 {
-        self.calls += 1;
+    fn commit_shared(&self, state: &mut CoverState, e: usize) -> f64 {
+        self.calls.incr();
         let covered = state.covered(self.weights.len());
         let g = self.gain_of(&covered, e);
         state.elems.extend(self.sets[e].iter().copied());
         state.value += g;
         g
-    }
-
-    fn value(&self, state: &CoverState) -> f64 {
-        state.value
     }
 }
 
@@ -130,6 +160,6 @@ mod tests {
         assert_eq!(f.commit(&mut s, 0), 2.0);
         assert_eq!(f.commit(&mut s, 1), 1.0);
         assert_eq!(f.value(&s), 3.0);
-        assert!(f.calls >= 2);
+        assert!(f.calls.get() >= 2);
     }
 }

@@ -7,7 +7,7 @@
 //! for any [`IncrementalObjective`]; `tdn-core` specializes the same logic
 //! for the time-varying influence oracle.
 
-use crate::objective::IncrementalObjective;
+use crate::objective::{IncrementalObjective, SharedObjective};
 use crate::thresholds::ThresholdLadder;
 use std::collections::BTreeMap;
 
@@ -19,6 +19,10 @@ pub struct SieveSlot<E, S> {
     /// Incremental solution state.
     pub state: S,
 }
+
+/// An exponent-tagged exclusive slot reference — one parallel-admission
+/// work item.
+type SlotRef<'a, E, S> = (i64, &'a mut SieveSlot<E, S>);
 
 /// Generic SIEVESTREAMING over an incremental objective.
 #[derive(Clone, Debug)]
@@ -92,6 +96,54 @@ where
     pub fn process_auto(&mut self, obj: &mut O, e: O::Elem) {
         let singleton = obj.gain(&O::State::default(), e);
         self.process(obj, e, singleton);
+    }
+
+    /// [`process`](Self::process) with candidate admission fanned out
+    /// across thresholds on the parallel execution engine.
+    ///
+    /// Every threshold's accept/reject decision depends only on that
+    /// threshold's own partial solution, so the per-slot work items are
+    /// independent and the outcome is bit-identical to the serial path at
+    /// any thread count (the ladder update itself stays serial — it is
+    /// order-sensitive and O(1)). Worth it when oracle evaluations are
+    /// expensive (e.g. reachability BFS); the toy coverage objective in the
+    /// tests only demonstrates equivalence.
+    pub fn process_shared(&mut self, obj: &O, e: O::Elem, singleton: f64)
+    where
+        O: SharedObjective,
+        O::Elem: Send + Sync,
+        O::State: Send,
+    {
+        if let Some(change) = self.ladder.update_delta(singleton) {
+            self.slots.retain(|i, _| change.kept.contains(i));
+            for i in change.added {
+                self.slots.insert(
+                    i,
+                    SieveSlot {
+                        seeds: Vec::new(),
+                        state: O::State::default(),
+                    },
+                );
+            }
+        }
+        let k = self.ladder.k();
+        let ladder = &self.ladder;
+        let mut slots: Vec<SlotRef<'_, O::Elem, O::State>> =
+            self.slots.iter_mut().map(|(&i, s)| (i, s)).collect();
+        exec::par_for_each_mut(&mut slots, |(i, slot)| {
+            if slot.seeds.len() >= k {
+                return;
+            }
+            let theta = ladder.theta(*i);
+            if singleton < theta {
+                return;
+            }
+            let gain = obj.gain_shared(&slot.state, e);
+            if gain >= theta {
+                obj.commit_shared(&mut slot.state, e);
+                slot.seeds.push(e);
+            }
+        });
     }
 
     /// Returns the best slot's seeds and value (Alg. 1 line 12), or an empty
@@ -187,6 +239,51 @@ mod tests {
                 "trial {trial}: val {val} < (1/2-eps)·OPT {}",
                 (0.5 - eps) * opt
             );
+        }
+    }
+
+    #[test]
+    fn shared_admission_matches_serial_at_any_thread_count() {
+        // Same deterministic instance stream as the guarantee test; the
+        // parallel admission path must reproduce the serial sieve exactly —
+        // same seeds, same value, same oracle-call count.
+        let mut rng_state = 0xBEEF_CAFE_u64;
+        let mut next = move || {
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng_state >> 33
+        };
+        let n = 12usize;
+        let universe = 15;
+        let sets: Vec<Vec<u32>> = (0..n)
+            .map(|_| (0..universe as u32).filter(|_| next() % 3 == 0).collect())
+            .collect();
+        let run_serial = || {
+            let mut f = WeightedCoverage::unit(sets.clone(), universe);
+            let mut sieve: SieveStreaming<WeightedCoverage> = SieveStreaming::new(0.1, 3);
+            for e in 0..n {
+                let singleton = f.gain(&Default::default(), e);
+                sieve.process(&mut f, e, singleton);
+            }
+            let (seeds, val) = sieve.best(&f);
+            (seeds, val, f.calls.get())
+        };
+        let run_shared = |threads: usize| {
+            exec::with_threads(threads, || {
+                let f = WeightedCoverage::unit(sets.clone(), universe);
+                let mut sieve: SieveStreaming<WeightedCoverage> = SieveStreaming::new(0.1, 3);
+                for e in 0..n {
+                    let singleton = f.gain_shared(&Default::default(), e);
+                    sieve.process_shared(&f, e, singleton);
+                }
+                let (seeds, val) = sieve.best(&f);
+                (seeds, val, f.calls.get())
+            })
+        };
+        let reference = run_serial();
+        for threads in [1, 2, 4] {
+            assert_eq!(run_shared(threads), reference, "threads = {threads}");
         }
     }
 

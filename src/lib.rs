@@ -35,7 +35,9 @@
 //!   generators (Table I);
 //! * [`tdn_submodular`] — SieveStreaming, CELF, threshold ladders;
 //! * [`tdn_core`] — SIEVEADN / BASICREDUCTION / HISTAPPROX + baselines;
-//! * [`tdn_baselines`] — IC-model RIS baselines (DIM, IMM, TIM+).
+//! * [`tdn_baselines`] — IC-model RIS baselines (DIM, IMM, TIM+);
+//! * [`parallel`] — the execution engine fanning instance/threshold work
+//!   across cores (`TDN_THREADS`, deterministic at any thread count).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured results of every table and figure.
@@ -47,6 +49,12 @@ pub use tdn_core as algorithms;
 pub use tdn_graph as graph;
 pub use tdn_streams as streams;
 pub use tdn_submodular as submodular;
+
+/// The parallel execution engine: scoped thread pool, `par_map`-style
+/// deterministic fan-out, and the `TDN_THREADS` / `with_threads` thread
+/// count controls. All trackers parallelize through this engine; results
+/// are bit-identical at any thread count.
+pub use ::exec as parallel;
 
 /// One-stop imports for applications.
 pub mod prelude {

@@ -1,0 +1,126 @@
+//! Determinism suite for the parallel execution engine: at any
+//! `TDN_THREADS` setting every tracker must produce **bit-identical**
+//! per-step solutions *and* identical oracle-call tallies, because the
+//! engine only parallelizes over independent instances/thresholds/nodes —
+//! never over order-sensitive state (DESIGN.md "Concurrency architecture").
+//!
+//! These are property tests over randomized schedules; the thread count is
+//! pinned per replay with `exec::with_threads` (a thread-local override),
+//! so concurrently running test threads cannot disturb each other.
+
+use proptest::prelude::*;
+use tdn::prelude::*;
+
+/// One scheduled edge: (step, src, dst, lifetime).
+type Ev = (u8, u8, u8, u8);
+
+fn schedule() -> impl Strategy<Value = Vec<Ev>> {
+    prop::collection::vec((0u8..16, 0u8..12, 0u8..12, 1u8..10), 1..70)
+}
+
+/// Replays `evs` through a fresh tracker with the engine pinned to
+/// `threads`, returning every step's solution and the final oracle tally.
+fn replay<T: InfluenceTracker>(
+    mk: impl Fn() -> T,
+    evs: &[Ev],
+    threads: usize,
+) -> (Vec<Solution>, u64) {
+    exec::with_threads(threads, || {
+        let mut tracker = mk();
+        let max_t = evs.iter().map(|e| e.0).max().unwrap_or(0) as Time;
+        let mut sols = Vec::new();
+        for t in 0..=max_t {
+            let batch: Vec<TimedEdge> = evs
+                .iter()
+                .filter(|e| e.0 as Time == t && e.1 != e.2)
+                .map(|e| TimedEdge::new(e.1 as u32, e.2 as u32, e.3 as Lifetime))
+                .collect();
+            sols.push(tracker.step(t, &batch));
+        }
+        (sols, tracker.oracle_calls())
+    })
+}
+
+/// Asserts 2- and 4-thread replays equal the serial replay exactly.
+fn assert_thread_invariant<T: InfluenceTracker>(
+    mk: impl Fn() -> T,
+    evs: &[Ev],
+) -> Result<(), TestCaseError> {
+    let reference = replay(&mk, evs, 1);
+    for threads in [2usize, 4] {
+        let got = replay(&mk, evs, threads);
+        prop_assert_eq!(
+            &got.0,
+            &reference.0,
+            "solutions diverged at {} threads",
+            threads
+        );
+        prop_assert_eq!(
+            got.1,
+            reference.1,
+            "oracle-call tally diverged at {} threads",
+            threads
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn sieve_adn_is_thread_count_invariant(evs in schedule()) {
+        assert_thread_invariant(
+            || SieveAdnTracker::new(&TrackerConfig::new(3, 0.2, 8)),
+            &evs,
+        )?;
+    }
+
+    #[test]
+    fn basic_reduction_is_thread_count_invariant(evs in schedule()) {
+        assert_thread_invariant(
+            || BasicReduction::new(&TrackerConfig::new(3, 0.2, 8)),
+            &evs,
+        )?;
+    }
+
+    #[test]
+    fn hist_approx_is_thread_count_invariant(evs in schedule()) {
+        assert_thread_invariant(
+            || HistApprox::new(&TrackerConfig::new(3, 0.2, 8)),
+            &evs,
+        )?;
+    }
+
+    #[test]
+    fn hist_approx_refeed_is_thread_count_invariant(evs in schedule()) {
+        assert_thread_invariant(
+            || HistApprox::new(&TrackerConfig::new(2, 0.15, 10)).with_refeed(),
+            &evs,
+        )?;
+    }
+}
+
+/// Fixed-seed smoke check exercising a larger horizon than the property
+/// cases, including bursts (many edges per tick) so every parallel phase
+/// sees multi-chunk fan-out.
+#[test]
+fn bursty_stream_is_thread_count_invariant() {
+    let mut state = 0x0D15_EA5E_u64;
+    let mut rnd = move |m: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) % m
+    };
+    let mut evs: Vec<Ev> = Vec::new();
+    for t in 0..24u8 {
+        for _ in 0..(4 + rnd(12)) {
+            evs.push((t, rnd(30) as u8, rnd(30) as u8, 1 + rnd(12) as u8));
+        }
+    }
+    let mk = || HistApprox::new(&TrackerConfig::new(5, 0.2, 12));
+    let reference = replay(mk, &evs, 1);
+    assert!(reference.1 > 0, "workload must exercise the oracle");
+    for threads in [2usize, 3, 4, 8] {
+        assert_eq!(replay(mk, &evs, threads), reference, "threads = {threads}");
+    }
+}

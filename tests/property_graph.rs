@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 use tdn::graph::{
-    marginal_gain, reach_collect, reach_count, AdnGraph, CoverSet, FxHashSet, OutGraph,
+    marginal_gain, reach_collect, reach_count, AdnGraph, CoverSet, FxHashSet, IndexedSet, OutGraph,
     ReachScratch, TdnGraph,
 };
 use tdn::prelude::*;
@@ -165,5 +165,44 @@ proptest! {
         reach_collect(&g, NodeId(probe as u32), &mut scratch, &mut buf);
         let expect = buf.iter().filter(|n| !union.contains(n)).count() as u64;
         prop_assert_eq!(gain, expect);
+    }
+
+    /// `IndexedSet`'s swap-remove bookkeeping stays consistent with a
+    /// reference set under arbitrary interleavings of inserts (node
+    /// arrivals) and removes (expirations): membership, length, and the
+    /// index ↔ position map must agree after every operation.
+    #[test]
+    fn indexed_set_swap_remove_under_interleaved_insert_expire(
+        ops in prop::collection::vec((0u8..2, 0u8..24), 1..80),
+    ) {
+        let mut set = IndexedSet::new();
+        let mut model: FxHashSet<NodeId> = FxHashSet::default();
+        for &(op, raw) in &ops {
+            let n = NodeId(raw as u32);
+            if op == 0 {
+                prop_assert_eq!(set.insert(n), model.insert(n), "insert {:?}", n);
+            } else {
+                prop_assert_eq!(set.remove(n), model.remove(&n), "remove {:?}", n);
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.contains(n), model.contains(&n));
+            // Every position resolves to a distinct live member (the
+            // swap-remove must have patched the displaced element's slot),
+            // and out-of-range access stays None.
+            let mut seen_members: FxHashSet<NodeId> = FxHashSet::default();
+            for i in 0..set.len() {
+                let m = set.get(i).expect("position in range");
+                prop_assert!(model.contains(&m), "stale member {:?} at {}", m, i);
+                prop_assert!(seen_members.insert(m), "duplicate {:?} at {}", m, i);
+            }
+            prop_assert_eq!(set.get(set.len()), None);
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        // Final sweep: the slice view covers the model exactly.
+        let mut got: Vec<NodeId> = set.as_slice().to_vec();
+        let mut expect: Vec<NodeId> = model.iter().copied().collect();
+        got.sort();
+        expect.sort();
+        prop_assert_eq!(got, expect);
     }
 }

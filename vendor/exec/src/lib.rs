@@ -1,0 +1,426 @@
+//! Offline, dependency-free parallel execution shim: a persistent scoped
+//! thread pool plus the small `rayon`-like API subset this workspace uses
+//! ([`par_map`], [`par_for_each_mut`], [`join`]).
+//!
+//! The build container has no registry access, so this crate stands in for
+//! a real data-parallelism dependency via a `[workspace.dependencies]` path
+//! entry. It is deliberately tiny: work is split into one contiguous chunk
+//! per worker, the calling thread executes the first chunk itself, and a
+//! latch joins the rest before the call returns — so borrowed inputs behave
+//! exactly like `std::thread::scope`, but worker threads persist across
+//! calls and amortize spawn cost over a whole stream run.
+//!
+//! ## Determinism contract
+//!
+//! Results are **bit-identical at any thread count**: `par_map` writes each
+//! result into its input's slot (output order = input order), and
+//! `par_for_each_mut` hands every element to the closure exactly once with
+//! no shared mutable state. Callers uphold the rest by only parallelizing
+//! over independent work items — see DESIGN.md "Concurrency architecture".
+//!
+//! ## Thread-count resolution
+//!
+//! [`threads`] resolves, in order: the innermost [`with_threads`] override
+//! on the calling thread, then the `TDN_THREADS` environment variable, then
+//! the serial fallback of `1`. Inside a pool worker the answer is always 1,
+//! so nested parallel calls run serially instead of oversubscribing (and a
+//! worker can never block on a latch, which keeps the pool deadlock-free).
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on the worker count, guarding against absurd `TDN_THREADS`.
+pub const MAX_THREADS: usize = 64;
+
+thread_local! {
+    /// Innermost `with_threads` override (0 = none, fall through to env).
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Whether the current thread is a pool worker (nested calls go serial).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The effective parallelism for work issued from the calling thread.
+///
+/// Resolution order: [`with_threads`] override → `TDN_THREADS` env var →
+/// `1` (serial). Always in `[1, MAX_THREADS]`; always `1` inside a worker.
+pub fn threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let over = OVERRIDE.with(Cell::get);
+    if over > 0 {
+        return over.min(MAX_THREADS);
+    }
+    std::env::var("TDN_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map_or(1, |n| n.min(MAX_THREADS))
+}
+
+/// Runs `f` with the calling thread's parallelism pinned to `n` (restoring
+/// the previous setting afterwards, even on panic). `n = 0` clears the
+/// override, falling back to `TDN_THREADS`.
+///
+/// The override is thread-local, so concurrent callers (e.g. test threads)
+/// never observe each other's setting.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(n.min(MAX_THREADS))));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// The persistent pool.
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Grows the worker set to at least `want` threads (never shrinks:
+    /// parked workers cost one stack each and nothing else).
+    fn ensure_workers(&'static self, want: usize) {
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < want.min(MAX_THREADS) {
+            *spawned += 1;
+            let id = *spawned;
+            std::thread::Builder::new()
+                .name(format!("tdn-exec-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn exec pool worker");
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+
+    fn worker_loop(&self) {
+        IN_WORKER.with(|w| w.set(true));
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    match q.pop_front() {
+                        Some(j) => break j,
+                        None => q = self.available.wait(q).unwrap(),
+                    }
+                }
+            };
+            job();
+        }
+    }
+}
+
+/// Completion latch for one scoped batch; also carries the first panic.
+struct Latch {
+    state: Mutex<(usize, Option<Box<dyn Any + Send>>)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Arc<Self> {
+        Arc::new(Latch {
+            state: Mutex::new((remaining, None)),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().unwrap();
+        st.0 -= 1;
+        if st.1.is_none() {
+            st.1 = panic;
+        }
+        if st.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.0 > 0 {
+            st = self.done.wait(st).unwrap();
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().unwrap().1.take()
+    }
+}
+
+/// Runs `jobs[0]` on the calling thread and the rest on pool workers,
+/// returning only after every job has finished. The first panic (from any
+/// job) is re-raised on the caller.
+fn run_scoped(mut jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    debug_assert!(!jobs.is_empty());
+    let first = jobs.remove(0);
+    let latch = Latch::new(jobs.len());
+    let p = pool();
+    p.ensure_workers(jobs.len());
+    /// Blocks frame exit — normal or unwinding — until every *submitted*
+    /// job has completed; jobs never submitted (an unwind mid-loop) are
+    /// accounted down so the wait cannot hang.
+    struct WaitGuard<'l> {
+        latch: &'l Latch,
+        unsubmitted: usize,
+    }
+    impl Drop for WaitGuard<'_> {
+        fn drop(&mut self) {
+            for _ in 0..self.unsubmitted {
+                self.latch.complete(None);
+            }
+            self.latch.wait();
+        }
+    }
+    // The guard is installed BEFORE the first submission, so from the
+    // moment any transmuted job exists outside this frame, leaving the
+    // frame joins it first.
+    let mut guard = WaitGuard {
+        latch: &latch,
+        unsubmitted: jobs.len(),
+    };
+    for job in jobs {
+        let latch = Arc::clone(&latch);
+        // SAFETY: the job borrows stack data of this call frame. The frame
+        // cannot be left before the job finishes: the already-armed
+        // WaitGuard blocks on the latch during unwinding too, and every
+        // submitted job — panicking or not — counts the latch down exactly
+        // once (the guard covers never-submitted remainders itself).
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        p.submit(Box::new(move || {
+            let res = catch_unwind(AssertUnwindSafe(job));
+            latch.complete(res.err());
+        }));
+        guard.unsubmitted -= 1;
+    }
+    first();
+    drop(guard);
+    if let Some(payload) = latch.take_panic() {
+        resume_unwind(payload);
+    }
+}
+
+/// Chunk width splitting `len` items across `workers` chunks.
+fn chunk_width(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Public parallel operations.
+// ---------------------------------------------------------------------------
+
+/// Maps `f` over `items`, in parallel across [`threads`] workers.
+///
+/// Output order equals input order regardless of scheduling, so results are
+/// bit-identical at any thread count.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let width = chunk_width(items.len(), workers);
+    let f = &f;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = items
+        .chunks(width)
+        .zip(out.chunks_mut(width))
+        .map(|(ins, outs)| {
+            Box::new(move || {
+                for (slot, item) in outs.iter_mut().zip(ins) {
+                    *slot = Some(f(item));
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_scoped(jobs);
+    out.into_iter()
+        .map(|slot| slot.expect("every chunk completed"))
+        .collect()
+}
+
+/// Calls `f` on every element of `items`, in parallel across [`threads`]
+/// workers. Elements are visited exactly once with exclusive access, so
+/// any per-element mutation is race-free by construction.
+pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync) {
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let width = chunk_width(items.len(), workers);
+    let f = &f;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = items
+        .chunks_mut(width)
+        .map(|chunk| {
+            Box::new(move || {
+                for item in chunk {
+                    f(item);
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_scoped(jobs);
+}
+
+/// Runs the two closures, potentially in parallel, returning both results.
+pub fn join<RA: Send, RB: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    if threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let mut ra = None;
+    let mut rb = None;
+    run_scoped(vec![
+        Box::new(|| ra = Some(a())),
+        Box::new(|| rb = Some(b())),
+    ]);
+    (
+        ra.expect("join: first closure ran"),
+        rb.expect("join: second closure ran"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_matches_serial_and_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for n in [1, 2, 3, 4, 7] {
+            let par = with_threads(n, || par_map(&items, |&x| x * x + 1));
+            assert_eq!(par, serial, "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_element_once() {
+        for n in [1, 2, 4, 9] {
+            let mut items: Vec<u32> = vec![0; 537];
+            with_threads(n, || par_for_each_mut(&mut items, |x| *x += 1));
+            assert!(items.iter().all(|&x| x == 1), "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_are_fine() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(with_threads(4, || par_map(&empty, |&x| x)).is_empty());
+        let mut one = [7u8];
+        with_threads(4, || par_for_each_mut(&mut one, |x| *x *= 2));
+        assert_eq!(one, [14]);
+    }
+
+    #[test]
+    fn with_threads_is_scoped_and_restored() {
+        let outer = threads();
+        with_threads(5, || {
+            assert_eq!(threads(), 5);
+            with_threads(2, || assert_eq!(threads(), 2));
+            assert_eq!(threads(), 5);
+        });
+        assert_eq!(threads(), outer);
+    }
+
+    #[test]
+    fn nested_calls_inside_workers_run_serially() {
+        // Record the maximum override a nested call observes inside workers:
+        // workers always report 1 thread.
+        let observed = AtomicUsize::new(0);
+        with_threads(4, || {
+            let items: Vec<u32> = (0..16).collect();
+            par_for_each_mut(&mut items.clone(), |_| {
+                // Either the caller thread (threads() = 4) or a pool worker
+                // (threads() = 1); nested maps must still be correct.
+                let nested = par_map(&[1u32, 2, 3], |&x| x + 1);
+                assert_eq!(nested, vec![2, 3, 4]);
+                observed.fetch_max(threads(), Ordering::Relaxed);
+            });
+        });
+        assert!(observed.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for n in [1, 4] {
+            let (a, b) = with_threads(n, || join(|| 2 + 2, || "ok"));
+            assert_eq!((a, b), (4, "ok"));
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = catch_unwind(|| {
+            with_threads(4, || {
+                let items: Vec<u32> = (0..64).collect();
+                let _ = par_map(&items, |&x| {
+                    if x == 63 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                });
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The pool must stay usable afterwards.
+        let ok = with_threads(4, || par_map(&[1u32, 2, 3], |&x| x * 10));
+        assert_eq!(ok, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_the_call() {
+        // run_scoped joins before returning, so mutations through &mut
+        // borrows are complete and visible here.
+        let mut acc: Vec<Vec<usize>> = (0..8).map(|i| vec![i]).collect();
+        with_threads(3, || {
+            par_for_each_mut(&mut acc, |v| {
+                let base = v[0];
+                v.extend((1..4).map(|d| base + d));
+            })
+        });
+        for (i, v) in acc.iter().enumerate() {
+            assert_eq!(v, &vec![i, i + 1, i + 2, i + 3]);
+        }
+    }
+
+    #[test]
+    fn thread_cap_is_enforced() {
+        with_threads(10_000, || assert_eq!(threads(), MAX_THREADS));
+    }
+}
