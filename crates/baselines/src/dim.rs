@@ -1,4 +1,4 @@
-//! DIM (Ohsaka et al., VLDB 2016 [17]) — a dynamically *updatable* RR-set
+//! DIM (Ohsaka et al., VLDB 2016 \[17\]) — a dynamically *updatable* RR-set
 //! index for fully dynamic graphs, with sketch-size parameter `β`.
 //!
 //! Maintained state: a pool of RR sketches with an inverted node→sketch

@@ -1,4 +1,4 @@
-//! IMM (Tang et al., SIGMOD 2015 [6]) — martingale-based RIS influence
+//! IMM (Tang et al., SIGMOD 2015 \[6\]) — martingale-based RIS influence
 //! maximization, rerun on each query over the current graph snapshot.
 //!
 //! Reproduction notes (see DESIGN.md §5): the two-phase structure —

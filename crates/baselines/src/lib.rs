@@ -6,7 +6,7 @@
 //!
 //! * [`ic`] — `p_uv = 2/(1+e^{−0.2x}) − 1`;
 //! * [`rr`] — reverse-reachable set sampling and incremental extension;
-//! * [`max_cover`] — greedy maximum coverage over RR pools;
+//! * [`max_cover()`] — greedy maximum coverage over RR pools;
 //! * [`imm::ImmTracker`] — IMM (static-index, rebuilt per query);
 //! * [`tim::TimTracker`] — TIM+ (two-phase, rebuilt per query);
 //! * [`dim::DimTracker`] — DIM (dynamically maintained sketches, `β`).

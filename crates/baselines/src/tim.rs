@@ -1,4 +1,4 @@
-//! TIM+ (Tang et al., SIGMOD 2014 [4]) — two-phase RIS influence
+//! TIM+ (Tang et al., SIGMOD 2014 \[4\]) — two-phase RIS influence
 //! maximization: KPT estimation, then `θ = λ/KPT` RR sampling plus greedy
 //! max-coverage.
 //!

@@ -1,10 +1,13 @@
 //! Experiment CLI: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <target>... [--full] [--out DIR]
-//!   targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations all
-//!   --full   paper-scale sweeps (default: quick)
-//!   --out    output directory for CSVs (default: results)
+//! experiments <target>... [--full] [--out DIR] [--checkpoint-every N]
+//!   targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//!            ablations throughput restore all
+//!   --full               paper-scale sweeps (default: quick)
+//!   --out                output directory for CSVs (default: results)
+//!   --checkpoint-every   steps between checkpoints for the `restore`
+//!                        target (default: an eighth of the stream)
 //! ```
 //!
 //! Figs. 8–10 come from shared runs (one runner), as do Figs. 13–14.
@@ -12,13 +15,16 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tdn_bench::experiments::{ablations, fig11_12, fig13_14, fig7, fig8_10, table1, throughput};
+use tdn_bench::experiments::{
+    ablations, fig11_12, fig13_14, fig7, fig8_10, restore, table1, throughput,
+};
 use tdn_bench::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <target>... [--full] [--out DIR]\n\
-         targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations throughput all"
+        "usage: experiments <target>... [--full] [--out DIR] [--checkpoint-every N]\n\
+         targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations \
+         throughput restore all"
     );
     ExitCode::FAILURE
 }
@@ -30,6 +36,7 @@ fn main() -> ExitCode {
     }
     let mut full = false;
     let mut out = PathBuf::from("results");
+    let mut checkpoint_every: Option<usize> = None;
     let mut targets: BTreeSet<&str> = BTreeSet::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -40,8 +47,12 @@ fn main() -> ExitCode {
                 Some(dir) => out = PathBuf::from(dir),
                 None => return usage(),
             },
+            "--checkpoint-every" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => checkpoint_every = Some(n),
+                _ => return usage(),
+            },
             t @ ("table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
-            | "fig14" | "ablations" | "throughput") => {
+            | "fig14" | "ablations" | "throughput" | "restore") => {
                 // Shared runners: figs 8-10 and 13-14 are joint.
                 targets.insert(match t {
                     "fig9" | "fig10" => "fig8",
@@ -59,6 +70,7 @@ fn main() -> ExitCode {
                     "fig13",
                     "ablations",
                     "throughput",
+                    "restore",
                 ] {
                     targets.insert(t);
                 }
@@ -87,6 +99,7 @@ fn main() -> ExitCode {
             "fig13" => fig13_14::run(&out, &scale),
             "ablations" => ablations::run(&out, &scale),
             "throughput" => throughput::run(&out, &scale),
+            "restore" => restore::run(&out, &scale, checkpoint_every),
             _ => unreachable!("validated above"),
         };
         match res {

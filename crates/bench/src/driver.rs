@@ -2,9 +2,11 @@
 //! every tracker replays the *same* edges and lifetimes, then runs trackers
 //! recording per-step value, cumulative oracle calls, and wall time.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
-use tdn_core::InfluenceTracker;
+use tdn_core::{InfluenceTracker, TrackerConfig};
 use tdn_graph::{Lifetime, Time};
+use tdn_persist::{save_checkpoint, Persist, PersistError};
 use tdn_streams::{
     Dataset, GeometricLifetime, Interaction, LifetimeAssigner, StepBatches, TimedEdge,
 };
@@ -147,11 +149,24 @@ impl RunLog {
 
 /// Runs a tracker over a prepared stream.
 pub fn run_tracker(tracker: &mut dyn InfluenceTracker, stream: &PreparedStream) -> RunLog {
-    let mut values = Vec::with_capacity(stream.len());
-    let mut calls = Vec::with_capacity(stream.len());
-    let mut step_secs = Vec::with_capacity(stream.len());
-    let start = Instant::now();
-    for (t, batch) in &stream.steps {
+    run_tracker_from(tracker, stream, 0)
+}
+
+/// Runs a tracker over the tail of a prepared stream, starting at step
+/// index `start` — the warm-restart entry point: restore a checkpoint whose
+/// manifest says `step = start`, then feed `stream.steps[start..]`.
+pub fn run_tracker_from(
+    tracker: &mut dyn InfluenceTracker,
+    stream: &PreparedStream,
+    start: usize,
+) -> RunLog {
+    let tail = &stream.steps[start..];
+    let mut values = Vec::with_capacity(tail.len());
+    let mut calls = Vec::with_capacity(tail.len());
+    let mut step_secs = Vec::with_capacity(tail.len());
+    let edges = tail.iter().map(|(_, b)| b.len() as u64).sum();
+    let start_clock = Instant::now();
+    for (t, batch) in tail {
         let step_start = Instant::now();
         let sol = tracker.step(*t, batch);
         step_secs.push(step_start.elapsed().as_secs_f64());
@@ -163,9 +178,73 @@ pub fn run_tracker(tracker: &mut dyn InfluenceTracker, stream: &PreparedStream) 
         values,
         calls,
         step_secs,
-        wall_secs: start.elapsed().as_secs_f64(),
-        edges: stream.edges,
+        wall_secs: start_clock.elapsed().as_secs_f64(),
+        edges,
     }
+}
+
+/// One checkpoint written by [`run_tracker_checkpointed`].
+pub struct CheckpointRecord {
+    /// Stream position recorded in the manifest: steps already processed
+    /// (restore resumes feeding at this index).
+    pub step: u64,
+    /// Where the checkpoint file landed.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Wall-clock seconds the serialize-and-write took (the pause a live
+    /// deployment would observe).
+    pub save_secs: f64,
+}
+
+/// Runs a tracker over a prepared stream, writing a checkpoint into `dir`
+/// every `every` processed steps (`ckpt_<step>.tdnc`). The returned log is
+/// identical to [`run_tracker`]'s — checkpointing reads state but never
+/// mutates it — plus the record of every checkpoint written.
+pub fn run_tracker_checkpointed<T: InfluenceTracker + Persist>(
+    tracker: &mut T,
+    stream: &PreparedStream,
+    cfg: &TrackerConfig,
+    every: usize,
+    dir: &Path,
+) -> Result<(RunLog, Vec<CheckpointRecord>), PersistError> {
+    assert!(every >= 1, "checkpoint interval must be positive");
+    std::fs::create_dir_all(dir)?;
+    let mut values = Vec::with_capacity(stream.len());
+    let mut calls = Vec::with_capacity(stream.len());
+    let mut step_secs = Vec::with_capacity(stream.len());
+    let mut checkpoints = Vec::new();
+    let start_clock = Instant::now();
+    for (i, (t, batch)) in stream.steps.iter().enumerate() {
+        let step_start = Instant::now();
+        let sol = tracker.step(*t, batch);
+        step_secs.push(step_start.elapsed().as_secs_f64());
+        values.push(sol.value);
+        calls.push(tracker.oracle_calls());
+        let processed = i + 1;
+        if processed % every == 0 && processed < stream.len() {
+            let path = dir.join(format!("ckpt_{processed:08}.tdnc"));
+            let save_start = Instant::now();
+            save_checkpoint(&path, tracker, cfg, processed as u64)?;
+            let save_secs = save_start.elapsed().as_secs_f64();
+            let bytes = std::fs::metadata(&path)?.len();
+            checkpoints.push(CheckpointRecord {
+                step: processed as u64,
+                path,
+                bytes,
+                save_secs,
+            });
+        }
+    }
+    let log = RunLog {
+        name: tracker.name().to_string(),
+        values,
+        calls,
+        step_secs,
+        wall_secs: start_clock.elapsed().as_secs_f64(),
+        edges: stream.edges,
+    };
+    Ok((log, checkpoints))
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ pub struct DatasetRuns {
     pub greedy: RunLog,
     /// Random floor.
     pub random: RunLog,
-    /// HISTAPPROX per ε (same order as [`EPS_GRID`]).
+    /// HISTAPPROX per ε (same order as the `EPS_GRID` constant).
     pub hist: Vec<(f64, RunLog)>,
 }
 

@@ -1,0 +1,165 @@
+//! Checkpoint/restore experiment: warm-restart cost versus full replay.
+//!
+//! The persistence layer's promise (see `tdn-persist`) is that a tracker
+//! restored from a checkpoint at step `t` and fed the remaining stream is
+//! **bit-identical** — solutions, spreads, oracle-call tallies — to one
+//! that never stopped. This experiment runs HISTAPPROX over a prepared
+//! stream with periodic checkpointing, then:
+//!
+//! 1. restores from the last checkpoint and replays the tail, asserting
+//!    the bit-identical guarantee on the live workload;
+//! 2. measures the warm-restart cost (load + decode) against the cost of
+//!    rebuilding the same state by replaying the stream prefix from
+//!    scratch — the whole point of checkpointing: restart cost becomes
+//!    proportional to *state*, not *history*.
+//!
+//! Results land in `BENCH_restore.json` (schema documented in
+//! `EXPERIMENTS.md`) so successive commits can track restore latency and
+//! checkpoint sizes.
+
+use crate::driver::{run_tracker_checkpointed, run_tracker_from, PreparedStream};
+use crate::report::{f, print_table};
+use crate::scale::Scale;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+use tdn_core::{HistApprox, InfluenceTracker, TrackerConfig};
+use tdn_persist::load_checkpoint;
+use tdn_streams::Dataset;
+
+const EPS: f64 = 0.3;
+const P: f64 = 0.001;
+const K: usize = 10;
+const L: u32 = 10_000;
+/// Ticks coalesced per arrival batch (the serving-scale arrival shape, as
+/// in the throughput experiment).
+const BATCH_TICKS: usize = 16;
+
+/// Runs the checkpoint/restore experiment and writes `BENCH_restore.json`.
+///
+/// `checkpoint_every` is the `--checkpoint-every` CLI knob: a checkpoint is
+/// written after every `N` processed steps (default: an eighth of the
+/// stream, so the quick scale still exercises several snapshots).
+pub fn run(out_dir: &Path, scale: &Scale, checkpoint_every: Option<usize>) -> std::io::Result<()> {
+    let stream =
+        PreparedStream::geometric(Dataset::TwitterHiggs, scale.seed, P, L, scale.steps_main)
+            .coalesce(BATCH_TICKS);
+    let cfg = TrackerConfig::new(K, EPS, L);
+    let every = checkpoint_every.unwrap_or_else(|| (stream.len() / 8).max(1));
+    // The driver skips a checkpoint on the final step (nothing left to
+    // resume into), so an interval that never fires mid-stream is a usage
+    // error, reported cleanly rather than via a failed assertion.
+    if every >= stream.len() {
+        return Err(std::io::Error::other(format!(
+            "--checkpoint-every {every} never fires: the prepared stream has only {} steps \
+             (choose a value below that)",
+            stream.len()
+        )));
+    }
+    let ckpt_dir = out_dir.join("checkpoints");
+
+    // Uninterrupted run, checkpointing as it goes.
+    let mut live = HistApprox::new(&cfg);
+    let (full_log, checkpoints) =
+        run_tracker_checkpointed(&mut live, &stream, &cfg, every, &ckpt_dir)
+            .map_err(|e| std::io::Error::other(format!("checkpointing failed: {e}")))?;
+
+    // Warm restart from the last checkpoint; replay the tail.
+    let last = checkpoints.last().expect("non-empty");
+    let load_start = Instant::now();
+    let (step, mut warm): (u64, HistApprox) = load_checkpoint(&last.path, &cfg)
+        .map_err(|e| std::io::Error::other(format!("restore failed: {e}")))?;
+    let load_secs = load_start.elapsed().as_secs_f64();
+    assert_eq!(step, last.step, "manifest stream position drifted");
+    let resume_at = step as usize;
+    let warm_log = run_tracker_from(&mut warm, &stream, resume_at);
+
+    // The acceptance test: the warm tail must be bit-identical to the
+    // uninterrupted run's tail — per-step values AND cumulative oracle
+    // tallies (the restored counter resumes at the saved count).
+    let deterministic = warm_log.values[..] == full_log.values[resume_at..]
+        && warm_log.calls[..] == full_log.calls[resume_at..];
+    assert!(
+        deterministic,
+        "restored HISTAPPROX diverged from the uninterrupted run"
+    );
+
+    // The alternative a deployment without checkpoints faces: rebuild the
+    // same state by replaying the whole prefix from scratch.
+    let replay_start = Instant::now();
+    let mut cold = HistApprox::new(&cfg);
+    for (t, batch) in &stream.steps[..resume_at] {
+        cold.step(*t, batch);
+    }
+    let replay_secs = replay_start.elapsed().as_secs_f64();
+    let speedup = if load_secs > 0.0 {
+        replay_secs / load_secs
+    } else {
+        f64::INFINITY
+    };
+
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_restore.json");
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"experiment\": \"checkpoint_restore\",")?;
+    writeln!(out, "  \"tracker\": \"HistApprox\",")?;
+    writeln!(
+        out,
+        "  \"workload\": {{\"dataset\": \"{}\", \"steps\": {}, \"edges\": {}, \
+         \"k\": {K}, \"eps\": {EPS}, \"max_lifetime\": {L}, \"geo_p\": {P}, \"seed\": {}}},",
+        Dataset::TwitterHiggs.slug(),
+        stream.len(),
+        stream.edges,
+        scale.seed,
+    )?;
+    writeln!(out, "  \"checkpoint_every\": {every},")?;
+    writeln!(out, "  \"checkpoints\": [")?;
+    for (i, c) in checkpoints.iter().enumerate() {
+        let sep = if i + 1 < checkpoints.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"step\": {}, \"bytes\": {}, \"save_ms\": {}}}{sep}",
+            c.step,
+            c.bytes,
+            f(c.save_secs * 1e3),
+        )?;
+    }
+    writeln!(out, "  ],")?;
+    writeln!(out, "  \"restore\": {{")?;
+    writeln!(out, "    \"step\": {},", last.step)?;
+    writeln!(out, "    \"checkpoint_bytes\": {},", last.bytes)?;
+    writeln!(out, "    \"load_ms\": {},", f(load_secs * 1e3))?;
+    writeln!(out, "    \"replay_secs\": {},", f(replay_secs))?;
+    writeln!(out, "    \"speedup_vs_replay\": {},", f(speedup))?;
+    writeln!(out, "    \"tail_steps\": {}", warm_log.values.len())?;
+    writeln!(out, "  }},")?;
+    writeln!(out, "  \"deterministic\": {deterministic}")?;
+    writeln!(out, "}}")?;
+    out.flush()?;
+
+    let rows: Vec<Vec<String>> = checkpoints
+        .iter()
+        .map(|c| {
+            vec![
+                c.step.to_string(),
+                format!("{:.1}", c.bytes as f64 / 1024.0),
+                f(c.save_secs * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Periodic checkpoints (HISTAPPROX)",
+        &["step", "KiB", "save ms"],
+        &rows,
+    );
+    println!(
+        "warm restart at step {}: load {:.1} ms vs replay {:.2} s ({:.0}x), tail bit-identical",
+        last.step,
+        load_secs * 1e3,
+        replay_secs,
+        speedup,
+    );
+    println!("wrote {}", path.display());
+    Ok(())
+}

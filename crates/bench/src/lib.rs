@@ -13,6 +13,7 @@
 //! | `experiments fig13`  | Figs. 13–14 (RIS baselines, throughput) |
 //! | `experiments ablations` | refeed / window / lazy / prune |
 //! | `experiments throughput` | edges/sec vs `TDN_THREADS` (`BENCH_throughput.json`) |
+//! | `experiments restore` | checkpoint/warm-restart cost vs full replay (`BENCH_restore.json`) |
 //!
 //! Run `cargo run --release -p tdn-bench --bin experiments -- all --full`
 //! for paper-scale sweeps; the default `--quick` scale finishes in minutes.
@@ -24,5 +25,8 @@ pub mod experiments;
 pub mod report;
 pub mod scale;
 
-pub use driver::{run_tracker, PreparedStream, RunLog};
+pub use driver::{
+    run_tracker, run_tracker_checkpointed, run_tracker_from, CheckpointRecord, PreparedStream,
+    RunLog,
+};
 pub use scale::Scale;

@@ -64,6 +64,48 @@ impl BasicReduction {
         self.instances.iter().map(|i| i.approx_bytes()).sum()
     }
 
+    /// Serializes the tracker for checkpointing: config, oracle tally, the
+    /// last processed tick, and all `L` staggered instances in window order
+    /// (`A_1` first).
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        self.cfg.write_snapshot(w);
+        w.put_u64(self.counter.get());
+        w.put_bool(self.last_t.is_some());
+        w.put_u64(self.last_t.unwrap_or(0));
+        w.put_len(self.instances.len());
+        for inst in &self.instances {
+            inst.write_snapshot(w);
+        }
+    }
+
+    /// Reconstructs a tracker from [`Self::write_snapshot`] bytes. All
+    /// restored instances bill one fresh counter seeded with the saved
+    /// tally, exactly like the interrupted run's shared counter.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let cfg = TrackerConfig::read_snapshot(r)?;
+        let calls = r.get_u64()?;
+        let has_last = r.get_bool()?;
+        let last_raw = r.get_u64()?;
+        let n = r.get_len(1)?;
+        if n as u64 != cfg.max_lifetime as u64 {
+            return Err(codec::CodecError::Invalid(
+                "BasicReduction instance count differs from L",
+            ));
+        }
+        let counter = OracleCounter::new();
+        counter.set(calls);
+        let mut instances = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            instances.push_back(SieveAdn::read_snapshot(r, counter.clone())?);
+        }
+        Ok(BasicReduction {
+            cfg,
+            instances,
+            counter,
+            last_t: has_last.then_some(last_raw),
+        })
+    }
+
     /// Advances the instance window by one step: drop `A_1`, append a new
     /// `A_L` (Alg. 2 lines 5–7).
     fn shift(&mut self) {

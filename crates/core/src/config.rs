@@ -37,6 +37,42 @@ impl TrackerConfig {
         self.singleton_prune = false;
         self
     }
+
+    /// Serializes the config for checkpointing (`ε` as its exact bit
+    /// pattern, so the restored sieves compute identical thresholds).
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        w.put_u64(self.k as u64);
+        w.put_f64(self.eps);
+        w.put_u32(self.max_lifetime);
+        w.put_bool(self.singleton_prune);
+    }
+
+    /// Reconstructs a config from [`Self::write_snapshot`] bytes, enforcing
+    /// the constructor's domain checks as typed errors (a corrupt snapshot
+    /// must not panic).
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let k = r.get_u64()?;
+        let eps = r.get_f64()?;
+        let max_lifetime = r.get_u32()?;
+        let singleton_prune = r.get_bool()?;
+        if k == 0 || k > usize::MAX as u64 {
+            return Err(codec::CodecError::Invalid("config budget k out of range"));
+        }
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(codec::CodecError::Invalid("config eps outside (0,1)"));
+        }
+        if max_lifetime == 0 {
+            return Err(codec::CodecError::Invalid(
+                "config lifetime bound L is zero",
+            ));
+        }
+        Ok(TrackerConfig {
+            k: k as usize,
+            eps,
+            max_lifetime,
+            singleton_prune,
+        })
+    }
 }
 
 impl Default for TrackerConfig {

@@ -1,4 +1,4 @@
-//! The Greedy baseline (§V-C): rerun lazy greedy (CELF, [32]) on the live
+//! The Greedy baseline (§V-C): rerun lazy greedy (CELF, \[32\]) on the live
 //! graph `G_t` at every step — the `(1 − 1/e)` quality reference that the
 //! paper normalizes every other method against.
 

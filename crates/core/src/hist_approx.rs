@@ -86,6 +86,62 @@ impl HistApprox {
         instances + self.graph.approx_bytes()
     }
 
+    /// Serializes the tracker for checkpointing: config, oracle tally,
+    /// refeed flag, last processed tick, the live TDN `G_t` (expiry-bucket
+    /// order verbatim — it drives backfill feeds), and the histogram's
+    /// instances keyed by deadline.
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        self.cfg.write_snapshot(w);
+        w.put_u64(self.counter.get());
+        w.put_bool(self.refeed);
+        w.put_bool(self.last_t.is_some());
+        w.put_u64(self.last_t.unwrap_or(0));
+        self.graph.write_snapshot(w);
+        w.put_len(self.instances.len());
+        for (&deadline, inst) in &self.instances {
+            w.put_u64(deadline);
+            inst.write_snapshot(w);
+        }
+    }
+
+    /// Reconstructs a tracker from [`Self::write_snapshot`] bytes. Every
+    /// restored instance bills one fresh counter seeded with the saved
+    /// tally, mirroring the interrupted run's shared counter.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let cfg = TrackerConfig::read_snapshot(r)?;
+        let calls = r.get_u64()?;
+        let refeed = r.get_bool()?;
+        let has_last = r.get_bool()?;
+        let last_raw = r.get_u64()?;
+        let graph = TdnGraph::read_snapshot(r)?;
+        let n = r.get_len(8)?;
+        let counter = OracleCounter::new();
+        counter.set(calls);
+        let mut instances = BTreeMap::new();
+        for _ in 0..n {
+            let deadline = r.get_u64()?;
+            if deadline <= graph.now() {
+                return Err(codec::CodecError::Invalid(
+                    "HistApprox instance deadline already passed",
+                ));
+            }
+            let inst = SieveAdn::read_snapshot(r, counter.clone())?;
+            if instances.insert(deadline, inst).is_some() {
+                return Err(codec::CodecError::Invalid(
+                    "HistApprox duplicate instance deadline",
+                ));
+            }
+        }
+        Ok(HistApprox {
+            cfg,
+            graph,
+            instances,
+            counter,
+            refeed,
+            last_t: has_last.then_some(last_raw),
+        })
+    }
+
     /// Alg. 3 `ProcessEdges`: route one same-lifetime group to instances.
     fn process_group(&mut self, t: Time, lifetime: Lifetime, edges: &[TimedEdge]) {
         let deadline = t + lifetime as Time;

@@ -27,6 +27,16 @@
 //! ```
 //!
 //! [`step`]: InfluenceTracker::step
+//!
+//! ## Checkpointing
+//!
+//! [`SieveAdnTracker`], [`BasicReduction`], [`HistApprox`], and
+//! [`RandomTracker`] expose `write_snapshot`/`read_snapshot` methods
+//! capturing their full live state (graphs, threshold ladders, sieve
+//! slots, RNG words, oracle tallies). The `tdn-persist` crate wraps these
+//! in a versioned file format with a bit-identical warm-restart
+//! guarantee: restore + remaining stream ≡ never stopped, at any
+//! `TDN_THREADS` setting.
 
 #![warn(missing_docs)]
 

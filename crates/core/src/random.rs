@@ -31,6 +31,50 @@ impl RandomTracker {
         }
     }
 
+    /// Serializes the tracker for checkpointing: parameters, oracle tally,
+    /// the generator's exact internal state, and the live TDN (whose
+    /// live-node *position order* the sampler indexes into).
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        w.put_u64(self.k as u64);
+        w.put_u32(self.max_lifetime);
+        w.put_u64(self.counter.get());
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        self.graph.write_snapshot(w);
+    }
+
+    /// Reconstructs a tracker from [`Self::write_snapshot`] bytes. The
+    /// restored generator resumes the interrupted run's random stream, so
+    /// future draws match an uninterrupted run exactly.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let k = r.get_u64()?;
+        if k == 0 || k > usize::MAX as u64 {
+            return Err(codec::CodecError::Invalid("sampler budget k out of range"));
+        }
+        let max_lifetime = r.get_u32()?;
+        if max_lifetime == 0 {
+            return Err(codec::CodecError::Invalid(
+                "sampler lifetime bound L is zero",
+            ));
+        }
+        let calls = r.get_u64()?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        let graph = TdnGraph::read_snapshot(r)?;
+        let counter = OracleCounter::new();
+        counter.set(calls);
+        Ok(RandomTracker {
+            k: k as usize,
+            max_lifetime,
+            graph,
+            counter,
+            rng: StdRng::from_state(state),
+        })
+    }
+
     /// Draws `min(k, |V_t|)` distinct live nodes.
     fn sample_seeds(&mut self) -> Vec<NodeId> {
         let live = self.graph.live_nodes();

@@ -281,6 +281,69 @@ impl SieveAdn {
         self.graph.approx_bytes() + slots + self.scratch.approx_bytes()
     }
 
+    /// Serializes the instance's full sieve state for checkpointing: the
+    /// accumulated ADN (adjacency order verbatim — it drives `V̄_t` replay
+    /// order), the threshold ladder, and every slot's seeds and cover.
+    ///
+    /// The shared [`OracleCounter`] is *not* written here; ownership of the
+    /// tally lives with the enclosing tracker (HISTAPPROX checkpoints many
+    /// instances billing one counter, which must be saved exactly once).
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        self.graph.write_snapshot(w);
+        self.ladder.write_snapshot(w);
+        w.put_len(self.slots.len());
+        for (&i, slot) in &self.slots {
+            w.put_i64(i);
+            w.put_len(slot.seeds.len());
+            for s in &slot.seeds {
+                w.put_u32(s.0);
+            }
+            slot.cover.write_snapshot(w);
+        }
+        w.put_u64(self.k as u64);
+        w.put_bool(self.singleton_prune);
+    }
+
+    /// Reconstructs an instance from [`Self::write_snapshot`] bytes,
+    /// billing future oracle calls to `counter`. Scratch arenas start cold
+    /// (they hold no logical state).
+    pub fn read_snapshot(r: &mut codec::Reader<'_>, counter: OracleCounter) -> codec::Result<Self> {
+        let graph = AdnGraph::read_snapshot(r)?;
+        let ladder = ThresholdLadder::read_snapshot(r)?;
+        let n_slots = r.get_len(8)?;
+        let mut slots = BTreeMap::new();
+        for _ in 0..n_slots {
+            let i = r.get_i64()?;
+            let n_seeds = r.get_len(4)?;
+            let mut seeds = Vec::with_capacity(n_seeds);
+            for _ in 0..n_seeds {
+                seeds.push(NodeId(r.get_u32()?));
+            }
+            let cover = CoverSet::read_snapshot(r)?;
+            if slots.insert(i, Slot { seeds, cover }).is_some() {
+                return Err(codec::CodecError::Invalid("duplicate sieve threshold slot"));
+            }
+        }
+        let k = r.get_u64()?;
+        if k == 0 || k > usize::MAX as u64 {
+            return Err(codec::CodecError::Invalid("sieve budget k out of range"));
+        }
+        let k = k as usize;
+        let singleton_prune = r.get_bool()?;
+        if slots.values().any(|s| s.seeds.len() > k) {
+            return Err(codec::CodecError::Invalid("sieve slot exceeds budget k"));
+        }
+        Ok(SieveAdn {
+            graph,
+            ladder,
+            slots,
+            k,
+            singleton_prune,
+            counter,
+            scratch: ScratchPool::new(),
+        })
+    }
+
     /// Current best value `g_t` (the histogram ordinate in HISTAPPROX).
     pub fn best_value(&self) -> u64 {
         self.slots
@@ -311,6 +374,23 @@ impl SieveAdnTracker {
     /// Read access to the wrapped instance.
     pub fn instance(&self) -> &SieveAdn {
         &self.inner
+    }
+
+    /// Serializes the tracker (instance state plus the oracle tally) for
+    /// checkpointing.
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        w.put_u64(self.counter.get());
+        self.inner.write_snapshot(w);
+    }
+
+    /// Reconstructs a tracker from [`Self::write_snapshot`] bytes. The
+    /// restored tracker resumes the oracle tally at the saved count.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let calls = r.get_u64()?;
+        let counter = OracleCounter::new();
+        counter.set(calls);
+        let inner = SieveAdn::read_snapshot(r, counter.clone())?;
+        Ok(SieveAdnTracker { inner, counter })
     }
 }
 

@@ -91,6 +91,113 @@ impl AdnGraph {
         self.inc.get(v.index()).map_or(&[], Vec::as_slice)
     }
 
+    /// Serializes the graph for checkpointing.
+    ///
+    /// Both adjacency directions are written **verbatim, in list order**:
+    /// BFS traversal order — and therefore the `V̄_t` sequence the sieves
+    /// replay — depends on it, so a warm restart must reproduce it exactly
+    /// for the bit-identical-restore guarantee. The `pairs` and `nodes`
+    /// sets are derivable from the adjacency and are rebuilt on restore.
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        w.put_len(self.out.len());
+        for list in &self.out {
+            w.put_len(list.len());
+            for n in list {
+                w.put_u32(n.0);
+            }
+        }
+        // `inc` is fully determined by `out` but its *list order* is not
+        // (it interleaves by arrival), so it is stored verbatim too.
+        w.put_len(self.inc.len());
+        for list in &self.inc {
+            w.put_len(list.len());
+            for n in list {
+                w.put_u32(n.0);
+            }
+        }
+    }
+
+    /// Reconstructs a graph from [`Self::write_snapshot`] bytes.
+    ///
+    /// Rebuilds the pair-dedup set and node set from the forward adjacency
+    /// and cross-checks the reverse adjacency edge count, so corrupted
+    /// snapshots fail loudly instead of producing a silently skewed graph.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let n_out = r.get_len(8)?;
+        let mut out = Vec::with_capacity(n_out);
+        for _ in 0..n_out {
+            let len = r.get_len(4)?;
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                list.push(NodeId(r.get_u32()?));
+            }
+            out.push(list);
+        }
+        let n_inc = r.get_len(8)?;
+        if n_inc != n_out {
+            return Err(codec::CodecError::Invalid(
+                "AdnGraph adjacency directions disagree on node bound",
+            ));
+        }
+        let mut inc = vec![Vec::new(); n_inc];
+        for list in inc.iter_mut() {
+            let len = r.get_len(4)?;
+            list.reserve(len);
+            for _ in 0..len {
+                list.push(NodeId(r.get_u32()?));
+            }
+        }
+        let mut pairs = FxHashSet::default();
+        let mut nodes = FxHashSet::default();
+        for (u, list) in out.iter().enumerate() {
+            for &v in list {
+                if v.index() >= n_out {
+                    return Err(codec::CodecError::Invalid(
+                        "AdnGraph edge endpoint outside node bound",
+                    ));
+                }
+                if !pairs.insert(pack_pair(NodeId(u as u32), v)) {
+                    return Err(codec::CodecError::Invalid(
+                        "AdnGraph forward adjacency holds a duplicate pair",
+                    ));
+                }
+                nodes.insert(NodeId(u as u32));
+                nodes.insert(v);
+            }
+        }
+        // The reverse adjacency must be exactly the transpose of the
+        // forward one (bounds-checked, duplicate-free, same edge set):
+        // reverse BFS — and therefore the `V̄_t` replay — walks it, so a
+        // drifted `inc` would silently skew results or index out of range.
+        let mut rev_pairs = FxHashSet::default();
+        for (v, list) in inc.iter().enumerate() {
+            for &u in list {
+                if u.index() >= n_out {
+                    return Err(codec::CodecError::Invalid(
+                        "AdnGraph reverse edge endpoint outside node bound",
+                    ));
+                }
+                let key = pack_pair(u, NodeId(v as u32));
+                if !rev_pairs.insert(key) || !pairs.contains(&key) {
+                    return Err(codec::CodecError::Invalid(
+                        "AdnGraph reverse adjacency is not the transpose of forward",
+                    ));
+                }
+            }
+        }
+        if rev_pairs.len() != pairs.len() {
+            return Err(codec::CodecError::Invalid(
+                "AdnGraph reverse adjacency edge count drifted from forward",
+            ));
+        }
+        Ok(AdnGraph {
+            out,
+            inc,
+            pairs,
+            nodes,
+        })
+    }
+
     /// Approximate heap footprint in bytes (adjacency + dedup set), used by
     /// memory-accounting experiments.
     pub fn approx_bytes(&self) -> usize {
@@ -192,5 +299,42 @@ mod tests {
         assert!(g.out_neighbors(NodeId(42)).is_empty());
         assert!(g.in_neighbors(NodeId(42)).is_empty());
         assert!(!g.contains_node(NodeId(42)));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_adjacency_order() {
+        let mut g = AdnGraph::new();
+        // Interleave insertions so forward and reverse list orders differ
+        // from sorted order — the round trip must keep them verbatim.
+        for (u, v) in [(3u32, 1u32), (0, 1), (3, 0), (2, 1), (0, 2)] {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        let mut w = codec::Writer::new();
+        g.write_snapshot(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        let h = AdnGraph::read_snapshot(&mut r).expect("round trip");
+        r.finish().expect("fully consumed");
+        assert_eq!(g.edge_count(), h.edge_count());
+        assert_eq!(g.node_count(), h.node_count());
+        for n in 0..4u32 {
+            assert_eq!(g.out_neighbors(NodeId(n)), h.out_neighbors(NodeId(n)));
+            assert_eq!(g.in_neighbors(NodeId(n)), h.in_neighbors(NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn snapshot_corruption_is_rejected() {
+        let mut g = AdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(1));
+        let mut w = codec::Writer::new();
+        g.write_snapshot(&mut w);
+        let bytes = w.into_vec();
+        // Every truncation errors instead of panicking.
+        for cut in 0..bytes.len() {
+            let mut r = codec::Reader::new(&bytes[..cut]);
+            let res = AdnGraph::read_snapshot(&mut r).and_then(|_| r.finish());
+            assert!(res.is_err(), "prefix of {cut} bytes decoded");
+        }
     }
 }

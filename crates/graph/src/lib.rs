@@ -19,6 +19,15 @@
 //! * [`indexed_set::IndexedSet`] — O(1) sampleable live-node set;
 //! * [`analysis`] — offline SCC condensation + exact all-node spreads
 //!   (an independent oracle for tests and workload diagnostics).
+//!
+//! Every state-bearing type ([`adn::AdnGraph`], [`tdn::TdnGraph`],
+//! [`indexed_set::IndexedSet`], [`reach::CoverSet`],
+//! [`node::NodeInterner`]) exposes `write_snapshot`/`read_snapshot`
+//! methods over the `codec` byte format — the building blocks of the
+//! `tdn-persist` checkpoint layer. Order-sensitive structures (adjacency
+//! lists, expiry buckets, the live-node set) serialize **verbatim** so a
+//! restored tracker replays bit-identically; see
+//! `DESIGN.md § Persistence & recovery`.
 
 #![warn(missing_docs)]
 

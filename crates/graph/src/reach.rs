@@ -170,6 +170,31 @@ impl CoverSet {
         // hashbrown stores ~1 byte of control data plus the key per slot.
         self.nodes.capacity() * (std::mem::size_of::<NodeId>() + 1) + 48
     }
+
+    /// Serializes the cover for checkpointing, in canonical (sorted) order.
+    /// Covers are only ever queried by membership and size, so the hash
+    /// set's internal order need not survive the round trip.
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        let mut nodes: Vec<NodeId> = self.nodes.iter().copied().collect();
+        nodes.sort_unstable();
+        w.put_len(nodes.len());
+        for n in nodes {
+            w.put_u32(n.0);
+        }
+    }
+
+    /// Reconstructs a cover from [`Self::write_snapshot`] bytes.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let len = r.get_len(4)?;
+        let mut nodes = FxHashSet::default();
+        nodes.reserve(len);
+        for _ in 0..len {
+            if !nodes.insert(NodeId(r.get_u32()?)) {
+                return Err(codec::CodecError::Invalid("duplicate CoverSet member"));
+            }
+        }
+        Ok(CoverSet { nodes })
+    }
 }
 
 impl FromIterator<NodeId> for CoverSet {

@@ -281,6 +281,267 @@ impl TdnGraph {
         })
     }
 
+    /// Serializes the live graph for checkpointing.
+    ///
+    /// Everything order-sensitive is written **verbatim**: adjacency entry
+    /// order drives BFS traversal order, expiry-bucket vector order drives
+    /// [`Self::edges_with_remaining_in`] (HISTAPPROX's backfill feed), and
+    /// the live-node set's position order drives index-based sampling.
+    /// Lazy-compaction `dead` counters are stored too, so compaction fires
+    /// at the same future steps as in an uninterrupted run.
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        w.put_u64(self.now);
+        let put_adj = |w: &mut codec::Writer, lists: &[AdjList]| {
+            w.put_len(lists.len());
+            for l in lists {
+                w.put_len(l.entries.len());
+                for &(n, exp) in &l.entries {
+                    w.put_u32(n.0);
+                    w.put_u64(exp);
+                }
+                w.put_u32(l.dead);
+            }
+        };
+        put_adj(w, &self.out);
+        put_adj(w, &self.inc);
+        w.put_len(self.degree.len());
+        for &d in &self.degree {
+            w.put_u32(d);
+        }
+        w.put_len(self.buckets.len());
+        for (&exp, edges) in &self.buckets {
+            w.put_u64(exp);
+            w.put_len(edges.len());
+            for &(u, v) in edges {
+                w.put_u32(u.0);
+                w.put_u32(v.0);
+            }
+        }
+        // Canonical (sorted) order: the map is only ever queried by key.
+        let mut pairs: Vec<(u64, u32)> = self.pair_count.iter().map(|(&k, &c)| (k, c)).collect();
+        pairs.sort_unstable();
+        w.put_len(pairs.len());
+        for (k, c) in pairs {
+            w.put_u64(k);
+            w.put_u32(c);
+        }
+        self.live_nodes.write_snapshot(w);
+        w.put_u64(self.live_edges);
+    }
+
+    /// Reconstructs a graph from [`Self::write_snapshot`] bytes, validating
+    /// the redundant bookkeeping (live-edge recount, dead counters, bucket
+    /// keys) so a corrupted snapshot surfaces as a typed error.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let now = r.get_u64()?;
+        let get_adj = |r: &mut codec::Reader<'_>| -> codec::Result<Vec<AdjList>> {
+            let n = r.get_len(8)?;
+            let mut lists = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = r.get_len(12)?;
+                let mut entries = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let node = NodeId(r.get_u32()?);
+                    let exp = r.get_u64()?;
+                    entries.push((node, exp));
+                }
+                let dead = r.get_u32()?;
+                if dead as usize > entries.len() {
+                    return Err(codec::CodecError::Invalid(
+                        "TdnGraph dead counter exceeds adjacency length",
+                    ));
+                }
+                lists.push(AdjList { entries, dead });
+            }
+            Ok(lists)
+        };
+        let out = get_adj(r)?;
+        let inc = get_adj(r)?;
+        let n_deg = r.get_len(4)?;
+        let mut degree = Vec::with_capacity(n_deg);
+        for _ in 0..n_deg {
+            degree.push(r.get_u32()?);
+        }
+        if out.len() != inc.len() || out.len() != degree.len() {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph per-node vectors disagree on node bound",
+            ));
+        }
+        let n_buckets = r.get_len(16)?;
+        let mut buckets: BTreeMap<Time, Vec<(NodeId, NodeId)>> = BTreeMap::new();
+        for _ in 0..n_buckets {
+            let exp = r.get_u64()?;
+            if exp <= now {
+                return Err(codec::CodecError::Invalid(
+                    "TdnGraph expiry bucket at or before the snapshot clock",
+                ));
+            }
+            let len = r.get_len(8)?;
+            let mut edges = Vec::with_capacity(len);
+            for _ in 0..len {
+                let u = NodeId(r.get_u32()?);
+                let v = NodeId(r.get_u32()?);
+                edges.push((u, v));
+            }
+            if buckets.insert(exp, edges).is_some() {
+                return Err(codec::CodecError::Invalid(
+                    "TdnGraph duplicate expiry bucket",
+                ));
+            }
+        }
+        let n_pairs = r.get_len(12)?;
+        let mut pair_count = FxHashMap::default();
+        for _ in 0..n_pairs {
+            let k = r.get_u64()?;
+            let c = r.get_u32()?;
+            if c == 0 || pair_count.insert(k, c).is_some() {
+                return Err(codec::CodecError::Invalid(
+                    "TdnGraph pair multiplicity zero or duplicated",
+                ));
+            }
+        }
+        let live_nodes = IndexedSet::read_snapshot(r)?;
+        let live_edges = r.get_u64()?;
+        // Full cross-validation of the redundant bookkeeping. The checksum
+        // only proves the file round-tripped the *bytes*; it does not prove
+        // the structures agree with each other, and future mutation code
+        // (eviction, compaction) indexes and decrements based on exactly
+        // these invariants. Any disagreement is a typed error here, not a
+        // panic later.
+        let bound = out.len();
+        let mut live_out = vec![0u32; bound];
+        let mut live_in = vec![0u32; bound];
+        let mut live_pairs: FxHashMap<u64, u32> = FxHashMap::default();
+        // `(packed pair, expiry)` multiset of finite-expiry live entries;
+        // buckets must consume it exactly.
+        let mut expiring: FxHashMap<(u64, Time), i64> = FxHashMap::default();
+        let mut recount = 0u64;
+        for (u, list) in out.iter().enumerate() {
+            let mut dead_recount = 0u32;
+            for &(v, exp) in &list.entries {
+                if v.index() >= bound {
+                    return Err(codec::CodecError::Invalid(
+                        "TdnGraph adjacency target outside node bound",
+                    ));
+                }
+                if exp > now {
+                    recount += 1;
+                    live_out[u] += 1;
+                    live_in[v.index()] += 1;
+                    let key = pack_pair(NodeId(u as u32), v);
+                    *live_pairs.entry(key).or_insert(0) += 1;
+                    if exp != Time::MAX {
+                        *expiring.entry((key, exp)).or_insert(0) += 1;
+                    }
+                } else {
+                    dead_recount += 1;
+                }
+            }
+            if dead_recount != list.dead {
+                return Err(codec::CodecError::Invalid(
+                    "TdnGraph dead counter disagrees with entry recount",
+                ));
+            }
+        }
+        if recount != live_edges {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph live edge count disagrees with adjacency recount",
+            ));
+        }
+        // Reverse adjacency: same multiset of live edges, transposed, with
+        // an exact per-list dead count too.
+        {
+            let mut rev_pairs: FxHashMap<u64, u32> = FxHashMap::default();
+            for (v, list) in inc.iter().enumerate() {
+                let mut dead_recount = 0u32;
+                for &(u, exp) in &list.entries {
+                    if u.index() >= bound {
+                        return Err(codec::CodecError::Invalid(
+                            "TdnGraph reverse adjacency source outside node bound",
+                        ));
+                    }
+                    if exp > now {
+                        *rev_pairs.entry(pack_pair(u, NodeId(v as u32))).or_insert(0) += 1;
+                    } else {
+                        dead_recount += 1;
+                    }
+                }
+                if dead_recount != list.dead {
+                    return Err(codec::CodecError::Invalid(
+                        "TdnGraph reverse dead counter disagrees with entry recount",
+                    ));
+                }
+            }
+            if rev_pairs != live_pairs {
+                return Err(codec::CodecError::Invalid(
+                    "TdnGraph reverse adjacency is not the transpose of forward",
+                ));
+            }
+        }
+        // Pair multiplicities must match the live recount exactly.
+        if pair_count != live_pairs {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph pair multiplicities disagree with adjacency",
+            ));
+        }
+        // Degrees drive node eviction (`*d -= 1`); they must equal the live
+        // in+out instance counts, and the live-node set must be exactly the
+        // nodes with positive degree.
+        for i in 0..bound {
+            let expect = live_out[i] + live_in[i];
+            if degree[i] != expect {
+                return Err(codec::CodecError::Invalid(
+                    "TdnGraph degree vector disagrees with adjacency recount",
+                ));
+            }
+            if (expect > 0) != live_nodes.contains(NodeId(i as u32)) {
+                return Err(codec::CodecError::Invalid(
+                    "TdnGraph live-node set disagrees with degrees",
+                ));
+            }
+        }
+        if live_nodes.len() > bound {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph live-node set exceeds node bound",
+            ));
+        }
+        // Buckets must consume the finite-expiry live entries exactly:
+        // eviction pops buckets and decrements per-edge bookkeeping, so a
+        // surplus or deficit would underflow counts at some future step.
+        for (&exp, edges) in &buckets {
+            for &(u, v) in edges {
+                if u.index() >= bound || v.index() >= bound {
+                    return Err(codec::CodecError::Invalid(
+                        "TdnGraph bucket edge outside node bound",
+                    ));
+                }
+                match expiring.get_mut(&(pack_pair(u, v), exp)) {
+                    Some(c) if *c > 0 => *c -= 1,
+                    _ => {
+                        return Err(codec::CodecError::Invalid(
+                            "TdnGraph bucket edge without a matching live entry",
+                        ))
+                    }
+                }
+            }
+        }
+        if expiring.values().any(|&c| c != 0) {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph finite-lifetime entry missing from its expiry bucket",
+            ));
+        }
+        Ok(TdnGraph {
+            now,
+            out,
+            inc,
+            degree,
+            buckets,
+            pair_count,
+            live_nodes,
+            live_edges,
+        })
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn approx_bytes(&self) -> usize {
         let adj: usize = self
@@ -497,6 +758,147 @@ mod tests {
         let mut g = TdnGraph::new();
         g.advance_to(5);
         g.advance_to(4);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_future_evolution() {
+        // Build a graph with pending expirations, partially-dead adjacency
+        // (pre-compaction), multi-edges, and a non-trivial live-node order.
+        let mut g = TdnGraph::new();
+        for i in 1..=10u32 {
+            g.add_edge(NodeId(0), NodeId(i), i);
+        }
+        g.add_edge(NodeId(0), NodeId(3), 9); // multi-edge
+        g.add_edge(NodeId(7), NodeId(0), 20);
+        g.advance_to(4); // some entries dead, compaction threshold not hit everywhere
+        let mut w = codec::Writer::new();
+        g.write_snapshot(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        let mut h = TdnGraph::read_snapshot(&mut r).expect("round trip");
+        r.finish().expect("fully consumed");
+        h.check_invariants();
+        assert_eq!(g.now(), h.now());
+        assert_eq!(g.edge_count(), h.edge_count());
+        assert_eq!(g.node_count(), h.node_count());
+        assert_eq!(
+            g.live_nodes().as_slice(),
+            h.live_nodes().as_slice(),
+            "live-node position order must survive verbatim"
+        );
+        let range = |g: &TdnGraph| -> Vec<LiveEdge> { g.edges_with_remaining_in(1, 30).collect() };
+        assert_eq!(range(&g), range(&h), "bucket iteration order must match");
+        // Evolve both identically: expiry, compaction, and new arrivals
+        // must behave the same on the restored copy.
+        for t in [6u64, 9, 12] {
+            g.advance_to(t);
+            h.advance_to(t);
+            g.add_edge(NodeId(5), NodeId(t as u32), 3);
+            h.add_edge(NodeId(5), NodeId(t as u32), 3);
+            assert_eq!(g.edge_count(), h.edge_count(), "t={t}");
+            assert_eq!(g.live_nodes().as_slice(), h.live_nodes().as_slice());
+            assert_eq!(range(&g), range(&h), "t={t}");
+            h.check_invariants();
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_drifted_bookkeeping() {
+        let mut g = TdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(1), 5);
+        let mut w = codec::Writer::new();
+        g.write_snapshot(&mut w);
+        let mut bytes = w.into_vec();
+        // The trailing u64 is live_edges; inflate it and expect the
+        // recount cross-check to fire.
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&7u64.to_le_bytes());
+        let mut r = codec::Reader::new(&bytes);
+        assert!(TdnGraph::read_snapshot(&mut r).is_err());
+    }
+
+    /// Hand-encodes a single-edge snapshot (0 → 1, expiry 5, now 0) with
+    /// one field corrupted by `tweak`, exercising the cross-validation: a
+    /// checksum cannot catch internally *consistent-looking* but mutually
+    /// disagreeing structures, so the decoder must.
+    fn corrupt_single_edge_snapshot(tweak: impl Fn(&mut SingleEdgeParts)) -> codec::Result<()> {
+        let mut p = SingleEdgeParts {
+            out_target: 1,
+            inc_source: 0,
+            degree: [1, 1],
+            bucket_edge: (0, 1),
+            bucket_exp: 5,
+            pair_key: pack_pair(NodeId(0), NodeId(1)),
+            live_nodes: vec![0, 1],
+        };
+        tweak(&mut p);
+        let mut w = codec::Writer::new();
+        w.put_u64(0); // now
+        w.put_len(2); // out
+        w.put_len(1);
+        w.put_u32(p.out_target);
+        w.put_u64(5);
+        w.put_u32(0); // dead
+        w.put_len(0);
+        w.put_u32(0);
+        w.put_len(2); // inc
+        w.put_len(0);
+        w.put_u32(0);
+        w.put_len(1);
+        w.put_u32(p.inc_source);
+        w.put_u64(5);
+        w.put_u32(0);
+        w.put_len(2); // degree
+        w.put_u32(p.degree[0]);
+        w.put_u32(p.degree[1]);
+        w.put_len(1); // buckets
+        w.put_u64(p.bucket_exp);
+        w.put_len(1);
+        w.put_u32(p.bucket_edge.0);
+        w.put_u32(p.bucket_edge.1);
+        w.put_len(1); // pair_count
+        w.put_u64(p.pair_key);
+        w.put_u32(1);
+        w.put_len(p.live_nodes.len()); // live_nodes
+        for &n in &p.live_nodes {
+            w.put_u32(n);
+        }
+        w.put_u64(1); // live_edges
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        TdnGraph::read_snapshot(&mut r).map(|_| ())
+    }
+
+    struct SingleEdgeParts {
+        out_target: u32,
+        inc_source: u32,
+        degree: [u32; 2],
+        bucket_edge: (u32, u32),
+        bucket_exp: Time,
+        pair_key: u64,
+        live_nodes: Vec<u32>,
+    }
+
+    #[test]
+    fn snapshot_cross_validates_every_structure() {
+        // The untampered encoding decodes (sanity-check the harness)...
+        corrupt_single_edge_snapshot(|_| {}).expect("valid hand encoding");
+        // ...and each single-field corruption is a typed error — these are
+        // exactly the shapes that would index out of bounds or underflow
+        // counters at a later `advance_to`/`evict` if admitted.
+        assert!(corrupt_single_edge_snapshot(|p| p.bucket_edge = (99, 1)).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.bucket_edge = (1, 0)).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.bucket_exp = 7).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.out_target = 99).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.inc_source = 99).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.inc_source = 1).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.degree = [2, 1]).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.degree = [0, 1]).is_err());
+        assert!(
+            corrupt_single_edge_snapshot(|p| p.pair_key = pack_pair(NodeId(1), NodeId(0))).is_err()
+        );
+        assert!(corrupt_single_edge_snapshot(|p| p.live_nodes = vec![0]).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.live_nodes = vec![0, 1, 5]).is_err());
     }
 
     #[test]

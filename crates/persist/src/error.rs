@@ -1,0 +1,103 @@
+//! Typed checkpoint errors.
+//!
+//! Every failure mode of the persistence layer — I/O, a foreign or
+//! truncated file, a version from the future, a checkpoint taken under a
+//! different tracker configuration — surfaces as a [`PersistError`]
+//! variant. Restoring **never panics** on bad input: the acceptance test
+//! for the subsystem is that a corrupt or mismatched file degrades into an
+//! error the operator can act on.
+
+use crate::manifest::TrackerKind;
+use std::fmt;
+
+/// Why a checkpoint could not be written or restored.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the checkpoint magic (not a checkpoint,
+    /// or the header itself is truncated).
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    /// (Older versions are migrated when the format evolves; version 1 is
+    /// current, so any other value is unsupported.)
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The file holds a different tracker type than the caller asked for.
+    WrongTracker {
+        /// Kind the caller tried to restore.
+        expected: TrackerKind,
+        /// Kind tag recorded in the manifest.
+        found: u8,
+    },
+    /// The checkpoint was taken under a different `TrackerConfig` (`k`,
+    /// `ε`, `L`, or pruning flag differ). Restoring state into a tracker
+    /// with different parameters would silently change the algorithm, so
+    /// this fails loudly instead.
+    ConfigMismatch {
+        /// Fingerprint of the caller's config.
+        expected: u64,
+        /// Fingerprint recorded in the manifest.
+        found: u64,
+    },
+    /// The payload bytes do not hash to the stored checksum (bit rot or a
+    /// partially overwritten file).
+    ChecksumMismatch,
+    /// The payload failed to decode (truncation, implausible lengths,
+    /// out-of-domain values, trailing bytes).
+    Corrupt(codec::CodecError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            PersistError::BadMagic => {
+                write!(f, "not a TDN checkpoint file (bad or truncated magic)")
+            }
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint format v{found} is not supported (this build reads v{supported})"
+            ),
+            PersistError::WrongTracker { expected, found } => write!(
+                f,
+                "checkpoint holds tracker kind tag {found}, expected {expected:?}"
+            ),
+            PersistError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken under a different tracker config \
+                 (hash {found:#018x}, expected {expected:#018x})"
+            ),
+            PersistError::ChecksumMismatch => {
+                write!(f, "checkpoint payload checksum mismatch (corrupt file)")
+            }
+            PersistError::Corrupt(e) => write!(f, "checkpoint payload is corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<codec::CodecError> for PersistError {
+    fn from(e: codec::CodecError) -> Self {
+        PersistError::Corrupt(e)
+    }
+}

@@ -1,0 +1,402 @@
+//! # tdn-persist — checkpoint/restore with bit-identical warm restart
+//!
+//! A production tracker cannot rebuild `G_t` and every SIEVEADN instance
+//! from the full interaction history after a restart: the paper's point
+//! (Zhao et al., ICDE 2019) is that the *state* is bounded while the
+//! history is not. This crate snapshots that bounded state — graphs
+//! (adjacency and expiry-bucket order verbatim), threshold ladders, sieve
+//! slots, instance sets, RNG state, and oracle-call tallies — into a
+//! versioned, length-prefixed binary file, and restores it so that
+//! feeding the remaining stream yields **bit-identical** solutions,
+//! spreads, and oracle tallies to a run that never stopped, at any
+//! `TDN_THREADS` setting (the acceptance style of Yang et al.,
+//! arXiv:1602.04490: a restored tracker must be indistinguishable from an
+//! uninterrupted one).
+//!
+//! ## File format
+//!
+//! A [`Manifest`] header (magic, format version, tracker kind, config
+//! hash, stream position, payload length), the state payload, and an
+//! FNV-1a payload checksum — see [`manifest`] for the byte layout and
+//! `DESIGN.md § Persistence & recovery` for what is and is not serialized.
+//! Restores fail loudly with a typed [`PersistError`] on any mismatch:
+//! foreign files, future format versions, a different `TrackerConfig`,
+//! truncation, or bit rot. They never panic.
+//!
+//! ## Example
+//!
+//! ```
+//! use tdn_core::{HistApprox, InfluenceTracker, TrackerConfig};
+//! use tdn_persist::{checkpoint_to_vec, restore_from_slice};
+//! use tdn_streams::TimedEdge;
+//!
+//! let cfg = TrackerConfig::new(2, 0.1, 100);
+//! let mut live = HistApprox::new(&cfg);
+//! live.step(0, &[TimedEdge::new(1u32, 2u32, 5), TimedEdge::new(1u32, 3u32, 9)]);
+//!
+//! // Snapshot after one processed step, then "crash".
+//! let bytes = checkpoint_to_vec(&live, &cfg, 1);
+//!
+//! // Warm restart: the restored tracker continues exactly where the
+//! // interrupted one left off.
+//! let (next_step, mut warm): (u64, HistApprox) =
+//!     restore_from_slice(&bytes, &cfg).expect("fresh checkpoint restores");
+//! assert_eq!(next_step, 1);
+//! let batch = [TimedEdge::new(4u32, 1u32, 3)];
+//! assert_eq!(warm.step(1, &batch), live.step(1, &batch));
+//! assert_eq!(warm.oracle_calls(), live.oracle_calls());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod manifest;
+
+use std::path::Path;
+use tdn_core::{BasicReduction, HistApprox, RandomTracker, SieveAdnTracker, TrackerConfig};
+
+pub use error::PersistError;
+pub use manifest::{Manifest, TrackerKind, FORMAT_VERSION, MAGIC};
+
+/// A tracker type that can be checkpointed and warm-restarted.
+///
+/// Implementations delegate to the tracker's own `write_snapshot` /
+/// `read_snapshot` methods (which live next to the private state they
+/// serialize); this trait adds the manifest kind tag so the persistence
+/// layer can refuse to decode a payload into the wrong type.
+pub trait Persist: Sized {
+    /// Manifest tag for this tracker type.
+    const KIND: TrackerKind;
+
+    /// Appends the tracker's full live state to `w`.
+    fn write_state(&self, w: &mut codec::Writer);
+
+    /// Rebuilds a tracker from bytes produced by [`Persist::write_state`].
+    fn read_state(r: &mut codec::Reader<'_>) -> codec::Result<Self>;
+}
+
+impl Persist for SieveAdnTracker {
+    const KIND: TrackerKind = TrackerKind::SieveAdn;
+
+    fn write_state(&self, w: &mut codec::Writer) {
+        self.write_snapshot(w);
+    }
+
+    fn read_state(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        SieveAdnTracker::read_snapshot(r)
+    }
+}
+
+impl Persist for BasicReduction {
+    const KIND: TrackerKind = TrackerKind::BasicReduction;
+
+    fn write_state(&self, w: &mut codec::Writer) {
+        self.write_snapshot(w);
+    }
+
+    fn read_state(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        BasicReduction::read_snapshot(r)
+    }
+}
+
+impl Persist for HistApprox {
+    const KIND: TrackerKind = TrackerKind::HistApprox;
+
+    fn write_state(&self, w: &mut codec::Writer) {
+        self.write_snapshot(w);
+    }
+
+    fn read_state(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        HistApprox::read_snapshot(r)
+    }
+}
+
+impl Persist for RandomTracker {
+    const KIND: TrackerKind = TrackerKind::Random;
+
+    fn write_state(&self, w: &mut codec::Writer) {
+        self.write_snapshot(w);
+    }
+
+    fn read_state(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        RandomTracker::read_snapshot(r)
+    }
+}
+
+/// Fingerprints a tracker configuration (FNV-1a over its exact serialized
+/// form, `ε` as raw bits). Stored in every manifest; restore compares it
+/// against the caller's config and fails with
+/// [`PersistError::ConfigMismatch`] on any difference — resuming sieve
+/// state under different `k`/`ε`/`L` would silently change the algorithm.
+pub fn config_hash(cfg: &TrackerConfig) -> u64 {
+    let mut w = codec::Writer::new();
+    cfg.write_snapshot(&mut w);
+    codec::fnv1a64(w.as_slice())
+}
+
+/// Serializes a checkpoint into memory: manifest header, state payload,
+/// payload checksum. `step` is the stream position — the number of steps
+/// the tracker has already processed (feeding resumes at that index).
+pub fn checkpoint_to_vec<T: Persist>(tracker: &T, cfg: &TrackerConfig, step: u64) -> Vec<u8> {
+    let mut payload = codec::Writer::new();
+    tracker.write_state(&mut payload);
+    let payload = payload.into_vec();
+    let mut w = codec::Writer::new();
+    Manifest {
+        format_version: FORMAT_VERSION,
+        kind: T::KIND,
+        config_hash: config_hash(cfg),
+        step,
+        payload_len: payload.len() as u64,
+    }
+    .write(&mut w);
+    let mut bytes = w.into_vec();
+    let checksum = codec::fnv1a64(&payload);
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Restores a tracker from in-memory checkpoint bytes, verifying magic,
+/// version, tracker kind, config hash, payload length, and checksum before
+/// decoding. Returns the stream position alongside the tracker.
+pub fn restore_from_slice<T: Persist>(
+    bytes: &[u8],
+    cfg: &TrackerConfig,
+) -> Result<(u64, T), PersistError> {
+    let mut r = codec::Reader::new(bytes);
+    let manifest = Manifest::read(&mut r)?;
+    if manifest.kind != T::KIND {
+        return Err(PersistError::WrongTracker {
+            expected: T::KIND,
+            found: manifest.kind as u8,
+        });
+    }
+    let expected_hash = config_hash(cfg);
+    if manifest.config_hash != expected_hash {
+        return Err(PersistError::ConfigMismatch {
+            expected: expected_hash,
+            found: manifest.config_hash,
+        });
+    }
+    // Subtract instead of `payload_len + 8`: a corrupt header near
+    // u64::MAX would overflow the addition (a panic in debug builds, a
+    // wrapped — and therefore passing — bound in release).
+    if (r.remaining() as u64).saturating_sub(8) < manifest.payload_len {
+        return Err(PersistError::Corrupt(codec::CodecError::Truncated {
+            needed: manifest
+                .payload_len
+                .saturating_add(8)
+                .min(usize::MAX as u64) as usize,
+            remaining: r.remaining(),
+        }));
+    }
+    let payload_len = manifest.payload_len as usize;
+    let rest = &bytes[bytes.len() - r.remaining()..];
+    let payload = &rest[..payload_len];
+    let mut tail = codec::Reader::new(&rest[payload_len..]);
+    let stored_checksum = tail.get_u64()?;
+    tail.finish()?;
+    if codec::fnv1a64(payload) != stored_checksum {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    let mut pr = codec::Reader::new(payload);
+    let tracker = T::read_state(&mut pr)?;
+    pr.finish()?;
+    Ok((manifest.step, tracker))
+}
+
+/// Parses just the manifest from in-memory checkpoint bytes (no payload
+/// decoding — cheap inspection of what a file holds).
+pub fn peek_manifest(bytes: &[u8]) -> Result<Manifest, PersistError> {
+    Manifest::read(&mut codec::Reader::new(bytes))
+}
+
+/// Writes a checkpoint file. The write is atomic-by-rename: bytes land in
+/// `<path>.tmp` first, so a crash mid-write cannot leave a half-written
+/// file at the final path (it would fail the checksum anyway, but the
+/// previous good checkpoint survives).
+pub fn save_checkpoint<T: Persist>(
+    path: &Path,
+    tracker: &T,
+    cfg: &TrackerConfig,
+    step: u64,
+) -> Result<(), PersistError> {
+    let bytes = checkpoint_to_vec(tracker, cfg, step);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and restores a checkpoint file written by [`save_checkpoint`].
+pub fn load_checkpoint<T: Persist>(
+    path: &Path,
+    cfg: &TrackerConfig,
+) -> Result<(u64, T), PersistError> {
+    let bytes = std::fs::read(path)?;
+    restore_from_slice(&bytes, cfg)
+}
+
+/// Reads just the manifest of a checkpoint file.
+pub fn read_manifest(path: &Path) -> Result<Manifest, PersistError> {
+    // The header is 37 bytes; read a small prefix instead of the payload.
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut head = [0u8; 64];
+    let mut got = 0;
+    while got < head.len() {
+        match file.read(&mut head[got..])? {
+            0 => break,
+            n => got += n,
+        }
+    }
+    peek_manifest(&head[..got])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdn_core::InfluenceTracker;
+    use tdn_streams::TimedEdge;
+
+    /// `unwrap_err` needs `Debug` on the success type; trackers don't
+    /// implement it, so unwrap the error arm by hand.
+    fn expect_err<T>(res: Result<(u64, T), PersistError>) -> PersistError {
+        match res {
+            Ok(_) => panic!("restore unexpectedly succeeded"),
+            Err(e) => e,
+        }
+    }
+
+    fn small_hist() -> (TrackerConfig, HistApprox) {
+        let cfg = TrackerConfig::new(2, 0.1, 50);
+        let mut h = HistApprox::new(&cfg);
+        h.step(
+            0,
+            &[
+                TimedEdge::new(0u32, 1u32, 3),
+                TimedEdge::new(0u32, 2u32, 7),
+                TimedEdge::new(5u32, 6u32, 20),
+            ],
+        );
+        h.step(1, &[TimedEdge::new(6u32, 7u32, 4)]);
+        (cfg, h)
+    }
+
+    #[test]
+    fn round_trip_preserves_answers_and_tallies() {
+        let (cfg, mut live) = small_hist();
+        let bytes = checkpoint_to_vec(&live, &cfg, 2);
+        let (step, mut warm): (u64, HistApprox) = restore_from_slice(&bytes, &cfg).unwrap();
+        assert_eq!(step, 2);
+        assert_eq!(warm.oracle_calls(), live.oracle_calls());
+        for t in 2..12 {
+            let batch = [TimedEdge::new((t % 4) as u32, 40 + t as u32, 5)];
+            assert_eq!(warm.step(t, &batch), live.step(t, &batch), "t={t}");
+            assert_eq!(warm.oracle_calls(), live.oracle_calls(), "t={t}");
+        }
+    }
+
+    #[test]
+    fn manifest_peek_reports_position_and_kind() {
+        let (cfg, live) = small_hist();
+        let bytes = checkpoint_to_vec(&live, &cfg, 7);
+        let m = peek_manifest(&bytes).unwrap();
+        assert_eq!(m.kind, TrackerKind::HistApprox);
+        assert_eq!(m.step, 7);
+        assert_eq!(m.format_version, FORMAT_VERSION);
+        assert_eq!(m.config_hash, config_hash(&cfg));
+    }
+
+    #[test]
+    fn config_mismatch_is_loud() {
+        let (cfg, live) = small_hist();
+        let bytes = checkpoint_to_vec(&live, &cfg, 2);
+        let other = TrackerConfig::new(3, 0.1, 50);
+        let err = expect_err(restore_from_slice::<HistApprox>(&bytes, &other));
+        assert!(matches!(err, PersistError::ConfigMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_tracker_kind_is_loud() {
+        let (cfg, live) = small_hist();
+        let bytes = checkpoint_to_vec(&live, &cfg, 2);
+        let err = expect_err(restore_from_slice::<BasicReduction>(&bytes, &cfg));
+        assert!(matches!(err, PersistError::WrongTracker { .. }), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_never_a_panic() {
+        let (cfg, live) = small_hist();
+        let bytes = checkpoint_to_vec(&live, &cfg, 2);
+        for cut in 0..bytes.len() {
+            let res = restore_from_slice::<HistApprox>(&bytes[..cut], &cfg);
+            assert!(
+                res.is_err(),
+                "prefix of {cut}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum_or_decode() {
+        let (cfg, live) = small_hist();
+        let bytes = checkpoint_to_vec(&live, &cfg, 2);
+        // Flip one byte in the middle of the payload.
+        let mut corrupt = bytes.clone();
+        let at = bytes.len() / 2;
+        corrupt[at] ^= 0xFF;
+        assert!(restore_from_slice::<HistApprox>(&corrupt, &cfg).is_err());
+    }
+
+    #[test]
+    fn hostile_payload_length_is_an_error_not_a_panic() {
+        // A corrupt header announcing a near-u64::MAX payload must not
+        // overflow the bounds arithmetic (debug panic / release wrap) or
+        // reach the slicing code.
+        let (cfg, live) = small_hist();
+        let mut bytes = checkpoint_to_vec(&live, &cfg, 2);
+        for hostile in [u64::MAX, u64::MAX - 7, (bytes.len() as u64) * 2] {
+            bytes[29..37].copy_from_slice(&hostile.to_le_bytes());
+            let err = expect_err(restore_from_slice::<HistApprox>(&bytes, &cfg));
+            assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn foreign_and_future_files_are_rejected() {
+        let cfg = TrackerConfig::new(2, 0.1, 50);
+        let err = expect_err(restore_from_slice::<HistApprox>(
+            b"PNG\x89 not a checkpoint",
+            &cfg,
+        ));
+        assert!(matches!(err, PersistError::BadMagic), "{err}");
+        // Craft a header claiming format version 99.
+        let (cfg2, live) = small_hist();
+        let mut bytes = checkpoint_to_vec(&live, &cfg2, 2);
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = expect_err(restore_from_slice::<HistApprox>(&bytes, &cfg2));
+        assert!(
+            matches!(err, PersistError::UnsupportedVersion { found: 99, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (cfg, mut live) = small_hist();
+        let dir = std::env::temp_dir().join("tdn_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hist.ckpt");
+        save_checkpoint(&path, &live, &cfg, 2).unwrap();
+        let m = read_manifest(&path).unwrap();
+        assert_eq!(m.step, 2);
+        let (step, mut warm): (u64, HistApprox) = load_checkpoint(&path, &cfg).unwrap();
+        assert_eq!(step, 2);
+        let batch = [TimedEdge::new(9u32, 10u32, 3)];
+        assert_eq!(warm.step(2, &batch), live.step(2, &batch));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,119 @@
+//! The checkpoint manifest header.
+//!
+//! Every checkpoint file starts with a fixed-layout header that can be
+//! parsed without decoding the (much larger) state payload:
+//!
+//! | field | bytes | contents |
+//! |-------|-------|----------|
+//! | magic | 8 | `b"TDNCKPT\0"` |
+//! | format version | 4 | little-endian `u32`, currently 1 |
+//! | tracker kind | 1 | [`TrackerKind`] tag |
+//! | config hash | 8 | FNV-1a of the serialized `TrackerConfig` |
+//! | stream position | 8 | steps already processed (restore resumes here) |
+//! | payload length | 8 | byte length of the state payload |
+//!
+//! The payload follows, then an 8-byte FNV-1a checksum of the payload.
+//! Versioning rule: the version is bumped whenever any snapshot layout
+//! changes; readers reject versions they do not understand *before*
+//! touching the payload (see `DESIGN.md § Persistence & recovery`).
+
+use crate::error::PersistError;
+
+/// File magic: identifies TDN checkpoints regardless of version.
+pub const MAGIC: [u8; 8] = *b"TDNCKPT\0";
+
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Which tracker type a checkpoint holds. The tag is part of the on-disk
+/// format: restoring a file into the wrong tracker type fails with
+/// [`PersistError::WrongTracker`] instead of misinterpreting the payload.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TrackerKind {
+    /// [`tdn_core::SieveAdnTracker`] (Alg. 1, addition-only).
+    SieveAdn = 1,
+    /// [`tdn_core::BasicReduction`] (Alg. 2, `L` staggered instances).
+    BasicReduction = 2,
+    /// [`tdn_core::HistApprox`] (Alg. 3, compressed histogram).
+    HistApprox = 3,
+    /// [`tdn_core::RandomTracker`] (§V-C baseline; carries RNG state).
+    Random = 4,
+}
+
+impl TrackerKind {
+    /// Parses a manifest tag.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(TrackerKind::SieveAdn),
+            2 => Some(TrackerKind::BasicReduction),
+            3 => Some(TrackerKind::HistApprox),
+            4 => Some(TrackerKind::Random),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed checkpoint header (everything before the state payload).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// On-disk format version.
+    pub format_version: u32,
+    /// Tracker type held by the payload.
+    pub kind: TrackerKind,
+    /// FNV-1a fingerprint of the `TrackerConfig` the run used.
+    pub config_hash: u64,
+    /// Stream position: number of steps the tracker had processed when the
+    /// checkpoint was taken. A restored run resumes feeding at this index.
+    pub step: u64,
+    /// Byte length of the state payload that follows the header.
+    pub payload_len: u64,
+}
+
+impl Manifest {
+    /// Serializes the header.
+    pub(crate) fn write(&self, w: &mut codec::Writer) {
+        for b in MAGIC {
+            w.put_u8(b);
+        }
+        w.put_u32(self.format_version);
+        w.put_u8(self.kind as u8);
+        w.put_u64(self.config_hash);
+        w.put_u64(self.step);
+        w.put_u64(self.payload_len);
+    }
+
+    /// Parses and validates a header: magic first, then version, then the
+    /// kind tag — so the most actionable error wins when several things are
+    /// wrong at once.
+    pub(crate) fn read(r: &mut codec::Reader<'_>) -> Result<Self, PersistError> {
+        let mut magic = [0u8; 8];
+        for slot in &mut magic {
+            *slot = r.get_u8().map_err(|_| PersistError::BadMagic)?;
+        }
+        if magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let format_version = r.get_u32()?;
+        if format_version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                found: format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let tag = r.get_u8()?;
+        let config_hash = r.get_u64()?;
+        let step = r.get_u64()?;
+        let payload_len = r.get_u64()?;
+        let kind = TrackerKind::from_tag(tag).ok_or(PersistError::Corrupt(
+            codec::CodecError::Invalid("unknown tracker kind tag"),
+        ))?;
+        Ok(Manifest {
+            format_version,
+            kind,
+            config_hash,
+            step,
+            payload_len,
+        })
+    }
+}

@@ -50,6 +50,13 @@ impl OracleCounter {
         self.0.store(0, Ordering::Relaxed);
     }
 
+    /// Overwrites the tally (checkpoint restore: a warm-restarted tracker
+    /// must resume billing from the interrupted run's exact count so final
+    /// tallies match the uninterrupted run bit for bit).
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
     /// Creates a per-worker handle that accumulates increments locally and
     /// merges them into the shared tally when dropped (or on
     /// [`CounterBatch::flush`]). Used by parallel loops so contended

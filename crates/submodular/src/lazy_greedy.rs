@@ -1,7 +1,7 @@
 //! Lazy greedy (CELF) maximization — the paper's strongest baseline.
 //!
 //! Classic greedy evaluates every candidate's marginal gain in every round;
-//! Minoux's lazy-evaluation trick (§V-C, [32]) keeps a max-heap of *stale*
+//! Minoux's lazy-evaluation trick (§V-C, \[32\]) keeps a max-heap of *stale*
 //! upper bounds and only re-evaluates the top entry, which submodularity
 //! proves sufficient. The paper applies this trick to Greedy to make the
 //! oracle-call comparison fair; we do the same.

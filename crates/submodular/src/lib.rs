@@ -7,7 +7,7 @@
 //!   Badanidiyuru et al. that SIEVEADN extends to time-varying objectives;
 //! * [`thresholds::ThresholdLadder`] — the lazily maintained geometric
 //!   threshold set `Θ`;
-//! * [`lazy_greedy`] — CELF lazy greedy (the paper's Greedy baseline) plus
+//! * [`lazy_greedy()`] — CELF lazy greedy (the paper's Greedy baseline) plus
 //!   an eager variant for ablation;
 //! * [`objective::IncrementalObjective`] — the oracle abstraction, with a
 //!   [`objective::WeightedCoverage`] reference implementation for tests;

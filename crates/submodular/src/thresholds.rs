@@ -119,6 +119,46 @@ impl ThresholdLadder {
             added: (old_hi + 1).max(new_lo)..=new_hi,
         })
     }
+
+    /// Serializes the ladder for checkpointing. `Δ` is written as its exact
+    /// IEEE-754 bit pattern: future [`Self::update_delta`] comparisons must
+    /// behave identically after a warm restart.
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        w.put_f64(self.eps);
+        w.put_u64(self.k as u64);
+        w.put_f64(self.delta);
+        w.put_i64(self.lo);
+        w.put_i64(self.hi);
+    }
+
+    /// Reconstructs a ladder from [`Self::write_snapshot`] bytes, validating
+    /// the parameter domains ([`Self::new`]'s contract) so corrupt input
+    /// yields an error instead of a panic.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let eps = r.get_f64()?;
+        let k = r.get_u64()?;
+        let delta = r.get_f64()?;
+        let lo = r.get_i64()?;
+        let hi = r.get_i64()?;
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(codec::CodecError::Invalid("ladder eps outside (0,1)"));
+        }
+        if k == 0 || k > usize::MAX as u64 {
+            return Err(codec::CodecError::Invalid("ladder budget k out of range"));
+        }
+        if !(delta >= 0.0 && delta.is_finite()) {
+            return Err(codec::CodecError::Invalid(
+                "ladder delta not finite or negative",
+            ));
+        }
+        Ok(ThresholdLadder {
+            eps,
+            k: k as usize,
+            delta,
+            lo,
+            hi,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +235,37 @@ mod tests {
     #[should_panic(expected = "eps must lie in (0,1)")]
     fn rejects_bad_eps() {
         let _ = ThresholdLadder::new(1.5, 10);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact() {
+        let mut l = ThresholdLadder::new(0.1, 10);
+        l.update_delta(3.7);
+        let mut w = codec::Writer::new();
+        l.write_snapshot(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        let mut m = ThresholdLadder::read_snapshot(&mut r).expect("round trip");
+        r.finish().expect("fully consumed");
+        assert_eq!(l.delta().to_bits(), m.delta().to_bits());
+        assert_eq!(l.exponents(), m.exponents());
+        assert_eq!(l.eps().to_bits(), m.eps().to_bits());
+        assert_eq!(l.k(), m.k());
+        // Future updates behave identically (same change sets).
+        assert_eq!(l.update_delta(3.7), m.update_delta(3.7));
+        assert_eq!(l.update_delta(11.0), m.update_delta(11.0));
+    }
+
+    #[test]
+    fn snapshot_rejects_out_of_domain_parameters() {
+        let mut w = codec::Writer::new();
+        w.put_f64(1.5); // eps outside (0,1)
+        w.put_u64(10);
+        w.put_f64(0.0);
+        w.put_i64(1);
+        w.put_i64(0);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        assert!(ThresholdLadder::read_snapshot(&mut r).is_err());
     }
 }

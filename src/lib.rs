@@ -28,6 +28,40 @@
 //! assert_eq!(sol.seeds[0], NodeId(0));
 //! ```
 //!
+//! ## Checkpoint & warm restart
+//!
+//! Long-running deployments snapshot tracker state with [`persist`] and
+//! resume after a restart without replaying history — the restored run is
+//! bit-identical (solutions *and* oracle-call tallies) to one that never
+//! stopped, at any `TDN_THREADS` setting:
+//!
+//! ```
+//! use tdn::prelude::*;
+//!
+//! let cfg = TrackerConfig::new(2, 0.1, 100);
+//! let mut live = HistApprox::new(&cfg);
+//! live.step(0, &[TimedEdge::new(0u32, 1u32, 10), TimedEdge::new(0u32, 2u32, 10)]);
+//!
+//! // Snapshot (in memory here; `save_checkpoint` writes the same bytes,
+//! // with the same manifest header, to a file).
+//! let bytes = checkpoint_to_vec(&live, &cfg, 1);
+//!
+//! // ... process crashes; a new process restores and continues:
+//! let (next_step, mut warm): (u64, HistApprox) =
+//!     restore_from_slice(&bytes, &cfg).expect("config matches, file intact");
+//! assert_eq!(next_step, 1);
+//! assert_eq!(warm.step(1, &[]), live.step(1, &[]));
+//! assert_eq!(warm.oracle_calls(), live.oracle_calls());
+//!
+//! // Restoring under a different configuration fails loudly (a typed
+//! // error, never a panic) — so does a truncated or foreign file.
+//! let other = TrackerConfig::new(5, 0.1, 100);
+//! assert!(matches!(
+//!     restore_from_slice::<HistApprox>(&bytes, &other),
+//!     Err(PersistError::ConfigMismatch { .. })
+//! ));
+//! ```
+//!
 //! ## Crate map
 //!
 //! * [`tdn_graph`] — ADN/TDN graph substrates and the reachability oracle;
@@ -36,17 +70,21 @@
 //! * [`tdn_submodular`] — SieveStreaming, CELF, threshold ladders;
 //! * [`tdn_core`] — SIEVEADN / BASICREDUCTION / HISTAPPROX + baselines;
 //! * [`tdn_baselines`] — IC-model RIS baselines (DIM, IMM, TIM+);
+//! * [`persist`] — checkpoint/restore: versioned binary snapshots of full
+//!   tracker state with a bit-identical warm-restart guarantee;
 //! * [`parallel`] — the execution engine fanning instance/threshold work
 //!   across cores (`TDN_THREADS`, deterministic at any thread count).
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured results of every table and figure.
+//! See `DESIGN.md` for the system inventory (including the on-disk
+//! checkpoint format) and `EXPERIMENTS.md` for the paper-vs-measured
+//! results of every table and figure.
 
 #![warn(missing_docs)]
 
 pub use tdn_baselines as baselines;
 pub use tdn_core as algorithms;
 pub use tdn_graph as graph;
+pub use tdn_persist as persist;
 pub use tdn_streams as streams;
 pub use tdn_submodular as submodular;
 
@@ -64,6 +102,10 @@ pub mod prelude {
         SieveAdn, SieveAdnTracker, Solution, TrackerConfig,
     };
     pub use tdn_graph::{condense, Lifetime, NodeId, NodeInterner, TdnGraph, Time};
+    pub use tdn_persist::{
+        checkpoint_to_vec, load_checkpoint, read_manifest, restore_from_slice, save_checkpoint,
+        Persist, PersistError, TrackerKind,
+    };
     pub use tdn_streams::{
         read_interactions, write_interactions, ConstantLifetime, Dataset, GeometricLifetime,
         InfiniteLifetime, Interaction, LifetimeAssigner, PowerLawLifetime, StepBatches, TimedEdge,

@@ -1,0 +1,381 @@
+//! Minimal binary codec for checkpoint snapshots.
+//!
+//! The build container has no registry access, so this crate stands in for
+//! a serialization framework (serde + bincode) the same way the other
+//! `vendor/` shims stand in for their upstream crates. It implements
+//! exactly what the persistence layer needs and nothing more:
+//!
+//! * fixed-width little-endian primitives (`u8`/`u32`/`u64`/`i64`, `f64`
+//!   via [`f64::to_bits`] so round-trips are bit-exact);
+//! * length-prefixed byte strings and UTF-8 strings;
+//! * a **panic-free** reader: every decoding failure — truncation, an
+//!   implausible length prefix, invalid UTF-8, trailing garbage — surfaces
+//!   as a typed [`CodecError`], never a panic, so corrupt checkpoint files
+//!   degrade into errors the caller can report;
+//! * an FNV-1a checksum helper for payload integrity.
+//!
+//! Writers and readers agree on field order by construction (each snapshot
+//! implementation writes and reads its fields in one place); format
+//! *versioning* lives one layer up, in `tdn-persist`'s manifest header.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A decoding failure. All variants are recoverable errors; the reader
+/// never panics on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before a field could be read in full.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A length prefix announces more elements than the remaining bytes
+    /// could possibly hold (corrupt or hostile input; also prevents huge
+    /// pre-allocations).
+    LengthOverflow {
+        /// Announced element count.
+        announced: u64,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A field holds a value outside its legal domain (e.g. a boolean byte
+    /// that is neither 0 nor 1, or `eps` outside `(0, 1)`).
+    Invalid(&'static str),
+    /// A length-prefixed string is not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the last expected field (wrong format or a
+    /// mismatched writer/reader pair).
+    TrailingBytes {
+        /// Unconsumed byte count.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated input: field needs {needed} bytes, {remaining} remain"
+            ),
+            CodecError::LengthOverflow {
+                announced,
+                remaining,
+            } => write!(
+                f,
+                "implausible length prefix: {announced} elements announced with {remaining} bytes left"
+            ),
+            CodecError::Invalid(what) => write!(f, "invalid field value: {what}"),
+            CodecError::BadUtf8 => write!(f, "length-prefixed string is not valid UTF-8"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} unconsumed trailing bytes after final field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Shorthand result type for decoding.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+/// Append-only binary writer. Infallible: it only grows a `Vec<u8>`.
+#[derive(Default, Debug, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a collection length as `u64` (the reader validates it against
+    /// the remaining buffer via [`Reader::get_len`]).
+    pub fn put_len(&mut self, len: usize) {
+        self.put_u64(len as u64);
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_len(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Panic-free binary reader over a borrowed byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a boolean byte, rejecting values other than 0/1.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("boolean byte not 0 or 1")),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a collection length written by [`Writer::put_len`], validating
+    /// it against the bytes remaining: a collection of `len` elements each
+    /// at least `min_elem_bytes` wide cannot be longer than the rest of the
+    /// buffer. This keeps corrupt length prefixes from triggering huge
+    /// allocations before the inevitable [`CodecError::Truncated`].
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let announced = self.get_u64()?;
+        let cap = self
+            .remaining()
+            .checked_div(min_elem_bytes)
+            .map_or(u64::MAX, |c| c as u64);
+        if announced > cap {
+            return Err(CodecError::LengthOverflow {
+                announced,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(announced as usize)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_len(1)?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Asserts that the entire buffer was consumed, catching writer/reader
+    /// mismatches (a shorter reader would otherwise silently accept a
+    /// longer or corrupted payload).
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(CodecError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit hash, used both for payload checksums and for the config
+/// fingerprint in checkpoint manifests. Stable across platforms (the codec
+/// is little-endian everywhere), so checkpoints are portable.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_f64(0.1);
+        w.put_str("café");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), 0.1f64.to_bits());
+        assert_eq!(r.get_str().unwrap(), "café");
+        assert_eq!(r.get_bytes().unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_u64(123);
+        w.put_str("hello");
+        let bytes = w.into_vec();
+        // Every proper prefix must fail cleanly.
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let res = (|| -> Result<()> {
+                r.get_u64()?;
+                r.get_str()?;
+                r.finish()
+            })();
+            assert!(res.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn implausible_length_prefix_is_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // announces 2^64-1 elements
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_len(4),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_typed_errors() {
+        let mut r = Reader::new(&[2]);
+        assert_eq!(
+            r.get_bool(),
+            Err(CodecError::Invalid("boolean byte not 0 or 1"))
+        );
+        let mut w = Writer::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_vec();
+        assert_eq!(Reader::new(&bytes).get_str(), Err(CodecError::BadUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u32(2);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        r.get_u32().unwrap();
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes { remaining: 4 }));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"checkpoint"), fnv1a64(b"checkpoin\x74\x00"));
+    }
+}

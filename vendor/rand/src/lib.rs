@@ -140,7 +140,7 @@ pub trait Rng: RngCore {
         unit < p
     }
 
-    /// Generates a value of a [`Standard`]-distributed type.
+    /// Generates a value of a `Standard`-distributed type (see [`StandardDist`]).
     fn gen<T: StandardDist>(&mut self) -> T {
         T::from_rng(self.as_dyn())
     }
@@ -211,6 +211,27 @@ pub mod rngs {
             Self {
                 s: [next(), next(), next(), next()],
             }
+        }
+    }
+
+    impl StdRng {
+        /// Returns the generator's full internal state (the four xoshiro
+        /// words), for checkpointing. Restoring via [`StdRng::from_state`]
+        /// resumes the exact output stream — the registry `rand` crate
+        /// offers the same capability through serde on `StdRng`.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Reconstructs a generator from a state captured by
+        /// [`StdRng::state`]. An all-zero state (never produced by
+        /// [`SeedableRng::seed_from_u64`]) is the xoshiro fixed point and is
+        /// re-seeded from zero instead so the generator cannot go dead.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            Self { s }
         }
     }
 
