@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <target>... [--full] [--out DIR] [--checkpoint-every N]
 //!   targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!            ablations throughput restore all
+//!            ablations throughput restore hotpath all
 //!   --full               paper-scale sweeps (default: quick)
 //!   --out                output directory for CSVs (default: results)
 //!   --checkpoint-every   steps between checkpoints for the `restore`
@@ -11,12 +11,17 @@
 //! ```
 //!
 //! Figs. 8–10 come from shared runs (one runner), as do Figs. 13–14.
+//!
+//! Any failed in-experiment invariant (thread-count determinism,
+//! spread-mode bit-identity, warm-restart equality) surfaces as a target
+//! error and a **non-zero exit status**, so CI smoke runs cannot pass
+//! vacuously.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tdn_bench::experiments::{
-    ablations, fig11_12, fig13_14, fig7, fig8_10, restore, table1, throughput,
+    ablations, fig11_12, fig13_14, fig7, fig8_10, hotpath, restore, table1, throughput,
 };
 use tdn_bench::Scale;
 
@@ -24,7 +29,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <target>... [--full] [--out DIR] [--checkpoint-every N]\n\
          targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations \
-         throughput restore all"
+         throughput restore hotpath all"
     );
     ExitCode::FAILURE
 }
@@ -52,7 +57,7 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             t @ ("table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
-            | "fig14" | "ablations" | "throughput" | "restore") => {
+            | "fig14" | "ablations" | "throughput" | "restore" | "hotpath") => {
                 // Shared runners: figs 8-10 and 13-14 are joint.
                 targets.insert(match t {
                     "fig9" | "fig10" => "fig8",
@@ -71,6 +76,7 @@ fn main() -> ExitCode {
                     "ablations",
                     "throughput",
                     "restore",
+                    "hotpath",
                 ] {
                     targets.insert(t);
                 }
@@ -100,6 +106,7 @@ fn main() -> ExitCode {
             "ablations" => ablations::run(&out, &scale),
             "throughput" => throughput::run(&out, &scale),
             "restore" => restore::run(&out, &scale, checkpoint_every),
+            "hotpath" => hotpath::run(&out, &scale),
             _ => unreachable!("validated above"),
         };
         match res {

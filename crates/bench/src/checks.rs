@@ -1,0 +1,31 @@
+//! In-experiment invariant checks that fail the `experiments` binary.
+//!
+//! Experiments assert real invariants while they run (determinism across
+//! thread counts, bit-identity across spread modes, warm-restart equality).
+//! Those assertions must terminate the process with a **non-zero exit
+//! status** so CI smoke runs cannot pass vacuously; returning a typed
+//! error through each runner's `io::Result` (which `main` maps to
+//! [`std::process::ExitCode::FAILURE`]) is sturdier than panicking —
+//! it survives refactors that move experiment bodies onto worker threads,
+//! where a panic would only kill the worker.
+
+/// Returns an [`std::io::Error`] carrying `msg` unless `cond` holds.
+pub fn ensure(cond: bool, msg: impl Into<String>) -> std::io::Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(std::io::Error::other(msg.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_maps_to_io_errors() {
+        assert!(ensure(true, "fine").is_ok());
+        let err = ensure(1 + 1 == 3, "arithmetic broke").unwrap_err();
+        assert_eq!(err.to_string(), "arithmetic broke");
+    }
+}

@@ -1,0 +1,345 @@
+//! Hot-path experiment: the incremental spread-maintenance engine versus
+//! full recomputation, across batch sizes and decay windows.
+//!
+//! Every workload replays the *identical* prepared stream through two
+//! HISTAPPROX trackers that differ only in [`SpreadMode`]: the
+//! full-recompute reference (the pre-engine code path, retained verbatim)
+//! and the incremental engine (redundancy-classified inserts, epoch-tagged
+//! dirty sets, memoised spreads). The experiment **fails with a non-zero
+//! exit** unless per-step solution values and oracle-call tallies are
+//! bit-identical — a speedup that changes answers would be measuring a
+//! different algorithm — and records wall-clock speedups plus the engine's
+//! own tallies (redundant vs novel edges, cache hits vs misses,
+//! patch-vs-rebuild decisions) in `BENCH_hotpath.json`.
+//!
+//! High-locality workloads (cascade streams growing deep retweet trees)
+//! are where the engine shines: most fresh edges attach a brand-new sink,
+//! so the spreads of the whole upstream tree change by an exactly-known
+//! `+1` and come straight from the patched memo instead of a BFS each.
+
+use crate::checks::ensure;
+use crate::driver::{run_tracker, PreparedStream, RunLog};
+use crate::report::{f, print_table};
+use crate::scale::Scale;
+use std::io::Write;
+use std::path::Path;
+use tdn_core::{HistApprox, SieveAdnTracker, SpreadMode, SpreadStatsSnapshot, TrackerConfig};
+use tdn_streams::Dataset;
+
+const EPS: f64 = 0.3;
+const P: f64 = 0.001;
+const K: usize = 10;
+
+/// Which tracker a workload measures.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Tracker {
+    /// SIEVEADN over the addition-only view: the spread-maintenance hot
+    /// path in isolation (phases 3–4 of `SieveAdn::feed` dominate).
+    SieveAdn,
+    /// HISTAPPROX end to end: spread maintenance plus instance management,
+    /// expiry, and histogram compression.
+    HistApprox,
+}
+
+impl Tracker {
+    fn name(self) -> &'static str {
+        match self {
+            Tracker::SieveAdn => "SieveADN",
+            Tracker::HistApprox => "HistApprox",
+        }
+    }
+}
+
+/// One point of the batch-size × decay-window grid.
+struct Workload {
+    /// JSON/report identifier.
+    name: &'static str,
+    /// Tracker under measurement.
+    tracker: Tracker,
+    /// Interaction preset the stream replays.
+    dataset: Dataset,
+    /// Ticks coalesced per arrival batch (small batches = the high-rate
+    /// serving shape the engine targets).
+    batch_ticks: usize,
+    /// Lifetime cap `L` (the decay window).
+    max_lifetime: u32,
+    /// Stream length multiplier over `scale.steps_main`. Synthetic streams
+    /// emit ~1 interaction per tick; the hot path only *exists* once the
+    /// accumulated graphs are deep enough that spread recomputation
+    /// dominates, so the flagship workloads run longer horizons.
+    steps_factor: u64,
+}
+
+/// The measured grid. Cascade streams (TwitterHiggs/TwitterHk) are the
+/// high-locality hot path: batches keep growing the same retweet trees, so
+/// each batch perturbs a deep but narrow ancestor neighbourhood while the
+/// spreads of those ancestors (whole downstream subtrees) are expensive to
+/// recompute — exactly what the dirty-set + delta patching exploits. The
+/// Brightkite point is the honest control: a shallow bipartite stream
+/// whose spreads are already cheap, so the engine can only break even.
+/// `L` spans a long window (≈ everything stays live at quick scale) and a
+/// short one (constant expiry churn, the engine's worst case).
+const WORKLOADS: [Workload; 6] = [
+    Workload {
+        name: "adn_small_batch",
+        tracker: Tracker::SieveAdn,
+        dataset: Dataset::TwitterHk,
+        batch_ticks: 4,
+        max_lifetime: 10_000,
+        steps_factor: 6,
+    },
+    Workload {
+        name: "adn_large_batch",
+        tracker: Tracker::SieveAdn,
+        dataset: Dataset::TwitterHk,
+        batch_ticks: 32,
+        max_lifetime: 10_000,
+        steps_factor: 6,
+    },
+    Workload {
+        name: "adn_burst",
+        tracker: Tracker::SieveAdn,
+        dataset: Dataset::TwitterHiggs,
+        batch_ticks: 4,
+        max_lifetime: 10_000,
+        steps_factor: 8,
+    },
+    Workload {
+        name: "hist_long_decay",
+        tracker: Tracker::HistApprox,
+        dataset: Dataset::TwitterHk,
+        batch_ticks: 8,
+        max_lifetime: 10_000,
+        steps_factor: 8,
+    },
+    Workload {
+        name: "hist_short_decay",
+        tracker: Tracker::HistApprox,
+        dataset: Dataset::TwitterHiggs,
+        batch_ticks: 4,
+        max_lifetime: 64,
+        steps_factor: 4,
+    },
+    Workload {
+        name: "bipartite_control",
+        tracker: Tracker::HistApprox,
+        dataset: Dataset::Brightkite,
+        batch_ticks: 4,
+        max_lifetime: 10_000,
+        steps_factor: 1,
+    },
+];
+
+/// One workload's paired measurement.
+struct GridPoint {
+    name: &'static str,
+    tracker: Tracker,
+    dataset: Dataset,
+    batch_ticks: usize,
+    max_lifetime: u32,
+    edges: u64,
+    full: RunLog,
+    incremental: RunLog,
+    engine: SpreadStatsSnapshot,
+}
+
+impl GridPoint {
+    fn speedup(&self) -> f64 {
+        // Clamp the denominator so a sub-timer-resolution run can never
+        // emit a non-finite value into the JSON.
+        self.full.wall_secs / self.incremental.wall_secs.max(1e-9)
+    }
+}
+
+fn run_mode(
+    sel: Tracker,
+    stream: &PreparedStream,
+    cfg: &TrackerConfig,
+    mode: SpreadMode,
+) -> (RunLog, SpreadStatsSnapshot) {
+    match sel {
+        Tracker::SieveAdn => {
+            let mut tracker = SieveAdnTracker::new(cfg).with_spread_mode(mode);
+            let log = run_tracker(&mut tracker, stream);
+            (log, tracker.spread_stats())
+        }
+        Tracker::HistApprox => {
+            let mut tracker = HistApprox::new(cfg).with_spread_mode(mode);
+            let log = run_tracker(&mut tracker, stream);
+            (log, tracker.spread_stats())
+        }
+    }
+}
+
+/// Runs the grid, enforces bit-identity, writes `BENCH_hotpath.json`, and
+/// prints the summary table.
+pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    // Discarded warm-up so the first measured run does not absorb one-time
+    // allocator/page-fault costs (same rationale as the throughput sweep).
+    {
+        let warm = PreparedStream::geometric(Dataset::TwitterHiggs, scale.seed, P, 10_000, 200)
+            .coalesce(4);
+        run_mode(
+            Tracker::HistApprox,
+            &warm,
+            &TrackerConfig::new(K, EPS, 10_000),
+            SpreadMode::FullRecompute,
+        );
+    }
+    let mut points = Vec::new();
+    for w in &WORKLOADS {
+        let stream = PreparedStream::geometric(
+            w.dataset,
+            scale.seed,
+            P,
+            w.max_lifetime,
+            scale.steps_main * w.steps_factor,
+        )
+        .coalesce(w.batch_ticks);
+        let cfg = TrackerConfig::new(K, EPS, w.max_lifetime);
+        let (full, full_engine) = run_mode(w.tracker, &stream, &cfg, SpreadMode::FullRecompute);
+        let (incremental, engine) = run_mode(w.tracker, &stream, &cfg, SpreadMode::Incremental);
+        // The acceptance invariant: the engine must not change a single
+        // output bit — per-step solution values AND cumulative oracle
+        // tallies (one call per singleton evaluation, however serviced).
+        ensure(
+            incremental.values == full.values && incremental.calls == full.calls,
+            format!(
+                "[{}] incremental engine diverged from full recompute \
+                 (values match: {}, tallies match: {})",
+                w.name,
+                incremental.values == full.values,
+                incremental.calls == full.calls,
+            ),
+        )?;
+        ensure(
+            full_engine == SpreadStatsSnapshot::default(),
+            format!("[{}] reference run unexpectedly used the engine", w.name),
+        )?;
+        points.push(GridPoint {
+            name: w.name,
+            tracker: w.tracker,
+            dataset: w.dataset,
+            batch_ticks: w.batch_ticks,
+            max_lifetime: w.max_lifetime,
+            edges: stream.edges,
+            full,
+            incremental,
+            engine,
+        });
+    }
+    let best_speedup = points
+        .iter()
+        .map(GridPoint::speedup)
+        .fold(f64::NAN, f64::max);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_hotpath.json");
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"experiment\": \"hotpath_incremental_spread\",")?;
+    writeln!(
+        out,
+        "  \"config\": {{\"k\": {K}, \"eps\": {EPS}, \"geo_p\": {P}, \"seed\": {}}},",
+        scale.seed
+    )?;
+    writeln!(out, "  \"host_cores\": {cores},")?;
+    writeln!(out, "  \"identical_all\": true,")?;
+    writeln!(out, "  \"best_speedup\": {},", f(best_speedup))?;
+    writeln!(out, "  \"workloads\": [")?;
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        let e = &p.engine;
+        writeln!(out, "    {{")?;
+        writeln!(
+            out,
+            "      \"name\": \"{}\", \"tracker\": \"{}\", \"dataset\": \"{}\", \
+             \"batch_ticks\": {}, \
+             \"max_lifetime\": {}, \"steps\": {}, \"edges\": {},",
+            p.name,
+            p.tracker.name(),
+            p.dataset.slug(),
+            p.batch_ticks,
+            p.max_lifetime,
+            p.full.values.len(),
+            p.edges,
+        )?;
+        writeln!(
+            out,
+            "      \"full\": {{\"wall_secs\": {}, \"p50_step_ms\": {}, \"p99_step_ms\": {}}},",
+            f(p.full.wall_secs),
+            f(p.full.step_latency_secs(0.5) * 1e3),
+            f(p.full.step_latency_secs(0.99) * 1e3),
+        )?;
+        writeln!(
+            out,
+            "      \"incremental\": {{\"wall_secs\": {}, \"p50_step_ms\": {}, \"p99_step_ms\": {}}},",
+            f(p.incremental.wall_secs),
+            f(p.incremental.step_latency_secs(0.5) * 1e3),
+            f(p.incremental.step_latency_secs(0.99) * 1e3),
+        )?;
+        writeln!(
+            out,
+            "      \"speedup\": {}, \"identical\": true, \"oracle_calls\": {},",
+            f(p.speedup()),
+            p.incremental.total_calls(),
+        )?;
+        writeln!(
+            out,
+            "      \"engine\": {{\"redundant_edges\": {}, \"sink_delta_edges\": {}, \
+             \"novel_edges\": {}, \
+             \"probe_budget_exhausted\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"patched_batches\": {}, \"rebuilt_batches\": {}}}",
+            e.redundant_edges,
+            e.sink_delta_edges,
+            e.novel_edges,
+            e.probe_budget_exhausted,
+            e.cache_hits,
+            e.cache_misses,
+            e.patched_batches,
+            e.rebuilt_batches,
+        )?;
+        writeln!(out, "    }}{sep}")?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    out.flush()?;
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let hit_rate = if p.engine.cache_hits + p.engine.cache_misses > 0 {
+                p.engine.cache_hits as f64 / (p.engine.cache_hits + p.engine.cache_misses) as f64
+            } else {
+                0.0
+            };
+            vec![
+                p.name.to_string(),
+                p.tracker.name().to_string(),
+                p.batch_ticks.to_string(),
+                p.max_lifetime.to_string(),
+                f(p.full.wall_secs),
+                f(p.incremental.wall_secs),
+                format!("{:.2}x", p.speedup()),
+                format!("{:.0}%", hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Hot path: incremental spread maintenance vs full recompute (identical answers)",
+        &[
+            "workload",
+            "tracker",
+            "batch",
+            "L",
+            "full s",
+            "incr s",
+            "speedup",
+            "memo hits",
+        ],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -17,6 +17,7 @@
 //! `EXPERIMENTS.md`) so successive commits can track restore latency and
 //! checkpoint sizes.
 
+use crate::checks::ensure;
 use crate::driver::{run_tracker_checkpointed, run_tracker_from, PreparedStream};
 use crate::report::{f, print_table};
 use crate::scale::Scale;
@@ -70,7 +71,7 @@ pub fn run(out_dir: &Path, scale: &Scale, checkpoint_every: Option<usize>) -> st
     let (step, mut warm): (u64, HistApprox) = load_checkpoint(&last.path, &cfg)
         .map_err(|e| std::io::Error::other(format!("restore failed: {e}")))?;
     let load_secs = load_start.elapsed().as_secs_f64();
-    assert_eq!(step, last.step, "manifest stream position drifted");
+    ensure(step == last.step, "manifest stream position drifted")?;
     let resume_at = step as usize;
     let warm_log = run_tracker_from(&mut warm, &stream, resume_at);
 
@@ -79,10 +80,10 @@ pub fn run(out_dir: &Path, scale: &Scale, checkpoint_every: Option<usize>) -> st
     // tallies (the restored counter resumes at the saved count).
     let deterministic = warm_log.values[..] == full_log.values[resume_at..]
         && warm_log.calls[..] == full_log.calls[resume_at..];
-    assert!(
+    ensure(
         deterministic,
-        "restored HISTAPPROX diverged from the uninterrupted run"
-    );
+        "restored HISTAPPROX diverged from the uninterrupted run",
+    )?;
 
     // The alternative a deployment without checkpoints faces: rebuild the
     // same state by replaying the whole prefix from scratch.

@@ -10,6 +10,7 @@
 //! single-core container every setting clusters around 1×, which the JSON
 //! records honestly via `available_parallelism`.
 
+use crate::checks::ensure;
 use crate::driver::{run_tracker, PreparedStream, RunLog};
 use crate::report::{f, latency_cells_ms, print_table};
 use crate::scale::Scale;
@@ -89,10 +90,10 @@ pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
     let deterministic = points
         .iter()
         .all(|p| p.log.values == base.log.values && p.log.total_calls() == base.log.total_calls());
-    assert!(
+    ensure(
         deterministic,
-        "parallel HISTAPPROX diverged from the serial run"
-    );
+        "parallel HISTAPPROX diverged from the serial run",
+    )?;
     let base_tp = base.log.throughput();
     let best_speedup = points
         .iter()
@@ -104,10 +105,12 @@ pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
     // the best thread count, or parallel scaling has regressed. Smaller
     // hosts (e.g. 1-core CI containers) can only verify determinism.
     if cores >= 4 {
-        assert!(
+        ensure(
             best_speedup >= 1.5,
-            "parallel scaling regressed: best speedup {best_speedup:.2}x on a {cores}-core host"
-        );
+            format!(
+                "parallel scaling regressed: best speedup {best_speedup:.2}x on a {cores}-core host"
+            ),
+        )?;
     }
 
     std::fs::create_dir_all(out_dir)?;

@@ -14,12 +14,18 @@
 //! | `experiments ablations` | refeed / window / lazy / prune |
 //! | `experiments throughput` | edges/sec vs `TDN_THREADS` (`BENCH_throughput.json`) |
 //! | `experiments restore` | checkpoint/warm-restart cost vs full replay (`BENCH_restore.json`) |
+//! | `experiments hotpath` | incremental vs full spread maintenance (`BENCH_hotpath.json`) |
 //!
 //! Run `cargo run --release -p tdn-bench --bin experiments -- all --full`
 //! for paper-scale sweeps; the default `--quick` scale finishes in minutes.
+//!
+//! In-experiment invariants (determinism across thread counts, spread-mode
+//! bit-identity, warm-restart equality) fail the binary with a non-zero
+//! exit status — see [`checks`].
 
 #![warn(missing_docs)]
 
+pub mod checks;
 pub mod driver;
 pub mod experiments;
 pub mod report;

@@ -13,10 +13,10 @@
 //! joins at index `L` (Fig. 4(b)) — implemented with a `VecDeque` rotate.
 
 use crate::config::TrackerConfig;
-use crate::sieve_adn::SieveAdn;
+use crate::sieve_adn::{SieveAdn, SpreadMode};
 use crate::tracker::{InfluenceTracker, Solution};
 use std::collections::VecDeque;
-use tdn_graph::{Lifetime, Time};
+use tdn_graph::{Lifetime, SpreadStats, SpreadStatsSnapshot, Time};
 use tdn_streams::TimedEdge;
 use tdn_submodular::OracleCounter;
 
@@ -26,6 +26,11 @@ pub struct BasicReduction {
     /// `instances[i]` is `A_{i+1}`; front answers the current step.
     instances: VecDeque<SieveAdn>,
     counter: OracleCounter,
+    /// Spread-maintenance mode applied to every instance (current and
+    /// future — `shift` keeps minting them).
+    mode: SpreadMode,
+    /// Incremental-engine tally shared by all instances (like `counter`).
+    spread_stats: SpreadStats,
     last_t: Option<Time>,
 }
 
@@ -42,15 +47,40 @@ impl BasicReduction {
             cfg.max_lifetime
         );
         let counter = OracleCounter::new();
+        let mode = SpreadMode::default();
+        let spread_stats = SpreadStats::new();
         let instances = (0..cfg.max_lifetime)
-            .map(|_| SieveAdn::from_config(cfg, counter.clone()))
+            .map(|_| SieveAdn::from_config_with(cfg, counter.clone(), mode, spread_stats.clone()))
             .collect();
         BasicReduction {
             cfg: cfg.clone(),
             instances,
             counter,
+            mode,
+            spread_stats,
             last_t: None,
         }
+    }
+
+    /// Sets the spread-maintenance mode for every current and future
+    /// instance (builder form; call before feeding).
+    pub fn with_spread_mode(mut self, mode: SpreadMode) -> Self {
+        self.mode = mode;
+        for inst in &mut self.instances {
+            inst.set_spread_mode(mode);
+        }
+        self
+    }
+
+    /// The active spread-maintenance mode.
+    pub fn spread_mode(&self) -> SpreadMode {
+        self.mode
+    }
+
+    /// Current incremental-engine tallies, aggregated across all
+    /// instances the tracker ever ran.
+    pub fn spread_stats(&self) -> SpreadStatsSnapshot {
+        self.spread_stats.snapshot()
     }
 
     /// Number of live SIEVEADN instances (always `L`).
@@ -64,12 +94,14 @@ impl BasicReduction {
         self.instances.iter().map(|i| i.approx_bytes()).sum()
     }
 
-    /// Serializes the tracker for checkpointing: config, oracle tally, the
-    /// last processed tick, and all `L` staggered instances in window order
-    /// (`A_1` first).
+    /// Serializes the tracker for checkpointing: config, oracle tally,
+    /// spread mode and engine tallies, the last processed tick, and all
+    /// `L` staggered instances in window order (`A_1` first).
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
         self.cfg.write_snapshot(w);
         w.put_u64(self.counter.get());
+        w.put_u8(self.mode.tag());
+        self.spread_stats.snapshot().write_snapshot(w);
         w.put_bool(self.last_t.is_some());
         w.put_u64(self.last_t.unwrap_or(0));
         w.put_len(self.instances.len());
@@ -80,10 +112,14 @@ impl BasicReduction {
 
     /// Reconstructs a tracker from [`Self::write_snapshot`] bytes. All
     /// restored instances bill one fresh counter seeded with the saved
-    /// tally, exactly like the interrupted run's shared counter.
+    /// tally, exactly like the interrupted run's shared counter (the
+    /// engine tally is shared and re-seeded the same way).
     pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
         let cfg = TrackerConfig::read_snapshot(r)?;
         let calls = r.get_u64()?;
+        let mode = SpreadMode::from_tag(r.get_u8()?)
+            .ok_or(codec::CodecError::Invalid("unknown spread mode tag"))?;
+        let stats_snap = SpreadStatsSnapshot::read_snapshot(r)?;
         let has_last = r.get_bool()?;
         let last_raw = r.get_u64()?;
         let n = r.get_len(1)?;
@@ -94,14 +130,25 @@ impl BasicReduction {
         }
         let counter = OracleCounter::new();
         counter.set(calls);
+        let spread_stats = SpreadStats::new();
+        spread_stats.restore(&stats_snap);
         let mut instances = VecDeque::with_capacity(n);
         for _ in 0..n {
-            instances.push_back(SieveAdn::read_snapshot(r, counter.clone())?);
+            let mut inst = SieveAdn::read_snapshot(r, counter.clone())?;
+            if inst.spread_mode() != mode {
+                return Err(codec::CodecError::Invalid(
+                    "BasicReduction instance spread mode differs from tracker",
+                ));
+            }
+            inst.share_spread_stats(spread_stats.clone());
+            instances.push_back(inst);
         }
         Ok(BasicReduction {
             cfg,
             instances,
             counter,
+            mode,
+            spread_stats,
             last_t: has_last.then_some(last_raw),
         })
     }
@@ -110,8 +157,12 @@ impl BasicReduction {
     /// `A_L` (Alg. 2 lines 5–7).
     fn shift(&mut self) {
         self.instances.pop_front();
-        self.instances
-            .push_back(SieveAdn::from_config(&self.cfg, self.counter.clone()));
+        self.instances.push_back(SieveAdn::from_config_with(
+            &self.cfg,
+            self.counter.clone(),
+            self.mode,
+            self.spread_stats.clone(),
+        ));
     }
 }
 

@@ -18,11 +18,11 @@
 //! differ by more than a `(1 − ε)` factor (Definition 4).
 
 use crate::config::TrackerConfig;
-use crate::sieve_adn::SieveAdn;
+use crate::sieve_adn::{SieveAdn, SpreadMode};
 use crate::tracker::{InfluenceTracker, Solution};
 use std::collections::BTreeMap;
 use std::ops::Bound::{Excluded, Unbounded};
-use tdn_graph::{Lifetime, TdnGraph, Time};
+use tdn_graph::{Lifetime, SpreadStats, SpreadStatsSnapshot, TdnGraph, Time};
 use tdn_streams::TimedEdge;
 use tdn_submodular::OracleCounter;
 
@@ -34,6 +34,11 @@ pub struct HistApprox {
     /// Active instances keyed by deadline (`= t + current index`).
     instances: BTreeMap<Time, SieveAdn>,
     counter: OracleCounter,
+    /// Spread-maintenance mode applied to every instance (fresh copies
+    /// inherit it via `clone`).
+    mode: SpreadMode,
+    /// Incremental-engine tally shared by all instances (like `counter`).
+    spread_stats: SpreadStats,
     /// Restore the `(1/2 − ε)` guarantee by feeding `A_{x₁}` the edges with
     /// remaining lifetime `< x₁` at query time (§IV final remark).
     refeed: bool,
@@ -48,6 +53,8 @@ impl HistApprox {
             graph: TdnGraph::new(),
             instances: BTreeMap::new(),
             counter: OracleCounter::new(),
+            mode: SpreadMode::default(),
+            spread_stats: SpreadStats::new(),
             refeed: false,
             last_t: None,
         }
@@ -58,6 +65,27 @@ impl HistApprox {
     pub fn with_refeed(mut self) -> Self {
         self.refeed = true;
         self
+    }
+
+    /// Sets the spread-maintenance mode for every current and future
+    /// instance (builder form; call before feeding).
+    pub fn with_spread_mode(mut self, mode: SpreadMode) -> Self {
+        self.mode = mode;
+        for inst in self.instances.values_mut() {
+            inst.set_spread_mode(mode);
+        }
+        self
+    }
+
+    /// The active spread-maintenance mode.
+    pub fn spread_mode(&self) -> SpreadMode {
+        self.mode
+    }
+
+    /// Current incremental-engine tallies, aggregated across all
+    /// instances the tracker ever ran.
+    pub fn spread_stats(&self) -> SpreadStatsSnapshot {
+        self.spread_stats.snapshot()
     }
 
     /// Number of live SIEVEADN instances (`|x_t|`).
@@ -93,6 +121,8 @@ impl HistApprox {
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
         self.cfg.write_snapshot(w);
         w.put_u64(self.counter.get());
+        w.put_u8(self.mode.tag());
+        self.spread_stats.snapshot().write_snapshot(w);
         w.put_bool(self.refeed);
         w.put_bool(self.last_t.is_some());
         w.put_u64(self.last_t.unwrap_or(0));
@@ -110,6 +140,9 @@ impl HistApprox {
     pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
         let cfg = TrackerConfig::read_snapshot(r)?;
         let calls = r.get_u64()?;
+        let mode = SpreadMode::from_tag(r.get_u8()?)
+            .ok_or(codec::CodecError::Invalid("unknown spread mode tag"))?;
+        let stats_snap = SpreadStatsSnapshot::read_snapshot(r)?;
         let refeed = r.get_bool()?;
         let has_last = r.get_bool()?;
         let last_raw = r.get_u64()?;
@@ -117,6 +150,8 @@ impl HistApprox {
         let n = r.get_len(8)?;
         let counter = OracleCounter::new();
         counter.set(calls);
+        let spread_stats = SpreadStats::new();
+        spread_stats.restore(&stats_snap);
         let mut instances = BTreeMap::new();
         for _ in 0..n {
             let deadline = r.get_u64()?;
@@ -125,7 +160,13 @@ impl HistApprox {
                     "HistApprox instance deadline already passed",
                 ));
             }
-            let inst = SieveAdn::read_snapshot(r, counter.clone())?;
+            let mut inst = SieveAdn::read_snapshot(r, counter.clone())?;
+            if inst.spread_mode() != mode {
+                return Err(codec::CodecError::Invalid(
+                    "HistApprox instance spread mode differs from tracker",
+                ));
+            }
+            inst.share_spread_stats(spread_stats.clone());
             if instances.insert(deadline, inst).is_some() {
                 return Err(codec::CodecError::Invalid(
                     "HistApprox duplicate instance deadline",
@@ -137,6 +178,8 @@ impl HistApprox {
             graph,
             instances,
             counter,
+            mode,
+            spread_stats,
             refeed,
             last_t: has_last.then_some(last_raw),
         })
@@ -153,8 +196,14 @@ impl HistApprox {
                 .map(|(&d, _)| d);
             let mut inst = match successor {
                 // Fig. 6(b): no successor — nothing alive outlives `l`, so a
-                // fresh instance starts from the empty ADN.
-                None => SieveAdn::from_config(&self.cfg, self.counter.clone()),
+                // fresh instance starts from the empty ADN (copies made in
+                // the other arm inherit mode and shared stats via `clone`).
+                None => SieveAdn::from_config_with(
+                    &self.cfg,
+                    self.counter.clone(),
+                    self.mode,
+                    self.spread_stats.clone(),
+                ),
                 // Fig. 6(c): copy the successor and backfill the live edges
                 // with remaining lifetime in [l, l*).
                 Some(d_star) => {

@@ -27,16 +27,76 @@
 //! thread-confined [`ScratchPool`] arena. Every threshold's admission
 //! decisions depend only on its own cover and the (fixed) `V̄_t` order, so
 //! results are bit-identical at any `TDN_THREADS` setting.
+//!
+//! ## Incremental spread maintenance (see DESIGN.md)
+//!
+//! Under [`SpreadMode::Incremental`] (the default), the batch's fresh
+//! edges are classified on insert: a new pair `(u, v)` whose target was
+//! already reachable from its source changes **no** node's reach set, so
+//! only the ancestors of *novel* edge sources are marked dirty in an
+//! epoch-tagged [`SpreadMemo`]. Phase 4a then serves clean nodes' spreads
+//! from the memo and recomputes only the dirty ones (a cost model falls
+//! back to a full rebuild when the dirty set dominates `V̄_t`). Served
+//! values are exactly what a BFS would return, `V̄_t`'s membership and
+//! order are computed identically, and the oracle tally still charges one
+//! call per singleton evaluation — so solutions and tallies are
+//! bit-identical to [`SpreadMode::FullRecompute`], the retained
+//! pre-engine reference path (`tests/differential_spread.rs` is the
+//! enforcing oracle).
 
 use crate::config::TrackerConfig;
 use crate::tracker::{InfluenceTracker, Solution};
 use std::collections::BTreeMap;
 use tdn_graph::{
-    marginal_gain, reach_count, reverse_reach_collect, AdnGraph, CoverSet, FxHashSet, NodeId,
-    ScratchPool, Time,
+    marginal_gain, reach_count, reverse_reach_collect, AdnGraph, CoverSet, EdgeInsert, FxHashMap,
+    FxHashSet, NodeId, OutGraph, ScratchPool, SpreadMemo, SpreadStats, SpreadStatsSnapshot, Time,
 };
 use tdn_streams::TimedEdge;
 use tdn_submodular::{OracleCounter, ThresholdLadder};
+
+/// How SIEVEADN evaluates the singleton spreads of `V̄_t` each batch.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SpreadMode {
+    /// The incremental spread-maintenance engine: redundancy-classified
+    /// inserts, epoch-tagged dirty sets, memoised spreads with a
+    /// patch-vs-rebuild cost model. Bit-identical outputs, much less BFS.
+    #[default]
+    Incremental,
+    /// The reference path: full recomputation of every `V̄_t` spread per
+    /// batch. Retained verbatim as the differential-testing oracle (and as
+    /// the baseline the `hotpath` experiment measures against).
+    FullRecompute,
+}
+
+impl SpreadMode {
+    /// Snapshot tag (part of the checkpoint payload format).
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            SpreadMode::Incremental => 1,
+            SpreadMode::FullRecompute => 2,
+        }
+    }
+
+    /// Parses a snapshot tag.
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(SpreadMode::Incremental),
+            2 => Some(SpreadMode::FullRecompute),
+            _ => None,
+        }
+    }
+}
+
+/// Cost-model knob: max BFS expansions a redundancy probe may spend before
+/// giving up (classifying the edge novel — sound, just less savings). Keeps
+/// the probe strictly cheaper than the ancestor invalidation it avoids.
+const PROBE_BUDGET: usize = 512;
+
+/// Cost-model knob: when at least `3/4` of `V̄_t` is dirty, patching is
+/// pointless — rebuild every spread without consulting the memo.
+const REBUILD_NUM: usize = 3;
+/// Denominator of the rebuild threshold (see [`REBUILD_NUM`]).
+const REBUILD_DEN: usize = 4;
 
 /// One threshold's partial solution: seeds plus their reach cover.
 #[derive(Clone, Debug, Default)]
@@ -58,11 +118,14 @@ pub struct SieveAdn {
     singleton_prune: bool,
     counter: OracleCounter,
     scratch: ScratchPool,
+    mode: SpreadMode,
+    memo: SpreadMemo,
 }
 
 impl SieveAdn {
     /// Creates an instance with budget `k` and accuracy `eps`, charging
-    /// oracle calls to `counter`.
+    /// oracle calls to `counter`. Spreads are maintained incrementally
+    /// ([`SpreadMode::Incremental`]); see [`Self::with_spread_mode`].
     pub fn new(k: usize, eps: f64, singleton_prune: bool, counter: OracleCounter) -> Self {
         SieveAdn {
             graph: AdnGraph::new(),
@@ -72,12 +135,65 @@ impl SieveAdn {
             singleton_prune,
             counter,
             scratch: ScratchPool::new(),
+            mode: SpreadMode::default(),
+            memo: SpreadMemo::new(),
         }
     }
 
     /// Creates an instance from a [`TrackerConfig`].
     pub fn from_config(cfg: &TrackerConfig, counter: OracleCounter) -> Self {
         SieveAdn::new(cfg.k, cfg.eps, cfg.singleton_prune, counter)
+    }
+
+    /// Creates an instance from a [`TrackerConfig`] with an explicit
+    /// spread mode and a shared [`SpreadStats`] tally (what the
+    /// multi-instance trackers use, mirroring the shared oracle counter).
+    pub fn from_config_with(
+        cfg: &TrackerConfig,
+        counter: OracleCounter,
+        mode: SpreadMode,
+        stats: SpreadStats,
+    ) -> Self {
+        let mut inst = SieveAdn::from_config(cfg, counter).with_spread_mode(mode);
+        inst.share_spread_stats(stats);
+        inst
+    }
+
+    /// Sets the spread-maintenance mode (builder form).
+    pub fn with_spread_mode(mut self, mode: SpreadMode) -> Self {
+        self.set_spread_mode(mode);
+        self
+    }
+
+    /// Sets the spread-maintenance mode. Switching modes forgets the memo:
+    /// a cache that stopped observing mutations can no longer be trusted.
+    pub fn set_spread_mode(&mut self, mode: SpreadMode) {
+        if self.mode != mode {
+            self.mode = mode;
+            self.memo.clear_cache();
+        }
+    }
+
+    /// The active spread-maintenance mode.
+    pub fn spread_mode(&self) -> SpreadMode {
+        self.mode
+    }
+
+    /// Replaces the incremental engine's stats handle (clones of the
+    /// handle share one tally; trackers aggregate across instances).
+    pub fn share_spread_stats(&mut self, stats: SpreadStats) {
+        self.memo.set_stats(stats);
+    }
+
+    /// Current incremental-engine tallies for the stats handle this
+    /// instance bills.
+    pub fn spread_stats(&self) -> SpreadStatsSnapshot {
+        self.memo.stats().snapshot()
+    }
+
+    /// The shared stats handle (for trackers that serialize it once).
+    pub(crate) fn spread_stats_handle(&self) -> &SpreadStats {
+        self.memo.stats()
     }
 
     /// The accumulated ADN.
@@ -99,19 +215,118 @@ impl SieveAdn {
     where
         I: IntoIterator<Item = (NodeId, NodeId)>,
     {
+        let incremental = self.mode == SpreadMode::Incremental;
         // Phase 1 (serial, order-sensitive): lines 2–3, insert the batch.
+        // Incremental mode classifies each fresh pair on insert: an edge
+        // `(u, v)` with `v` already reachable from `u` (probed in the graph
+        // as of that insert, within PROBE_BUDGET expansions) changes no
+        // node's reach set; an edge into a never-seen target is deferred to
+        // the batch-end sink check below.
         let mut fresh: Vec<(NodeId, NodeId)> = Vec::new();
-        for (u, v) in edges {
-            if self.graph.add_edge(u, v) {
-                fresh.push((u, v));
+        let mut classes: Vec<EdgeInsert> = Vec::new();
+        let mut novel_sources: FxHashSet<NodeId> = FxHashSet::default();
+        // Pre-existing sinks and their fresh in-edge sources, in
+        // first-appearance order of the sink (patched as `A ∖ B`, phase
+        // 3b). Batch-new sinks need no such list: a TargetNew class fires
+        // exactly once per target (the insert puts it in the node set), so
+        // each contributes one `+1` to exactly its source's ancestor set —
+        // counted per source below and marked for free during phase 3's
+        // reverse BFS. A second fresh in-edge into a batch-new sink
+        // classifies TargetSink and routes through the old-sink patch,
+        // whose `B` side walks the first fresh edge and so never double
+        // counts.
+        let mut old_sink_targets: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        let mut delta_source_count: FxHashMap<NodeId, u32> = FxHashMap::default();
+        if incremental {
+            let graph = &mut self.graph;
+            let memo = &mut self.memo;
+            let fresh = &mut fresh;
+            let classes = &mut classes;
+            let mut it = edges.into_iter();
+            // Peek before checking out a probe arena: empty batches must
+            // stay allocation-free (memory accounting counts warm arenas).
+            if let Some(head) = it.next() {
+                self.scratch.with(move |s| {
+                    for (u, v) in std::iter::once(head).chain(it) {
+                        // Adaptive probe budget, consulted lazily so the
+                        // gate only meters probe-eligible edges (known
+                        // target with out-edges) — duplicates and sink
+                        // candidates never advance or re-open it. A closed
+                        // gate classifies conservatively at zero cost.
+                        let mut gate_open = None;
+                        let mut class = graph.add_edge_classified(u, v, s, || {
+                            let open = memo.probe_gate();
+                            gate_open = Some(open);
+                            if open {
+                                PROBE_BUDGET
+                            } else {
+                                0
+                            }
+                        });
+                        match gate_open {
+                            Some(true) => memo.note_probe(class == EdgeInsert::Redundant),
+                            // Gate closed: the probe never ran, so this is
+                            // a plain novel edge, not an exhausted probe.
+                            Some(false) => class = EdgeInsert::Novel,
+                            None => {}
+                        }
+                        if class.inserted() {
+                            fresh.push((u, v));
+                            classes.push(class);
+                        }
+                    }
+                });
+            }
+        } else {
+            for (u, v) in edges {
+                if self.graph.add_edge(u, v) {
+                    fresh.push((u, v));
+                }
             }
         }
         if fresh.is_empty() {
             return;
         }
+        if incremental {
+            // Batch-end resolution (the graph is final now): an edge whose
+            // target is still a sink is an exact `+1` delta on the nodes
+            // newly reaching that sink — a sink contributes nothing beyond
+            // itself, so no BFS is needed to know how each upstream spread
+            // changed. Everything else that is not provably redundant
+            // dirties its source's ancestors.
+            let stats = self.memo.stats().clone();
+            let mut old_index: FxHashMap<NodeId, usize> = FxHashMap::default();
+            for (&(u, v), &class) in fresh.iter().zip(classes.iter()) {
+                match class {
+                    EdgeInsert::Redundant => stats.note_redundant(),
+                    EdgeInsert::TargetNew | EdgeInsert::TargetSink
+                        if self.graph.out_neighbors(v).is_empty() =>
+                    {
+                        stats.note_sink_delta();
+                        if class == EdgeInsert::TargetNew {
+                            *delta_source_count.entry(u).or_insert(0) += 1;
+                        } else {
+                            let at = *old_index.entry(v).or_insert_with(|| {
+                                old_sink_targets.push((v, Vec::new()));
+                                old_sink_targets.len() - 1
+                            });
+                            old_sink_targets[at].1.push(u);
+                        }
+                    }
+                    other => {
+                        stats.note_novel(other == EdgeInsert::NovelUnproven);
+                        novel_sources.insert(u);
+                    }
+                }
+            }
+            // New batch: grow the memo to the (possibly larger) node bound
+            // and clear the previous batch's dirty and delta marks in O(1).
+            self.memo.begin_batch(self.graph.node_index_bound());
+        }
         let graph = &self.graph;
         let scratch = &self.scratch;
         let counter = &self.counter;
+        let memo = &mut self.memo;
         // Phase 2 (parallel across thresholds): cover maintenance — keep
         // every slot's cover closed under reachability. Each slot's cover
         // evolves independently of the others.
@@ -152,15 +367,43 @@ impl SieveAdn {
             // Serial path keeps the subsumption skip: if `u` is already a
             // known ancestor, ancestors(u) ⊆ seen (reverse reachability is
             // transitive), so its BFS is provably redundant. The skip only
-            // elides work — `vbar` is identical either way.
+            // elides work — `vbar` is identical either way. Incremental
+            // mode piggybacks on the same BFS: collected ancestor sets are
+            // marked dirty (novel sources) and/or credited their exact
+            // new-sink deltas (delta sources) in place; subsumed sources
+            // needing marks get one extra reverse BFS (dirty marking
+            // prunes at already-dirty nodes — sound because the dirty set
+            // is ancestor-closed).
             scratch.with(|s| {
                 let mut ancestors = Vec::new();
                 for &u in &sources {
+                    let novel = novel_sources.contains(&u);
+                    let delta_k = delta_source_count.get(&u).copied().unwrap_or(0);
                     if !seen.contains(&u) {
                         reverse_reach_collect(graph, u, s, &mut ancestors);
                         for &a in &ancestors {
                             if seen.insert(a) {
                                 vbar.push(a);
+                            }
+                        }
+                        if novel {
+                            for &a in &ancestors {
+                                memo.mark_dirty(a);
+                            }
+                        }
+                        if delta_k > 0 {
+                            for &a in &ancestors {
+                                memo.add_delta_n(a, delta_k);
+                            }
+                        }
+                    } else {
+                        if novel {
+                            memo.mark_ancestors_dirty(graph, u);
+                        }
+                        if delta_k > 0 {
+                            reverse_reach_collect(graph, u, s, &mut ancestors);
+                            for &a in &ancestors {
+                                memo.add_delta_n(a, delta_k);
                             }
                         }
                     }
@@ -181,16 +424,111 @@ impl SieveAdn {
                     }
                 }
             }
+            // Same dirty and delta sets as the serial path: unions of
+            // complete ancestor sets (marking order differs, but set
+            // membership and per-node counts — all the memo consults —
+            // do not).
+            for (i, u) in sources.iter().enumerate() {
+                if novel_sources.contains(u) {
+                    for &a in &ancestor_sets[i] {
+                        memo.mark_dirty(a);
+                    }
+                }
+                if let Some(&k) = delta_source_count.get(u) {
+                    for &a in &ancestor_sets[i] {
+                        memo.add_delta_n(a, k);
+                    }
+                }
+            }
         }
         // Phase 4a (parallel across nodes): singleton spreads f({v}) for
         // every affected node — the heavy oracle calls of lines 4–5. The
         // graph is frozen for the rest of the batch, so these match what
         // the serial loop would compute one at a time. The serial path
         // checks one arena out for the whole loop instead of per node.
-        let singletons: Vec<u64> = if exec::threads() <= 1 {
-            scratch.with(|s| vbar.iter().map(|&v| reach_count(graph, v, s)).collect())
+        //
+        // Incremental mode serves clean nodes from the memo (their reach
+        // provably did not change, so the stored value IS the BFS answer)
+        // and recomputes only dirty or never-seen nodes, unless the cost
+        // model finds the dirty set so large that patching cannot pay.
+        // Either way the values — and the oracle tally, which charges one
+        // call per singleton evaluation regardless of how it is serviced —
+        // are bit-identical to full recomputation.
+        let singletons: Vec<u64> = if !incremental {
+            if exec::threads() <= 1 {
+                scratch.with(|s| vbar.iter().map(|&v| reach_count(graph, v, s)).collect())
+            } else {
+                exec::par_map(&vbar, |&v| scratch.with(|s| reach_count(graph, v, s)))
+            }
         } else {
-            exec::par_map(&vbar, |&v| scratch.with(|s| reach_count(graph, v, s)))
+            // Patch-vs-rebuild cost model: when the dirty set dominates
+            // V̄_t, nearly everything needs a BFS anyway — skip the delta
+            // accounting and memo consultation entirely.
+            let rebuild = memo.dirty_len() * REBUILD_DEN >= vbar.len() * REBUILD_NUM;
+            memo.stats().note_batch(rebuild);
+            if !rebuild && !old_sink_targets.is_empty() {
+                // Phase 3b: the sink deltas phase 3 could not fuse —
+                // pre-existing sinks, whose `+1` applies only to nodes
+                // that could not already reach the sink through its old
+                // in-edges (`A ∖ B`, two reverse BFSs per sink).
+                scratch.with(|s| {
+                    for (v, sink_sources) in &old_sink_targets {
+                        memo.apply_old_sink_delta(graph, *v, sink_sources, s);
+                    }
+                });
+            }
+            let mut hits = 0u64;
+            let values = if exec::threads() <= 1 {
+                let memo = &mut *memo;
+                let hits = &mut hits;
+                scratch.with(|s| {
+                    vbar.iter()
+                        .map(|&v| {
+                            if !rebuild {
+                                if let Some(patched) = memo.lookup_patched(v) {
+                                    *hits += 1;
+                                    memo.store(v, patched);
+                                    return patched;
+                                }
+                            }
+                            let n = reach_count(graph, v, s);
+                            memo.store(v, n);
+                            n
+                        })
+                        .collect()
+                })
+            } else {
+                // Plan serially (deterministic), BFS the misses in
+                // parallel, merge back in plan order.
+                let mut values: Vec<Option<u64>> = vbar
+                    .iter()
+                    .map(|&v| {
+                        if rebuild {
+                            return None;
+                        }
+                        let patched = memo.lookup_patched(v);
+                        if let Some(n) = patched {
+                            memo.store(v, n);
+                        }
+                        patched
+                    })
+                    .collect();
+                let need: Vec<usize> = (0..vbar.len()).filter(|&j| values[j].is_none()).collect();
+                let computed: Vec<u64> =
+                    exec::par_map(&need, |&j| scratch.with(|s| reach_count(graph, vbar[j], s)));
+                for (&j, &n) in need.iter().zip(&computed) {
+                    values[j] = Some(n);
+                    memo.store(vbar[j], n);
+                }
+                hits = (vbar.len() - need.len()) as u64;
+                values
+                    .into_iter()
+                    .map(|v| v.expect("planned or computed"))
+                    .collect()
+            };
+            memo.stats().add_cache_hits(hits);
+            memo.stats().add_cache_misses(vbar.len() as u64 - hits);
+            values
         };
         counter.add(vbar.len() as u64);
         // Phase 4b (serial, order-sensitive): replay the Δ/ladder updates,
@@ -278,17 +616,22 @@ impl SieveAdn {
             .values()
             .map(|s| s.cover.approx_bytes() + s.seeds.capacity() * 4 + 64)
             .sum();
-        self.graph.approx_bytes() + slots + self.scratch.approx_bytes()
+        self.graph.approx_bytes() + slots + self.scratch.approx_bytes() + self.memo.approx_bytes()
     }
 
     /// Serializes the instance's full sieve state for checkpointing: the
-    /// accumulated ADN (adjacency order verbatim — it drives `V̄_t` replay
-    /// order), the threshold ladder, and every slot's seeds and cover.
+    /// spread mode, the accumulated ADN (adjacency order verbatim — it
+    /// drives `V̄_t` replay order), the threshold ladder, every slot's
+    /// seeds and cover, and the spread memo (so a warm restart resumes
+    /// with the same cache, not a cold one).
     ///
     /// The shared [`OracleCounter`] is *not* written here; ownership of the
     /// tally lives with the enclosing tracker (HISTAPPROX checkpoints many
     /// instances billing one counter, which must be saved exactly once).
+    /// The shared [`SpreadStats`] tally is tracker-owned for the same
+    /// reason.
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        w.put_u8(self.mode.tag());
         self.graph.write_snapshot(w);
         self.ladder.write_snapshot(w);
         w.put_len(self.slots.len());
@@ -302,12 +645,15 @@ impl SieveAdn {
         }
         w.put_u64(self.k as u64);
         w.put_bool(self.singleton_prune);
+        self.memo.write_snapshot(w);
     }
 
     /// Reconstructs an instance from [`Self::write_snapshot`] bytes,
     /// billing future oracle calls to `counter`. Scratch arenas start cold
-    /// (they hold no logical state).
+    /// (they hold no logical state); the spread memo is restored warm.
     pub fn read_snapshot(r: &mut codec::Reader<'_>, counter: OracleCounter) -> codec::Result<Self> {
+        let mode = SpreadMode::from_tag(r.get_u8()?)
+            .ok_or(codec::CodecError::Invalid("unknown spread mode tag"))?;
         let graph = AdnGraph::read_snapshot(r)?;
         let ladder = ThresholdLadder::read_snapshot(r)?;
         let n_slots = r.get_len(8)?;
@@ -333,6 +679,7 @@ impl SieveAdn {
         if slots.values().any(|s| s.seeds.len() > k) {
             return Err(codec::CodecError::Invalid("sieve slot exceeds budget k"));
         }
+        let memo = SpreadMemo::read_snapshot(r, graph.node_index_bound())?;
         Ok(SieveAdn {
             graph,
             ladder,
@@ -341,6 +688,8 @@ impl SieveAdn {
             singleton_prune,
             counter,
             scratch: ScratchPool::new(),
+            mode,
+            memo,
         })
     }
 
@@ -371,25 +720,45 @@ impl SieveAdnTracker {
         }
     }
 
+    /// Sets the spread-maintenance mode (builder form).
+    pub fn with_spread_mode(mut self, mode: SpreadMode) -> Self {
+        self.inner.set_spread_mode(mode);
+        self
+    }
+
+    /// The active spread-maintenance mode.
+    pub fn spread_mode(&self) -> SpreadMode {
+        self.inner.spread_mode()
+    }
+
+    /// Current incremental-engine tallies.
+    pub fn spread_stats(&self) -> SpreadStatsSnapshot {
+        self.inner.spread_stats()
+    }
+
     /// Read access to the wrapped instance.
     pub fn instance(&self) -> &SieveAdn {
         &self.inner
     }
 
-    /// Serializes the tracker (instance state plus the oracle tally) for
-    /// checkpointing.
+    /// Serializes the tracker (instance state, the oracle tally, and the
+    /// incremental-engine tallies) for checkpointing.
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
         w.put_u64(self.counter.get());
+        self.inner.spread_stats().write_snapshot(w);
         self.inner.write_snapshot(w);
     }
 
     /// Reconstructs a tracker from [`Self::write_snapshot`] bytes. The
-    /// restored tracker resumes the oracle tally at the saved count.
+    /// restored tracker resumes the oracle and engine tallies at the saved
+    /// counts.
     pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
         let calls = r.get_u64()?;
+        let stats_snap = SpreadStatsSnapshot::read_snapshot(r)?;
         let counter = OracleCounter::new();
         counter.set(calls);
         let inner = SieveAdn::read_snapshot(r, counter.clone())?;
+        inner.spread_stats_handle().restore(&stats_snap);
         Ok(SieveAdnTracker { inner, counter })
     }
 }
@@ -516,6 +885,127 @@ mod tests {
         assert_eq!(sol.value, 3);
         assert!(t.oracle_calls() > 0);
         assert_eq!(t.name(), "SieveADN");
+    }
+
+    /// The incremental engine's contract in miniature: identical solutions
+    /// and oracle tallies to the full-recompute reference on random
+    /// batched streams (the full differential suite lives in
+    /// `tests/differential_spread.rs`).
+    #[test]
+    fn incremental_and_full_recompute_agree_exactly() {
+        let mut state = 0x5EED_CAFE_u64;
+        let mut rnd = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % m
+        };
+        let inc_counter = OracleCounter::new();
+        let full_counter = OracleCounter::new();
+        let mut inc = SieveAdn::new(3, 0.15, true, inc_counter.clone());
+        let mut full = SieveAdn::new(3, 0.15, true, full_counter.clone())
+            .with_spread_mode(SpreadMode::FullRecompute);
+        assert_eq!(inc.spread_mode(), SpreadMode::Incremental);
+        assert_eq!(full.spread_mode(), SpreadMode::FullRecompute);
+        for _ in 0..30 {
+            let batch: Vec<(NodeId, NodeId)> = (0..1 + rnd(8))
+                .map(|_| (NodeId(rnd(20) as u32), NodeId(rnd(20) as u32)))
+                .collect();
+            inc.feed(batch.clone());
+            full.feed(batch);
+            assert_eq!(inc.query(), full.query());
+            assert_eq!(inc.best_value(), full.best_value());
+            assert_eq!(inc_counter.get(), full_counter.get(), "tallies diverged");
+        }
+        let stats = inc.spread_stats();
+        assert_eq!(
+            stats.novel_edges + stats.redundant_edges + stats.sink_delta_edges,
+            inc.graph().edge_count() as u64,
+            "every stored pair was classified exactly once"
+        );
+        assert!(
+            full.spread_stats() == SpreadStatsSnapshot::default(),
+            "the reference path must not touch the engine"
+        );
+    }
+
+    #[test]
+    fn redundant_batches_are_served_from_the_memo() {
+        let mut s = inst(2, 0.2);
+        // Two chains...
+        s.feed([
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(2), NodeId(3)),
+            (NodeId(100), NodeId(101)),
+            (NodeId(101), NodeId(102)),
+        ]);
+        let before = s.spread_stats();
+        let sol_before = s.query();
+        // ...then *new* pairs that only shortcut existing paths. (0,2)'s
+        // target has out-edges, so the probe proves it redundant; (100,102)
+        // lands on a sink, whose `A ∖ B` patch works out to zero deltas —
+        // 100 already reached 102 via 101. Either way: no BFS, no change.
+        s.feed([(NodeId(0), NodeId(2)), (NodeId(100), NodeId(102))]);
+        let after = s.spread_stats();
+        assert_eq!(after.redundant_edges - before.redundant_edges, 1);
+        assert_eq!(after.sink_delta_edges - before.sink_delta_edges, 1);
+        assert_eq!(after.novel_edges, before.novel_edges);
+        assert!(
+            after.cache_hits > before.cache_hits,
+            "clean V̄_t nodes must be memo-served"
+        );
+        assert_eq!(after.cache_misses, before.cache_misses);
+        assert_eq!(s.query(), sol_before, "redundant edges change no answer");
+    }
+
+    #[test]
+    fn new_sink_targets_patch_ancestors_without_bfs() {
+        let mut s = inst(1, 0.2);
+        // Chain 0 -> 1 -> 2: (1,2)'s target stays a sink, so it lands as a
+        // delta edge; (0,1)'s target grows an out-edge, so it is novel.
+        s.feed([(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+        let mid = s.spread_stats();
+        assert_eq!(mid.sink_delta_edges, 1);
+        assert_eq!(mid.novel_edges, 1);
+        // A new leaf under node 2: V̄_t = {2, 1, 0}; 1 and 0 are clean and
+        // cached, so their +1 comes from the delta patch, no BFS.
+        s.feed([(NodeId(2), NodeId(3))]);
+        let after = s.spread_stats();
+        assert_eq!(after.sink_delta_edges, 2);
+        assert_eq!(after.novel_edges, 1, "no new novel edges");
+        assert_eq!(after.cache_hits - mid.cache_hits, 2, "0 and 1 patched");
+        assert_eq!(after.cache_misses - mid.cache_misses, 1, "only 2 BFS'd");
+        assert_eq!(s.query().value, 4, "patched spread is exact");
+    }
+
+    #[test]
+    fn snapshot_round_trips_mode_and_memo() {
+        for mode in [SpreadMode::Incremental, SpreadMode::FullRecompute] {
+            let counter = OracleCounter::new();
+            let mut a = SieveAdn::new(2, 0.2, true, counter.clone()).with_spread_mode(mode);
+            a.feed([
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(5), NodeId(6)),
+            ]);
+            let mut w = codec::Writer::new();
+            a.write_snapshot(&mut w);
+            let bytes = w.into_vec();
+            let mut r = codec::Reader::new(&bytes);
+            let mut b = SieveAdn::read_snapshot(&mut r, counter.clone()).expect("round trip");
+            r.finish().expect("fully consumed");
+            assert_eq!(b.spread_mode(), mode);
+            // Both copies evolve identically (same counter: feed them the
+            // same batch one after the other and compare answers).
+            b.feed([(NodeId(2), NodeId(7)), (NodeId(6), NodeId(0))]);
+            a.feed([(NodeId(2), NodeId(7)), (NodeId(6), NodeId(0))]);
+            assert_eq!(a.query(), b.query(), "mode {mode:?}");
+            // A corrupt mode tag is a typed error, never a panic.
+            let mut corrupt = bytes.clone();
+            corrupt[0] = 9;
+            let mut r = codec::Reader::new(&corrupt);
+            assert!(SieveAdn::read_snapshot(&mut r, counter.clone()).is_err());
+        }
     }
 
     /// Golden-path guarantee check: SieveADN ≥ (1/2−ε)·OPT on a stream of

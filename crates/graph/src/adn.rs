@@ -12,7 +12,54 @@
 
 use crate::hash::FxHashSet;
 use crate::node::{pack_pair, NodeId};
+use crate::reach::{reverse_reachable_within, ReachScratch};
 use crate::traits::{InGraph, OutGraph};
+
+/// How an [`AdnGraph::add_edge_classified`] insertion affected
+/// reachability — the epoch-level event the incremental spread engine's
+/// dirty-set tracking consumes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EdgeInsert {
+    /// The ordered pair was already present (or a self-loop): no change.
+    Duplicate,
+    /// New pair, but the target was already reachable from the source, so
+    /// **no node's reach set changed** (see DESIGN.md for the proof).
+    Redundant,
+    /// New pair whose target had never been seen before this insert (no
+    /// incident edges). The probe is skipped — an absent node is trivially
+    /// unreachable — and the caller resolves the class at batch end: if the
+    /// target is still a sink, the edge is an exact `+1` delta on the
+    /// source's ancestors; otherwise it is novel.
+    TargetNew,
+    /// New pair whose target existed but had **no outgoing edges** at
+    /// insert time. The probe is skipped too (the sink resolution below is
+    /// strictly more precise): if the target is still a sink at batch end,
+    /// each node reaching a fresh in-edge source gains exactly the sink —
+    /// unless it already reached it through an old in-edge — so the caller
+    /// patches `ancestors(new sources) ∖ old-ancestors(target)` by `+1`
+    /// instead of dirtying anything.
+    TargetSink,
+    /// New pair that may extend reach sets: the source's ancestors go
+    /// dirty.
+    Novel,
+    /// New pair whose redundancy probe ran out of budget; treated exactly
+    /// like [`EdgeInsert::Novel`] (conservative, never wrong).
+    NovelUnproven,
+}
+
+impl EdgeInsert {
+    /// Whether the insertion actually added an edge.
+    pub fn inserted(self) -> bool {
+        self != EdgeInsert::Duplicate
+    }
+
+    /// Whether the source's ancestors must be marked dirty
+    /// ([`EdgeInsert::TargetNew`] answers `false` here; the caller
+    /// resolves it at batch end).
+    pub fn is_novel(self) -> bool {
+        matches!(self, EdgeInsert::Novel | EdgeInsert::NovelUnproven)
+    }
+}
 
 /// Append-only directed graph with forward and reverse adjacency.
 #[derive(Default, Clone)]
@@ -74,6 +121,51 @@ impl AdnGraph {
         self.nodes.insert(u);
         self.nodes.insert(v);
         true
+    }
+
+    /// Appends edge `u → v` like [`Self::add_edge`], additionally
+    /// classifying the insertion for the incremental spread engine: a new
+    /// pair whose target was already reachable from its source (probed
+    /// *before* inserting) is [`EdgeInsert::Redundant`] — it changes no
+    /// node's reach set, so the engine skips dirtying the source's
+    /// ancestors.
+    ///
+    /// `probe_budget` is invoked **only when a probe is actually needed**
+    /// (new pair, known target with outgoing edges) and returns the BFS
+    /// expansion cap; returning `0` skips the probe, yielding
+    /// [`EdgeInsert::NovelUnproven`]. The laziness lets callers meter
+    /// adaptive probe gates on eligible edges only.
+    pub fn add_edge_classified(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        scratch: &mut ReachScratch,
+        probe_budget: impl FnOnce() -> usize,
+    ) -> EdgeInsert {
+        if u == v || self.pairs.contains(&pack_pair(u, v)) {
+            return EdgeInsert::Duplicate;
+        }
+        // A target with no incident edges cannot be reachable from
+        // anywhere, and a target with no *outgoing* edges resolves more
+        // precisely at batch end (sink-delta patching): both skip the
+        // probe. Remaining targets are probed *backwards* (is `u` among
+        // `v`'s ancestors?): influence streams have hub sources with huge
+        // forward reach but targets with shallow ancestor chains, so the
+        // reverse direction is cheap.
+        let class = if !self.nodes.contains(&v) {
+            EdgeInsert::TargetNew
+        } else if self.out_neighbors(v).is_empty() {
+            EdgeInsert::TargetSink
+        } else {
+            match reverse_reachable_within(self, u, v, scratch, probe_budget()) {
+                Some(true) => EdgeInsert::Redundant,
+                Some(false) => EdgeInsert::Novel,
+                None => EdgeInsert::NovelUnproven,
+            }
+        };
+        let inserted = self.add_edge(u, v);
+        debug_assert!(inserted, "pair presence was checked above");
+        class
     }
 
     /// Whether edge `u → v` is present.
@@ -320,6 +412,90 @@ mod tests {
         for n in 0..4u32 {
             assert_eq!(g.out_neighbors(NodeId(n)), h.out_neighbors(NodeId(n)));
             assert_eq!(g.in_neighbors(NodeId(n)), h.in_neighbors(NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn classified_insert_detects_redundant_edges() {
+        use crate::reach::ReachScratch;
+        let mut g = AdnGraph::new();
+        let mut s = ReachScratch::new();
+        let budget = 64;
+        // Never-seen targets skip the probe entirely.
+        assert_eq!(
+            g.add_edge_classified(NodeId(0), NodeId(1), &mut s, || budget),
+            EdgeInsert::TargetNew
+        );
+        assert_eq!(
+            g.add_edge_classified(NodeId(1), NodeId(2), &mut s, || budget),
+            EdgeInsert::TargetNew
+        );
+        assert_eq!(
+            g.add_edge_classified(NodeId(2), NodeId(3), &mut s, || budget),
+            EdgeInsert::TargetNew
+        );
+        // 0 already reaches 2 via 1, and 2 has outgoing edges, so the
+        // probe runs: the shortcut is redundant but stored.
+        assert_eq!(
+            g.add_edge_classified(NodeId(0), NodeId(2), &mut s, || budget),
+            EdgeInsert::Redundant
+        );
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(
+            g.add_edge_classified(NodeId(0), NodeId(2), &mut s, || budget),
+            EdgeInsert::Duplicate
+        );
+        assert_eq!(
+            g.add_edge_classified(NodeId(5), NodeId(5), &mut s, || budget),
+            EdgeInsert::Duplicate,
+            "self-loops are rejected as before"
+        );
+        // Known target with no outgoing edges: deferred sink resolution.
+        assert_eq!(
+            g.add_edge_classified(NodeId(1), NodeId(3), &mut s, || budget),
+            EdgeInsert::TargetSink
+        );
+        // Known target with out-edges, no path back: genuinely novel.
+        assert_eq!(
+            g.add_edge_classified(NodeId(3), NodeId(0), &mut s, || budget),
+            EdgeInsert::Novel
+        );
+        // Budget 0 can never prove redundancy: conservative Novel.
+        assert_eq!(
+            g.add_edge_classified(NodeId(2), NodeId(1), &mut s, || 0),
+            EdgeInsert::NovelUnproven
+        );
+        assert!(EdgeInsert::NovelUnproven.is_novel() && EdgeInsert::NovelUnproven.inserted());
+        assert!(!EdgeInsert::Duplicate.inserted());
+        assert!(!EdgeInsert::Redundant.is_novel());
+        assert!(EdgeInsert::TargetNew.inserted() && !EdgeInsert::TargetNew.is_novel());
+        assert!(EdgeInsert::TargetSink.inserted() && !EdgeInsert::TargetSink.is_novel());
+    }
+
+    #[test]
+    fn classified_insert_matches_plain_insert_content() {
+        use crate::reach::ReachScratch;
+        // Same edge sequence through both APIs yields identical graphs
+        // (adjacency order included) — classification is observation only.
+        let edges = [(0u32, 1u32), (1, 2), (0, 2), (2, 0), (0, 1), (3, 1)];
+        let mut plain = AdnGraph::new();
+        let mut classified = AdnGraph::new();
+        let mut s = ReachScratch::new();
+        for &(u, v) in &edges {
+            let a = plain.add_edge(NodeId(u), NodeId(v));
+            let c = classified.add_edge_classified(NodeId(u), NodeId(v), &mut s, || 8);
+            assert_eq!(a, c.inserted(), "({u},{v})");
+        }
+        assert_eq!(plain.edge_count(), classified.edge_count());
+        for n in 0..4u32 {
+            assert_eq!(
+                plain.out_neighbors(NodeId(n)),
+                classified.out_neighbors(NodeId(n))
+            );
+            assert_eq!(
+                plain.in_neighbors(NodeId(n)),
+                classified.in_neighbors(NodeId(n))
+            );
         }
     }
 

@@ -33,6 +33,7 @@
 
 pub mod adn;
 pub mod analysis;
+pub mod epoch;
 pub mod hash;
 pub mod indexed_set;
 pub mod node;
@@ -40,14 +41,16 @@ pub mod reach;
 pub mod tdn;
 pub mod traits;
 
-pub use adn::AdnGraph;
+pub use adn::{AdnGraph, EdgeInsert};
 pub use analysis::{condense, Condensation};
+pub use epoch::EpochSet;
 pub use hash::{FxHashMap, FxHashSet};
 pub use indexed_set::IndexedSet;
 pub use node::{pack_pair, unpack_pair, Lifetime, NodeId, NodeInterner, Time};
 pub use reach::{
-    extend_cover, marginal_gain, reach_collect, reach_count, reverse_reach_collect, CoverSet,
-    ReachScratch, ScratchPool,
+    extend_cover, marginal_gain, reach_collect, reach_count, reverse_reach_collect,
+    reverse_reach_excluding, reverse_reach_multi_collect, reverse_reachable_within, CoverSet,
+    ReachScratch, ScratchPool, SpreadMemo, SpreadStats, SpreadStatsSnapshot,
 };
 pub use tdn::{LiveEdge, TdnGraph};
 pub use traits::{InGraph, OutGraph};

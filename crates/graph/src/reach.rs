@@ -12,10 +12,12 @@
 //! * the marginal gain `f(S ∪ {v}) − f(S) = |reach(v) \ R|` is computable
 //!   with a single pruned BFS.
 
+use crate::epoch::EpochSet;
 use crate::hash::FxHashSet;
 use crate::node::NodeId;
 use crate::traits::{InGraph, OutGraph};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Reusable BFS scratch: an epoch-stamped visited array and a queue.
 ///
@@ -334,6 +336,629 @@ pub fn reverse_reach_collect<G: OutGraph + InGraph>(
     out.extend_from_slice(queue);
 }
 
+/// Budgeted *reverse* reachability probe: does `from` reach `to`, decided
+/// by walking `to`'s ancestors (in-edges from `to` looking for `from`)?
+///
+/// Returns `Some(true)` as soon as `from` is discovered, `Some(false)` if
+/// `to`'s ancestor frontier is exhausted first, and `None` once `budget`
+/// node expansions were spent without an answer (`budget == 0` probes
+/// nothing). The incremental spread engine uses this to classify a fresh
+/// edge `(u, v)` as *redundant* (`v` already reachable from `u`, so no
+/// node's reach set changes) before inserting it; `None` is treated as
+/// "not provably redundant", which only costs work, never correctness.
+/// The reverse direction is the cheap one: influence streams have hub
+/// sources with huge forward reach but targets with shallow ancestor
+/// chains.
+pub fn reverse_reachable_within<G: OutGraph + InGraph>(
+    g: &G,
+    from: NodeId,
+    to: NodeId,
+    scratch: &mut ReachScratch,
+    budget: usize,
+) -> Option<bool> {
+    if from == to {
+        return Some(true);
+    }
+    if budget == 0 {
+        return None;
+    }
+    scratch.begin(g.node_index_bound().max(to.index() + 1));
+    scratch.visited[to.index()] = scratch.epoch;
+    scratch.queue.push(to);
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+    } = scratch;
+    let mut head = 0;
+    let mut expanded = 0usize;
+    while head < queue.len() {
+        if expanded == budget {
+            return None;
+        }
+        let v = queue[head];
+        head += 1;
+        expanded += 1;
+        let mut found = false;
+        g.for_each_in(v, |u| {
+            if u == from {
+                found = true;
+            }
+            let slot = &mut visited[u.index()];
+            if *slot != *epoch {
+                *slot = *epoch;
+                queue.push(u);
+            }
+        });
+        if found {
+            return Some(true);
+        }
+    }
+    Some(false)
+}
+
+/// Collects the reverse reachability set of `sink` while ignoring the
+/// direct in-edges from `skip_direct` (cleared into `out`). This is the
+/// "old ancestors" side `B` of the sink-delta patch: the nodes that could
+/// already reach `sink` without this batch's fresh in-edges. Only the hop
+/// `skip_direct[i] → sink` itself is skipped; a skipped source discovered
+/// through a longer path is still collected.
+pub fn reverse_reach_excluding<G: OutGraph + InGraph>(
+    g: &G,
+    sink: NodeId,
+    skip_direct: &[NodeId],
+    scratch: &mut ReachScratch,
+    out: &mut Vec<NodeId>,
+) {
+    scratch.begin(g.node_index_bound().max(sink.index() + 1));
+    scratch.visited[sink.index()] = scratch.epoch;
+    scratch.queue.push(sink);
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+    } = scratch;
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        let at_sink = v == sink;
+        g.for_each_in(v, |u| {
+            if at_sink && skip_direct.contains(&u) {
+                return;
+            }
+            let slot = &mut visited[u.index()];
+            if *slot != *epoch {
+                *slot = *epoch;
+                queue.push(u);
+            }
+        });
+    }
+    out.clear();
+    out.extend_from_slice(queue);
+}
+
+/// Collects the union of the reverse reachability sets of `starts` into
+/// `out` (cleared first) — one multi-source BFS, deduplicated by the
+/// scratch epoch. The incremental spread engine uses this to build `A_v`,
+/// the set of nodes that reach a new sink `v` through any of its in-edge
+/// sources.
+pub fn reverse_reach_multi_collect<G: OutGraph + InGraph>(
+    g: &G,
+    starts: &[NodeId],
+    scratch: &mut ReachScratch,
+    out: &mut Vec<NodeId>,
+) {
+    let max_start = starts.iter().map(|s| s.index() + 1).max().unwrap_or(0);
+    scratch.begin(g.node_index_bound().max(max_start));
+    for &s in starts {
+        let slot = &mut scratch.visited[s.index()];
+        if *slot != scratch.epoch {
+            *slot = scratch.epoch;
+            scratch.queue.push(s);
+        }
+    }
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+    } = scratch;
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        g.for_each_in(v, |u| {
+            let slot = &mut visited[u.index()];
+            if *slot != *epoch {
+                *slot = *epoch;
+                queue.push(u);
+            }
+        });
+    }
+    out.clear();
+    out.extend_from_slice(queue);
+}
+
+/// Shared, cheaply clonable counters describing what the incremental
+/// spread engine did: clones share one tally (like
+/// `tdn_submodular::OracleCounter`), so the many SIEVEADN instances inside
+/// one tracker bill a single tracker-wide total. All counts are
+/// deterministic functions of the stream — identical at every
+/// `TDN_THREADS` setting — because classification and cache planning run
+/// in the serial phases of `feed`.
+#[derive(Clone, Debug, Default)]
+pub struct SpreadStats(Arc<SpreadStatsInner>);
+
+#[derive(Debug, Default)]
+struct SpreadStatsInner {
+    redundant_edges: AtomicU64,
+    sink_delta_edges: AtomicU64,
+    novel_edges: AtomicU64,
+    probe_budget_exhausted: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    patched_batches: AtomicU64,
+    rebuilt_batches: AtomicU64,
+}
+
+/// A plain-value copy of [`SpreadStats`] at one instant (what experiments
+/// serialize and reports print).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpreadStatsSnapshot {
+    /// Fresh edges proven reachability-redundant by the probe.
+    pub redundant_edges: u64,
+    /// Fresh edges into a batch-new sink, patched as exact `+1` deltas on
+    /// the sink's ancestors instead of dirtying them.
+    pub sink_delta_edges: u64,
+    /// Fresh edges that may extend reachability (includes unproven ones).
+    pub novel_edges: u64,
+    /// Novel classifications caused by probe-budget exhaustion alone.
+    pub probe_budget_exhausted: u64,
+    /// Singleton spreads served from the memo without a BFS.
+    pub cache_hits: u64,
+    /// Singleton spreads recomputed by BFS (and stored into the memo).
+    pub cache_misses: u64,
+    /// Batches where the cost model consulted the memo per node.
+    pub patched_batches: u64,
+    /// Batches where the cost model chose a full rebuild (dirty-dominated).
+    pub rebuilt_batches: u64,
+}
+
+impl SpreadStats {
+    /// Creates a zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fresh edge proven redundant.
+    pub fn note_redundant(&self) {
+        self.0.redundant_edges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a fresh edge patched as a new-sink `+1` delta.
+    pub fn note_sink_delta(&self) {
+        self.0.sink_delta_edges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a fresh edge classified novel (`exhausted` when the probe
+    /// ran out of budget rather than proving non-reachability).
+    pub fn note_novel(&self, exhausted: bool) {
+        self.0.novel_edges.fetch_add(1, Ordering::Relaxed);
+        if exhausted {
+            self.0
+                .probe_budget_exhausted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` memo-served singleton evaluations.
+    pub fn add_cache_hits(&self, n: u64) {
+        self.0.cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` BFS-recomputed singleton evaluations.
+    pub fn add_cache_misses(&self, n: u64) {
+        self.0.cache_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one batch's patch-vs-rebuild decision.
+    pub fn note_batch(&self, rebuilt: bool) {
+        if rebuilt {
+            self.0.rebuilt_batches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.0.patched_batches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads the current tallies.
+    pub fn snapshot(&self) -> SpreadStatsSnapshot {
+        SpreadStatsSnapshot {
+            redundant_edges: self.0.redundant_edges.load(Ordering::Relaxed),
+            sink_delta_edges: self.0.sink_delta_edges.load(Ordering::Relaxed),
+            novel_edges: self.0.novel_edges.load(Ordering::Relaxed),
+            probe_budget_exhausted: self.0.probe_budget_exhausted.load(Ordering::Relaxed),
+            cache_hits: self.0.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.0.cache_misses.load(Ordering::Relaxed),
+            patched_batches: self.0.patched_batches.load(Ordering::Relaxed),
+            rebuilt_batches: self.0.rebuilt_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Overwrites the tallies (checkpoint restore: a warm-restarted run
+    /// resumes the exact counts of the interrupted one).
+    pub fn restore(&self, s: &SpreadStatsSnapshot) {
+        self.0
+            .redundant_edges
+            .store(s.redundant_edges, Ordering::Relaxed);
+        self.0
+            .sink_delta_edges
+            .store(s.sink_delta_edges, Ordering::Relaxed);
+        self.0.novel_edges.store(s.novel_edges, Ordering::Relaxed);
+        self.0
+            .probe_budget_exhausted
+            .store(s.probe_budget_exhausted, Ordering::Relaxed);
+        self.0.cache_hits.store(s.cache_hits, Ordering::Relaxed);
+        self.0.cache_misses.store(s.cache_misses, Ordering::Relaxed);
+        self.0
+            .patched_batches
+            .store(s.patched_batches, Ordering::Relaxed);
+        self.0
+            .rebuilt_batches
+            .store(s.rebuilt_batches, Ordering::Relaxed);
+    }
+}
+
+impl SpreadStatsSnapshot {
+    /// Serializes the tallies for checkpointing.
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        for v in [
+            self.redundant_edges,
+            self.sink_delta_edges,
+            self.novel_edges,
+            self.probe_budget_exhausted,
+            self.cache_hits,
+            self.cache_misses,
+            self.patched_batches,
+            self.rebuilt_batches,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Reconstructs tallies from [`Self::write_snapshot`] bytes.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        Ok(SpreadStatsSnapshot {
+            redundant_edges: r.get_u64()?,
+            sink_delta_edges: r.get_u64()?,
+            novel_edges: r.get_u64()?,
+            probe_budget_exhausted: r.get_u64()?,
+            cache_hits: r.get_u64()?,
+            cache_misses: r.get_u64()?,
+            patched_batches: r.get_u64()?,
+            rebuilt_batches: r.get_u64()?,
+        })
+    }
+}
+
+/// Memoised singleton spreads with per-batch dirty-set tracking — the heart
+/// of the incremental spread-maintenance engine.
+///
+/// ## Invariant
+///
+/// Between batches, every *valid* entry equals the node's exact current
+/// singleton spread `f({v}) = |reach(v)|` in the owning (addition-only)
+/// graph. The owner upholds this by, each batch:
+///
+/// 1. calling [`begin_batch`](Self::begin_batch) (clears the dirty set);
+/// 2. marking **every node whose reach may have changed** dirty — i.e. the
+///    ancestors of each source of a *novel* fresh edge (edges proven
+///    redundant by [`reverse_reachable_within`] change no reach set, see
+///    the DESIGN.md proof);
+/// 3. serving lookups only through [`lookup`](Self::lookup), which refuses
+///    dirty or never-stored entries, and re-storing every recomputed value
+///    via [`store`](Self::store).
+///
+/// The dirty set is **ancestor-closed** (a union of complete
+/// reverse-reachability sets), which is what lets
+/// [`mark_ancestors_dirty`](Self::mark_ancestors_dirty) prune its reverse
+/// BFS at already-dirty nodes, the same way `marginal_gain` prunes at
+/// covered nodes.
+///
+/// Values served from the memo are *exactly* what a fresh BFS would return,
+/// so consumers are bit-identical to a full-recompute run by construction;
+/// the differential conformance suite (`tests/differential_spread.rs`)
+/// enforces this end to end.
+#[derive(Clone, Debug, Default)]
+pub struct SpreadMemo {
+    value: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: EpochSet,
+    /// Per-batch exact spread deltas (new-sink `+1` patches): node `n`'s
+    /// spread grew by `delta_count[n]` this batch iff `delta.contains(n)`.
+    delta: EpochSet,
+    delta_count: Vec<u32>,
+    /// Reusable BFS queue for [`Self::mark_ancestors_dirty`].
+    queue: Vec<NodeId>,
+    /// Reusable buffers for [`Self::apply_old_sink_delta`].
+    bmark: EpochSet,
+    abuf: Vec<NodeId>,
+    bbuf: Vec<NodeId>,
+    /// Adaptive probe-gate counters (see [`Self::probe_gate`]).
+    probes_run: u64,
+    probes_hit: u64,
+    probe_skips: u64,
+    stats: SpreadStats,
+}
+
+impl SpreadMemo {
+    /// Creates an empty memo billing a fresh [`SpreadStats`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of node slots currently tracked.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the memo tracks no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Replaces the stats handle (trackers share one tally across all
+    /// their instances, like the oracle counter).
+    pub fn set_stats(&mut self, stats: SpreadStats) {
+        self.stats = stats;
+    }
+
+    /// The stats handle this memo bills.
+    pub fn stats(&self) -> &SpreadStats {
+        &self.stats
+    }
+
+    /// Starts a new batch: grows the per-node arrays to `bound` and clears
+    /// the dirty set in O(1).
+    pub fn begin_batch(&mut self, bound: usize) {
+        if self.value.len() < bound {
+            self.value.resize(bound, 0);
+            self.valid.resize(bound, false);
+            self.delta_count.resize(bound, 0);
+        }
+        self.dirty.clear();
+        self.delta.clear();
+    }
+
+    /// Marks `n` dirty; returns `true` if newly marked.
+    #[inline]
+    pub fn mark_dirty(&mut self, n: NodeId) -> bool {
+        self.dirty.insert(n)
+    }
+
+    /// Whether `n` is dirty this batch.
+    #[inline]
+    pub fn is_dirty(&self, n: NodeId) -> bool {
+        self.dirty.contains(n)
+    }
+
+    /// Number of nodes marked dirty this batch.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Marks `start` and everything that can reach it dirty, pruning the
+    /// reverse BFS at already-dirty nodes (sound because the dirty set is
+    /// ancestor-closed).
+    pub fn mark_ancestors_dirty<G: InGraph>(&mut self, g: &G, start: NodeId) {
+        if !self.dirty.insert(start) {
+            return;
+        }
+        let SpreadMemo { dirty, queue, .. } = self;
+        queue.clear();
+        queue.push(start);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            g.for_each_in(v, |u| {
+                if dirty.insert(u) {
+                    queue.push(u);
+                }
+            });
+        }
+    }
+
+    /// Adds one exact `+1` spread delta to `n` this batch (a batch-new
+    /// sink became reachable from it).
+    #[inline]
+    pub fn add_delta(&mut self, n: NodeId) {
+        self.add_delta_n(n, 1);
+    }
+
+    /// Adds `k` exact `+1` spread deltas to `n` this batch (`k` distinct
+    /// batch-new sinks became reachable from it — e.g. one BFS covering
+    /// all single-source sinks hanging off one hub).
+    #[inline]
+    pub fn add_delta_n(&mut self, n: NodeId, k: u32) {
+        if self.delta.insert(n) {
+            self.delta_count[n.index()] = k;
+        } else {
+            self.delta_count[n.index()] += k;
+        }
+    }
+
+    /// The exact spread delta accumulated for `n` this batch.
+    #[inline]
+    pub fn delta_of(&self, n: NodeId) -> u64 {
+        if self.delta.contains(n) {
+            self.delta_count[n.index()] as u64
+        } else {
+            0
+        }
+    }
+
+    /// Cost-model gate for redundancy probes. Probing pays only in
+    /// workloads where shortcut edges actually occur, so the gate stays
+    /// open through a warm-up window and while the observed hit rate is at
+    /// least ~3%, then throttles to one sampled probe per 64 eligible
+    /// edges so a drifting workload can re-open it. Purely count-based —
+    /// no clocks — so decisions are deterministic, thread-count-invariant,
+    /// and snapshot-stable.
+    pub fn probe_gate(&mut self) -> bool {
+        const WARMUP: u64 = 64;
+        const MIN_HIT_DIV: u64 = 32;
+        const REPROBE_EVERY: u64 = 64;
+        if self.probes_run < WARMUP || self.probes_hit * MIN_HIT_DIV >= self.probes_run {
+            return true;
+        }
+        self.probe_skips += 1;
+        self.probe_skips.is_multiple_of(REPROBE_EVERY)
+    }
+
+    /// Records a completed probe (`hit` when it proved redundancy).
+    pub fn note_probe(&mut self, hit: bool) {
+        self.probes_run += 1;
+        if hit {
+            self.probes_hit += 1;
+        }
+    }
+
+    /// Applies one **pre-existing sink**'s exact delta: every node that
+    /// reaches a fresh in-edge source of `sink` (the set `A`, one
+    /// multi-source reverse BFS) gains exactly the sink — unless it could
+    /// already reach it through an old in-edge (the set `B`, one reverse
+    /// BFS from the sink that skips the fresh direct hops). For clean
+    /// nodes `A ∖ B` is exactly the set whose spread grew, and it grew by
+    /// exactly 1 (the sink contributes nothing beyond itself); see
+    /// DESIGN.md § Incremental spread maintenance for the proof.
+    pub fn apply_old_sink_delta<G: OutGraph + InGraph>(
+        &mut self,
+        g: &G,
+        sink: NodeId,
+        fresh_sources: &[NodeId],
+        scratch: &mut ReachScratch,
+    ) {
+        let mut b = std::mem::take(&mut self.bbuf);
+        reverse_reach_excluding(g, sink, fresh_sources, scratch, &mut b);
+        self.bmark.clear();
+        for &x in &b {
+            self.bmark.insert(x);
+        }
+        let mut a = std::mem::take(&mut self.abuf);
+        reverse_reach_multi_collect(g, fresh_sources, scratch, &mut a);
+        for &x in &a {
+            if !self.bmark.contains(x) {
+                self.add_delta(x);
+            }
+        }
+        self.abuf = a;
+        self.bbuf = b;
+    }
+
+    /// The memoised spread of `n`, if stored and clean this batch.
+    #[inline]
+    pub fn lookup(&self, n: NodeId) -> Option<u64> {
+        if self.valid.get(n.index()).copied().unwrap_or(false) && !self.dirty.contains(n) {
+            Some(self.value[n.index()])
+        } else {
+            None
+        }
+    }
+
+    /// The memoised spread of `n` with this batch's exact delta applied —
+    /// what phase 4a stores and serves for clean nodes.
+    #[inline]
+    pub fn lookup_patched(&self, n: NodeId) -> Option<u64> {
+        self.lookup(n).map(|v| v + self.delta_of(n))
+    }
+
+    /// Stores the freshly computed spread of `n` (caller guarantees the
+    /// value is exact for the current graph).
+    #[inline]
+    pub fn store(&mut self, n: NodeId, spread: u64) {
+        self.value[n.index()] = spread;
+        self.valid[n.index()] = true;
+    }
+
+    /// Forgets every stored value (mode switches: a memo that stopped
+    /// observing mutations can no longer be trusted).
+    pub fn clear_cache(&mut self) {
+        self.valid.fill(false);
+        self.dirty.clear();
+        self.delta.clear();
+    }
+
+    /// Approximate heap footprint in bytes (counted by the owners'
+    /// `approx_bytes`, so memoisation cannot hide from memory accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.value.capacity() * std::mem::size_of::<u64>()
+            + self.valid.capacity()
+            + self.dirty.approx_bytes()
+            + self.delta.approx_bytes()
+            + self.delta_count.capacity() * std::mem::size_of::<u32>()
+            + self.bmark.approx_bytes()
+            + (self.queue.capacity() + self.abuf.capacity() + self.bbuf.capacity())
+                * std::mem::size_of::<NodeId>()
+    }
+
+    /// Serializes the memo: validity flags and values, plus the adaptive
+    /// probe-gate counters (so a warm restart makes the same probe
+    /// decisions as an uninterrupted run). The dirty and delta sets are
+    /// per-batch transient and always empty between batches.
+    pub fn write_snapshot(&self, w: &mut codec::Writer) {
+        w.put_len(self.value.len());
+        for i in 0..self.value.len() {
+            w.put_bool(self.valid[i]);
+            if self.valid[i] {
+                w.put_u64(self.value[i]);
+            }
+        }
+        w.put_u64(self.probes_run);
+        w.put_u64(self.probes_hit);
+        w.put_u64(self.probe_skips);
+    }
+
+    /// Reconstructs a memo from [`Self::write_snapshot`] bytes. `bound` is
+    /// the owning graph's node-index bound: a memo larger than the graph,
+    /// or a stored spread outside `[1, bound]` (a spread counts at least
+    /// the node itself and at most every node), is a typed error — a
+    /// corrupt memo would silently change answers, since served values are
+    /// trusted as exact.
+    pub fn read_snapshot(r: &mut codec::Reader<'_>, bound: usize) -> codec::Result<Self> {
+        let n = r.get_len(1)?;
+        if n > bound {
+            return Err(codec::CodecError::Invalid(
+                "SpreadMemo larger than the graph's node bound",
+            ));
+        }
+        let mut memo = SpreadMemo::new();
+        memo.value = vec![0; n];
+        memo.valid = vec![false; n];
+        memo.delta_count = vec![0; n];
+        for i in 0..n {
+            if r.get_bool()? {
+                let v = r.get_u64()?;
+                if v == 0 || v > bound as u64 {
+                    return Err(codec::CodecError::Invalid(
+                        "SpreadMemo stored spread outside [1, node bound]",
+                    ));
+                }
+                memo.value[i] = v;
+                memo.valid[i] = true;
+            }
+        }
+        memo.probes_run = r.get_u64()?;
+        memo.probes_hit = r.get_u64()?;
+        memo.probe_skips = r.get_u64()?;
+        if memo.probes_hit > memo.probes_run {
+            return Err(codec::CodecError::Invalid(
+                "SpreadMemo probe hits exceed probes run",
+            ));
+        }
+        Ok(memo)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,5 +1090,210 @@ mod tests {
         assert_eq!(reach_count(&g, NodeId(0), &mut s), 3);
         assert_eq!(reach_count(&g, NodeId(0), &mut s), 3); // wraps here
         assert_eq!(reach_count(&g, NodeId(0), &mut s), 3);
+    }
+
+    #[test]
+    fn reverse_reachable_within_answers_and_respects_budget() {
+        let g = line_graph(6); // 0 -> 1 -> ... -> 5
+        let mut s = ReachScratch::new();
+        assert_eq!(
+            reverse_reachable_within(&g, NodeId(0), NodeId(5), &mut s, 100),
+            Some(true)
+        );
+        assert_eq!(
+            reverse_reachable_within(&g, NodeId(5), NodeId(0), &mut s, 100),
+            Some(false)
+        );
+        assert_eq!(
+            reverse_reachable_within(&g, NodeId(2), NodeId(2), &mut s, 0),
+            Some(true)
+        );
+        // Finding node 0 among node 5's ancestors needs 5 expansions;
+        // fewer is inconclusive, never a wrong answer.
+        assert_eq!(
+            reverse_reachable_within(&g, NodeId(0), NodeId(5), &mut s, 3),
+            None
+        );
+        assert_eq!(
+            reverse_reachable_within(&g, NodeId(0), NodeId(5), &mut s, 5),
+            Some(true)
+        );
+        // Exhausting the ancestor frontier inside the budget is a
+        // definite no: node 0 has no in-edges.
+        assert_eq!(
+            reverse_reachable_within(&g, NodeId(4), NodeId(0), &mut s, 3),
+            Some(false)
+        );
+        // Unknown source can never be an ancestor.
+        assert_eq!(
+            reverse_reachable_within(&g, NodeId(40), NodeId(0), &mut s, 3),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn spread_memo_upholds_the_exactness_invariant() {
+        // Line 0 -> 1 -> 2; spreads 3, 2, 1.
+        let mut g = line_graph(3);
+        let mut s = ReachScratch::new();
+        let mut memo = SpreadMemo::new();
+        memo.begin_batch(g.node_index_bound());
+        assert_eq!(memo.lookup(NodeId(0)), None, "cold memo serves nothing");
+        for i in 0..3u32 {
+            let n = reach_count(&g, NodeId(i), &mut s);
+            memo.store(NodeId(i), n);
+        }
+        // Next batch: a novel edge 2 -> 3 dirties ancestors(2) = {0,1,2}.
+        g.add_edge(NodeId(2), NodeId(3));
+        memo.begin_batch(g.node_index_bound());
+        memo.mark_ancestors_dirty(&g, NodeId(2));
+        assert_eq!(memo.dirty_len(), 3);
+        for i in 0..3u32 {
+            assert_eq!(memo.lookup(NodeId(i)), None, "dirty nodes must recompute");
+        }
+        // A redundant batch (no novel edges) serves every stored value.
+        for i in 0..3u32 {
+            memo.store(NodeId(i), reach_count(&g, NodeId(i), &mut s));
+        }
+        memo.begin_batch(g.node_index_bound());
+        assert_eq!(memo.lookup(NodeId(0)), Some(4));
+        assert_eq!(memo.lookup(NodeId(2)), Some(2));
+        assert_eq!(memo.lookup(NodeId(3)), None, "never stored");
+        memo.clear_cache();
+        assert_eq!(memo.lookup(NodeId(0)), None, "cleared cache serves nothing");
+    }
+
+    #[test]
+    fn mark_ancestors_dirty_prunes_at_dirty_nodes() {
+        // Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+        let mut g = AdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        let mut memo = SpreadMemo::new();
+        memo.begin_batch(g.node_index_bound());
+        memo.mark_ancestors_dirty(&g, NodeId(1));
+        assert_eq!(memo.dirty_len(), 2); // {1, 0}
+                                         // Marking from 3 prunes at the already-dirty 1 but still reaches 2.
+        memo.mark_ancestors_dirty(&g, NodeId(3));
+        assert_eq!(memo.dirty_len(), 4);
+        for i in 0..4u32 {
+            assert!(memo.is_dirty(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn reverse_reach_multi_collect_unions_ancestor_sets() {
+        // 0 -> 2, 1 -> 2, 3 -> 4 (two components).
+        let mut g = AdnGraph::new();
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(3), NodeId(4));
+        let mut s = ReachScratch::new();
+        let mut out = Vec::new();
+        reverse_reach_multi_collect(&g, &[NodeId(2), NodeId(4)], &mut s, &mut out);
+        out.sort();
+        assert_eq!(
+            out,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        // Duplicate starts dedup; empty starts yield the empty set.
+        reverse_reach_multi_collect(&g, &[NodeId(2), NodeId(2)], &mut s, &mut out);
+        assert_eq!(out.len(), 3);
+        reverse_reach_multi_collect(&g, &[], &mut s, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spread_memo_accumulates_exact_deltas() {
+        let mut memo = SpreadMemo::new();
+        memo.begin_batch(4);
+        memo.store(NodeId(0), 5);
+        memo.begin_batch(4);
+        memo.add_delta(NodeId(0));
+        memo.add_delta(NodeId(0));
+        memo.add_delta(NodeId(1));
+        assert_eq!(memo.delta_of(NodeId(0)), 2);
+        assert_eq!(memo.delta_of(NodeId(2)), 0);
+        assert_eq!(memo.lookup_patched(NodeId(0)), Some(7));
+        assert_eq!(memo.lookup_patched(NodeId(1)), None, "no stored base value");
+        // Deltas are per batch: the next begin_batch forgets them.
+        memo.begin_batch(4);
+        assert_eq!(memo.delta_of(NodeId(0)), 0);
+        assert_eq!(memo.lookup_patched(NodeId(0)), Some(5));
+    }
+
+    #[test]
+    fn spread_stats_clones_share_and_restore() {
+        let a = SpreadStats::new();
+        let b = a.clone();
+        a.note_redundant();
+        b.note_novel(true);
+        b.add_cache_hits(5);
+        a.add_cache_misses(2);
+        a.note_batch(false);
+        b.note_batch(true);
+        a.note_sink_delta();
+        a.note_sink_delta();
+        let snap = a.snapshot();
+        assert_eq!(snap.redundant_edges, 1);
+        assert_eq!(snap.sink_delta_edges, 2);
+        assert_eq!(snap.novel_edges, 1);
+        assert_eq!(snap.probe_budget_exhausted, 1);
+        assert_eq!(snap.cache_hits, 5);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.patched_batches, 1);
+        assert_eq!(snap.rebuilt_batches, 1);
+        let fresh = SpreadStats::new();
+        fresh.restore(&snap);
+        assert_eq!(fresh.snapshot(), snap);
+        let mut w = codec::Writer::new();
+        snap.write_snapshot(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        assert_eq!(SpreadStatsSnapshot::read_snapshot(&mut r).unwrap(), snap);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn spread_memo_snapshot_round_trip_and_validation() {
+        let mut memo = SpreadMemo::new();
+        memo.begin_batch(4);
+        memo.store(NodeId(0), 3);
+        memo.store(NodeId(2), 1);
+        let mut w = codec::Writer::new();
+        memo.write_snapshot(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        let mut back = SpreadMemo::read_snapshot(&mut r, 4).expect("round trip");
+        r.finish().expect("fully consumed");
+        back.begin_batch(4);
+        assert_eq!(back.lookup(NodeId(0)), Some(3));
+        assert_eq!(back.lookup(NodeId(1)), None);
+        assert_eq!(back.lookup(NodeId(2)), Some(1));
+        // Larger than the owning graph: rejected.
+        let mut r = codec::Reader::new(&bytes);
+        assert!(SpreadMemo::read_snapshot(&mut r, 3).is_err());
+        // Every truncation errors instead of panicking.
+        for cut in 0..bytes.len() {
+            let mut r = codec::Reader::new(&bytes[..cut]);
+            let res = SpreadMemo::read_snapshot(&mut r, 4).and_then(|_| r.finish());
+            assert!(res.is_err(), "prefix of {cut} bytes decoded");
+        }
+        // A stored spread of 0 (or beyond the bound) is semantically
+        // impossible and must be a typed error, not trusted data.
+        for bad in [0u64, 5] {
+            let mut w = codec::Writer::new();
+            w.put_len(1);
+            w.put_bool(true);
+            w.put_u64(bad);
+            let bytes = w.into_vec();
+            let mut r = codec::Reader::new(&bytes);
+            assert!(
+                SpreadMemo::read_snapshot(&mut r, 4).is_err(),
+                "spread {bad}"
+            );
+        }
     }
 }

@@ -12,6 +12,7 @@
 //! once at least half of a list is dead, keeping amortized O(1) cost per
 //! expired edge.
 
+use crate::epoch::EpochSet;
 use crate::hash::FxHashMap;
 use crate::indexed_set::IndexedSet;
 use crate::node::{pack_pair, Lifetime, NodeId, Time};
@@ -88,6 +89,21 @@ pub struct TdnGraph {
     pair_count: FxHashMap<u64, u32>,
     live_nodes: IndexedSet,
     live_edges: u64,
+    /// Epoch-tagged dirty set: nodes whose incident live edge set changed
+    /// (insert, expiry, or re-activation) since the last
+    /// [`Self::take_dirty`]. Any node whose forward or reverse reach may
+    /// have changed is incident to a changed edge, so its endpoints are in
+    /// here — consumers reverse/forward-close over it as needed.
+    ///
+    /// Maintained only while [`Self::set_dirty_tracking`] is on: an
+    /// unconsumed dirty set would otherwise grow with every node ever
+    /// touched (and bloat checkpoints), so graphs without an incremental
+    /// consumer pay nothing.
+    dirty: EpochSet,
+    dirty_enabled: bool,
+    /// Per-advance touched marks for the batched eviction sweep
+    /// (transient scratch, never serialized).
+    touched: EpochSet,
 }
 
 impl TdnGraph {
@@ -145,7 +161,16 @@ impl TdnGraph {
     pub fn advance_to_with(&mut self, t: Time, mut on_evict: impl FnMut(NodeId, NodeId)) {
         assert!(t >= self.now, "time moved backwards: {} -> {}", self.now, t);
         self.now = t;
-        let mut touched: Vec<NodeId> = Vec::new();
+        // Batched eviction sweep: drain every bucket `≤ t` in one pass.
+        // Per-edge work (pair counts, degrees, live-node removals) runs in
+        // bucket order — live-node *removal order* is part of the
+        // determinism contract, since the live-node position order drives
+        // sampling and backfills — while the epoch-stamped `touched` set
+        // coalesces same-bucket and cross-bucket expiries so each adjacency
+        // list is considered for compaction exactly once per sweep, with no
+        // sort/dedup pass over the (possibly much longer) edge list.
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
         while let Some((&exp, _)) = self.buckets.first_key_value() {
             if exp > t {
                 break;
@@ -153,22 +178,59 @@ impl TdnGraph {
             let (_, edges) = self.buckets.pop_first().expect("bucket exists");
             for (u, v) in edges {
                 self.evict(u, v);
-                touched.push(u);
-                touched.push(v);
+                touched.insert(u);
+                touched.insert(v);
                 on_evict(u, v);
             }
         }
         // Compact once per touched list, after ALL buckets ≤ t are drained
         // (dead counters are exact only then).
-        touched.sort_unstable();
-        touched.dedup();
-        for n in touched {
+        for &n in touched.members() {
             self.out[n.index()].maybe_compact(t);
             self.inc[n.index()].maybe_compact(t);
         }
+        self.touched = touched;
+    }
+
+    /// Enables (or disables) dirty-set tracking. Disabling clears any
+    /// accumulated marks. Off by default — see the field docs.
+    pub fn set_dirty_tracking(&mut self, enabled: bool) {
+        self.dirty_enabled = enabled;
+        if !enabled {
+            self.dirty.clear();
+        }
+    }
+
+    /// Whether dirty-set tracking is on.
+    pub fn dirty_tracking(&self) -> bool {
+        self.dirty_enabled
+    }
+
+    /// Drains the epoch-tagged dirty set: every node whose incident live
+    /// edge set changed — by insertion, expiry, or re-activation (a node
+    /// returning from the dead via a new edge is simply marked again in
+    /// the new epoch) — since the last call, in first-change order.
+    /// Always empty unless [`Self::set_dirty_tracking`] is on.
+    ///
+    /// A node's forward or reverse reach can only change if some changed
+    /// edge's endpoint set intersects the paths involved, so consumers
+    /// maintaining reachability state close over this set (e.g. a reverse
+    /// BFS per member) instead of rescanning `V_t`.
+    pub fn take_dirty(&mut self) -> Vec<NodeId> {
+        self.dirty.drain()
+    }
+
+    /// The dirty set accumulated since the last [`Self::take_dirty`]
+    /// (first-change order), without draining it.
+    pub fn dirty_nodes(&self) -> &[NodeId] {
+        self.dirty.members()
     }
 
     fn evict(&mut self, u: NodeId, v: NodeId) {
+        if self.dirty_enabled {
+            self.dirty.insert(u);
+            self.dirty.insert(v);
+        }
         let key = pack_pair(u, v);
         if let Some(c) = self.pair_count.get_mut(&key) {
             *c -= 1;
@@ -207,6 +269,10 @@ impl TdnGraph {
             self.out.resize_with(bound, AdjList::default);
             self.inc.resize_with(bound, AdjList::default);
             self.degree.resize(bound, 0);
+        }
+        if self.dirty_enabled {
+            self.dirty.insert(u);
+            self.dirty.insert(v);
         }
         self.out[u.index()].push((v, expiry));
         self.inc[v.index()].push((u, expiry));
@@ -327,6 +393,12 @@ impl TdnGraph {
         }
         self.live_nodes.write_snapshot(w);
         w.put_u64(self.live_edges);
+        // Dirty tracking flag + set (order verbatim): state a consumer has
+        // not yet drained must survive a warm restart, or its incremental
+        // view would silently miss pre-checkpoint churn. With tracking off
+        // (the default) this costs nine bytes.
+        w.put_bool(self.dirty_enabled);
+        self.dirty.write_snapshot(w);
     }
 
     /// Reconstructs a graph from [`Self::write_snapshot`] bytes, validating
@@ -402,6 +474,13 @@ impl TdnGraph {
         }
         let live_nodes = IndexedSet::read_snapshot(r)?;
         let live_edges = r.get_u64()?;
+        let dirty_enabled = r.get_bool()?;
+        let dirty = EpochSet::read_snapshot(r, out.len())?;
+        if !dirty_enabled && !dirty.is_empty() {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph dirty set present with tracking disabled",
+            ));
+        }
         // Full cross-validation of the redundant bookkeeping. The checksum
         // only proves the file round-tripped the *bytes*; it does not prove
         // the structures agree with each other, and future mutation code
@@ -539,6 +618,9 @@ impl TdnGraph {
             pair_count,
             live_nodes,
             live_edges,
+            dirty,
+            dirty_enabled,
+            touched: EpochSet::new(),
         })
     }
 
@@ -555,7 +637,11 @@ impl TdnGraph {
             .values()
             .map(|v| v.capacity() * std::mem::size_of::<(NodeId, NodeId)>() + 48)
             .sum();
-        adj + buckets + self.pair_count.capacity() * 12 + self.degree.capacity() * 4
+        adj + buckets
+            + self.pair_count.capacity() * 12
+            + self.degree.capacity() * 4
+            + self.dirty.approx_bytes()
+            + self.touched.approx_bytes()
     }
 
     /// Debug-only check that bookkeeping matches a from-scratch recount.
@@ -763,8 +849,10 @@ mod tests {
     #[test]
     fn snapshot_round_trip_preserves_future_evolution() {
         // Build a graph with pending expirations, partially-dead adjacency
-        // (pre-compaction), multi-edges, and a non-trivial live-node order.
+        // (pre-compaction), multi-edges, a non-trivial live-node order, and
+        // an undrained dirty set (tracking on).
         let mut g = TdnGraph::new();
+        g.set_dirty_tracking(true);
         for i in 1..=10u32 {
             g.add_edge(NodeId(0), NodeId(i), i);
         }
@@ -778,6 +866,7 @@ mod tests {
         let mut h = TdnGraph::read_snapshot(&mut r).expect("round trip");
         r.finish().expect("fully consumed");
         h.check_invariants();
+        assert!(h.dirty_tracking(), "tracking flag must survive");
         assert_eq!(g.now(), h.now());
         assert_eq!(g.edge_count(), h.edge_count());
         assert_eq!(g.node_count(), h.node_count());
@@ -788,6 +877,11 @@ mod tests {
         );
         let range = |g: &TdnGraph| -> Vec<LiveEdge> { g.edges_with_remaining_in(1, 30).collect() };
         assert_eq!(range(&g), range(&h), "bucket iteration order must match");
+        assert_eq!(
+            g.dirty_nodes(),
+            h.dirty_nodes(),
+            "undrained dirty set must survive the round trip verbatim"
+        );
         // Evolve both identically: expiry, compaction, and new arrivals
         // must behave the same on the restored copy.
         for t in [6u64, 9, 12] {
@@ -798,6 +892,7 @@ mod tests {
             assert_eq!(g.edge_count(), h.edge_count(), "t={t}");
             assert_eq!(g.live_nodes().as_slice(), h.live_nodes().as_slice());
             assert_eq!(range(&g), range(&h), "t={t}");
+            assert_eq!(g.take_dirty(), h.take_dirty(), "t={t}");
             h.check_invariants();
         }
     }
@@ -809,10 +904,11 @@ mod tests {
         let mut w = codec::Writer::new();
         g.write_snapshot(&mut w);
         let mut bytes = w.into_vec();
-        // The trailing u64 is live_edges; inflate it and expect the
-        // recount cross-check to fire.
+        // The trailing fields are live_edges (u64), the dirty-tracking
+        // flag (1 byte), and the empty dirty list (u64 length); inflate
+        // live_edges and expect the recount cross-check to fire.
         let n = bytes.len();
-        bytes[n - 8..].copy_from_slice(&7u64.to_le_bytes());
+        bytes[n - 17..n - 9].copy_from_slice(&7u64.to_le_bytes());
         let mut r = codec::Reader::new(&bytes);
         assert!(TdnGraph::read_snapshot(&mut r).is_err());
     }
@@ -830,6 +926,8 @@ mod tests {
             bucket_exp: 5,
             pair_key: pack_pair(NodeId(0), NodeId(1)),
             live_nodes: vec![0, 1],
+            dirty_enabled: true,
+            dirty: vec![0, 1],
         };
         tweak(&mut p);
         let mut w = codec::Writer::new();
@@ -864,6 +962,11 @@ mod tests {
             w.put_u32(n);
         }
         w.put_u64(1); // live_edges
+        w.put_bool(p.dirty_enabled); // dirty tracking flag
+        w.put_len(p.dirty.len()); // dirty set
+        for &n in &p.dirty {
+            w.put_u32(n);
+        }
         let bytes = w.into_vec();
         let mut r = codec::Reader::new(&bytes);
         TdnGraph::read_snapshot(&mut r).map(|_| ())
@@ -877,6 +980,8 @@ mod tests {
         bucket_exp: Time,
         pair_key: u64,
         live_nodes: Vec<u32>,
+        dirty_enabled: bool,
+        dirty: Vec<u32>,
     }
 
     #[test]
@@ -899,6 +1004,81 @@ mod tests {
         );
         assert!(corrupt_single_edge_snapshot(|p| p.live_nodes = vec![0]).is_err());
         assert!(corrupt_single_edge_snapshot(|p| p.live_nodes = vec![0, 1, 5]).is_err());
+        // Dirty-set corruption: out-of-bound or duplicated members, or
+        // marks present while tracking claims to be off.
+        assert!(corrupt_single_edge_snapshot(|p| p.dirty = vec![0, 9]).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.dirty = vec![1, 1]).is_err());
+        assert!(corrupt_single_edge_snapshot(|p| p.dirty_enabled = false).is_err());
+        // An empty or reordered dirty set is legal (it is consumer state).
+        corrupt_single_edge_snapshot(|p| p.dirty = vec![]).expect("empty dirty set is valid");
+        corrupt_single_edge_snapshot(|p| p.dirty = vec![1, 0]).expect("order is free");
+        corrupt_single_edge_snapshot(|p| {
+            p.dirty_enabled = false;
+            p.dirty = vec![];
+        })
+        .expect("tracking off with no marks is the default shape");
+    }
+
+    #[test]
+    fn dirty_tracking_is_opt_in() {
+        // Off by default: no consumer, no accumulation, no snapshot bytes.
+        let mut g = TdnGraph::new();
+        assert!(!g.dirty_tracking());
+        g.add_edge(NodeId(9), NodeId(8), 1);
+        assert!(g.dirty_nodes().is_empty(), "untracked inserts mark nothing");
+        g.advance_to(1);
+        assert!(g.dirty_nodes().is_empty(), "untracked expiry marks nothing");
+        // Disabling forgets accumulated marks.
+        g.set_dirty_tracking(true);
+        g.add_edge(NodeId(1), NodeId(2), 5);
+        assert_eq!(g.dirty_nodes().len(), 2);
+        g.set_dirty_tracking(false);
+        assert!(g.dirty_nodes().is_empty());
+    }
+
+    #[test]
+    fn dirty_set_tracks_insert_expiry_and_reactivation() {
+        let mut g = TdnGraph::new();
+        g.set_dirty_tracking(true);
+        g.add_edge(NodeId(0), NodeId(1), 2);
+        g.add_edge(NodeId(2), NodeId(3), 9);
+        assert_eq!(
+            g.take_dirty(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            "insertions mark endpoints in first-change order"
+        );
+        assert!(g.dirty_nodes().is_empty(), "take_dirty drains");
+        // Nothing changed: advancing without expiries marks nothing.
+        g.advance_to(1);
+        assert!(g.dirty_nodes().is_empty());
+        // Expiry of (0,1) marks both endpoints again.
+        g.advance_to(2);
+        assert_eq!(g.take_dirty(), vec![NodeId(0), NodeId(1)]);
+        // Re-activation: node 1 died above and returns via a new edge.
+        assert_eq!(g.node_count(), 2);
+        g.add_edge(NodeId(1), NodeId(3), 4);
+        assert_eq!(g.take_dirty(), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(g.node_count(), 3);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn same_bucket_expiry_storm_marks_each_node_once() {
+        // 100 edges out of node 0 all dying at the same tick: one sweep,
+        // node 0 dirty once, every target dirty once.
+        let mut g = TdnGraph::new();
+        g.set_dirty_tracking(true);
+        for i in 1..=100u32 {
+            g.add_edge(NodeId(0), NodeId(i), 1);
+        }
+        g.take_dirty();
+        g.advance_to(1);
+        let dirty = g.take_dirty();
+        assert_eq!(dirty.len(), 101);
+        assert_eq!(dirty[0], NodeId(0));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 0);
+        g.check_invariants();
     }
 
     #[test]

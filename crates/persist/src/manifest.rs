@@ -6,7 +6,7 @@
 //! | field | bytes | contents |
 //! |-------|-------|----------|
 //! | magic | 8 | `b"TDNCKPT\0"` |
-//! | format version | 4 | little-endian `u32`, currently 1 |
+//! | format version | 4 | little-endian `u32`, currently 2 |
 //! | tracker kind | 1 | [`TrackerKind`] tag |
 //! | config hash | 8 | FNV-1a of the serialized `TrackerConfig` |
 //! | stream position | 8 | steps already processed (restore resumes here) |
@@ -22,8 +22,10 @@ use crate::error::PersistError;
 /// File magic: identifies TDN checkpoints regardless of version.
 pub const MAGIC: [u8; 8] = *b"TDNCKPT\0";
 
-/// The format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build writes and reads. Version 2 added the
+/// incremental spread-maintenance engine's state (spread mode tags, spread
+/// memos, engine tallies, and the TDN dirty set) to the payload layout.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Which tracker type a checkpoint holds. The tag is part of the on-disk
 /// format: restoring a file into the wrong tracker type fails with

@@ -99,7 +99,7 @@ pub mod prelude {
     pub use tdn_baselines::{DimTracker, ImmTracker, TimTracker};
     pub use tdn_core::{
         BasicReduction, ChurnTracker, GreedyTracker, HistApprox, InfluenceTracker, RandomTracker,
-        SieveAdn, SieveAdnTracker, Solution, TrackerConfig,
+        SieveAdn, SieveAdnTracker, Solution, SpreadMode, SpreadStatsSnapshot, TrackerConfig,
     };
     pub use tdn_graph::{condense, Lifetime, NodeId, NodeInterner, TdnGraph, Time};
     pub use tdn_persist::{

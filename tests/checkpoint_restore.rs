@@ -267,6 +267,122 @@ fn file_round_trip_and_manifest_peek() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The spread-maintenance mode is part of the snapshot: a tracker running
+/// the full-recompute reference path restores *as* the reference path and
+/// continues bit-identically (a silent mode flip would change the work
+/// profile — and, if the memo were stale, the answers).
+#[test]
+fn full_recompute_mode_round_trips() {
+    let cfg = TrackerConfig::new(3, 0.2, 8);
+    let mk = || HistApprox::new(&cfg).with_spread_mode(SpreadMode::FullRecompute);
+    let mut live = mk();
+    for t in 0..6u64 {
+        live.step(
+            t,
+            &[
+                TimedEdge::new(t as u32, (t + 9) as u32, 3),
+                TimedEdge::new(2u32, (t + 20) as u32, 6),
+            ],
+        );
+    }
+    let bytes = checkpoint_to_vec(&live, &cfg, 6);
+    let (_, mut warm): (u64, HistApprox) = restore_from_slice(&bytes, &cfg).expect("restores");
+    assert_eq!(warm.spread_mode(), SpreadMode::FullRecompute);
+    for t in 6..12u64 {
+        let batch = [TimedEdge::new((t % 4) as u32, (t + 30) as u32, 4)];
+        assert_eq!(warm.step(t, &batch), live.step(t, &batch), "t={t}");
+        assert_eq!(warm.oracle_calls(), live.oracle_calls());
+    }
+    assert_eq!(
+        warm.spread_stats(),
+        SpreadStatsSnapshot::default(),
+        "the reference path must never touch the engine"
+    );
+}
+
+/// The incremental engine's own per-node state — memoised spreads, the
+/// adaptive probe gate, and the shared engine tallies — survives a warm
+/// restart: an interrupted run and an uninterrupted one end with identical
+/// solutions, oracle tallies, AND engine work profiles.
+#[test]
+fn spread_engine_state_survives_restore() {
+    let cfg = TrackerConfig::new(3, 0.2, 10);
+    let mut state = 0xE961_E500_u64;
+    let mut rnd = move |m: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) % m
+    };
+    let mut evs: Vec<Ev> = Vec::new();
+    for t in 0..18u8 {
+        for _ in 0..(2 + rnd(6)) {
+            evs.push((t, rnd(16) as u8, rnd(28) as u8, 1 + rnd(8) as u8));
+        }
+    }
+    let mut straight = HistApprox::new(&cfg);
+    for t in 0..=horizon(&evs) {
+        straight.step(t, &batch_at(&evs, t));
+    }
+    let reference_stats = straight.spread_stats();
+    assert!(
+        reference_stats.cache_hits > 0 && reference_stats.sink_delta_edges > 0,
+        "workload must exercise the engine: {reference_stats:?}"
+    );
+    let cut: Time = 7;
+    let mut warm = HistApprox::new(&cfg);
+    for t in 0..cut {
+        warm.step(t, &batch_at(&evs, t));
+    }
+    let bytes = checkpoint_to_vec(&warm, &cfg, cut);
+    drop(warm);
+    let (_, mut warm): (u64, HistApprox) = restore_from_slice(&bytes, &cfg).expect("restores");
+    for t in cut..=horizon(&evs) {
+        warm.step(t, &batch_at(&evs, t));
+    }
+    assert_eq!(warm.oracle_calls(), straight.oracle_calls());
+    assert_eq!(
+        warm.spread_stats(),
+        reference_stats,
+        "engine tallies and probe decisions must resume exactly"
+    );
+}
+
+/// Targeted corruption of the new engine fields: the payload region
+/// holding the spread mode, engine tallies, and memo is covered by the
+/// checksum and by semantic validation, so flipped bytes there are typed
+/// errors — never panics, never silently-wrong caches (a wrong memo value
+/// would change future answers, since served values are trusted as exact).
+#[test]
+fn spread_engine_field_corruption_is_typed() {
+    let cfg = TrackerConfig::new(2, 0.2, 8);
+    let mut tracker = SieveAdnTracker::new(&cfg);
+    for t in 0..6u64 {
+        tracker.step(
+            t,
+            &[
+                TimedEdge::new(t as u32, (t + 7) as u32, 3),
+                TimedEdge::new(0u32, (t + 14) as u32, 5),
+            ],
+        );
+    }
+    let bytes = checkpoint_to_vec(&tracker, &cfg, 6);
+    // The SieveAdnTracker payload layout starts with the oracle tally
+    // (8 bytes), the engine tallies (8 × 8 bytes), then the instance
+    // snapshot beginning with the mode byte and ending with the memo —
+    // walk a stride of offsets across all of it.
+    let payload_start = 37; // manifest header length
+    for at in (payload_start..bytes.len()).step_by(5) {
+        let mut corrupt = bytes.clone();
+        corrupt[at] ^= 0x3C;
+        if corrupt == bytes {
+            continue;
+        }
+        assert!(
+            restore_from_slice::<SieveAdnTracker>(&corrupt, &cfg).is_err(),
+            "flip at {at} restored silently"
+        );
+    }
+}
+
 /// A checkpoint written at one thread count must restore and continue
 /// bit-identically at another: snapshots carry no thread-dependent state.
 #[test]

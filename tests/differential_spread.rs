@@ -1,0 +1,210 @@
+//! Differential conformance suite for the incremental spread-maintenance
+//! engine: on every workload shape we can think of — bursty arrivals,
+//! heavy churn, node re-activation, adversarial same-bucket expiry storms —
+//! each tracker run under [`SpreadMode::Incremental`] must produce
+//! **bit-identical** per-step solutions (seeds *and* spread values) and
+//! oracle-call tallies to the retained naive full-recompute reference path
+//! ([`SpreadMode::FullRecompute`]), at `TDN_THREADS` ∈ {1, 4}.
+//!
+//! The engine's exactness argument (DESIGN.md § Incremental spread
+//! maintenance) rests on three claims — redundant edges change no reach
+//! set, sink deltas are exactly `+1` on `A ∖ B`, and dirty sets are
+//! conservative — and this suite is the oracle that enforces all three
+//! end to end, the differential-testing style of the `test` archetype.
+
+use proptest::prelude::*;
+use tdn::prelude::*;
+
+/// One scheduled edge: (step, src, dst, lifetime).
+type Ev = (u8, u8, u8, u8);
+
+/// Replays `evs` through a tracker built by `mk`, pinned to `threads`,
+/// returning every step's solution and the final oracle tally.
+fn replay<T: InfluenceTracker>(
+    mk: impl Fn() -> T,
+    evs: &[Ev],
+    threads: usize,
+) -> (Vec<Solution>, u64) {
+    exec::with_threads(threads, || {
+        let mut tracker = mk();
+        let max_t = evs.iter().map(|e| e.0).max().unwrap_or(0) as Time;
+        let mut sols = Vec::new();
+        for t in 0..=max_t {
+            let batch: Vec<TimedEdge> = evs
+                .iter()
+                .filter(|e| e.0 as Time == t && e.1 != e.2)
+                .map(|e| TimedEdge::new(e.1 as u32, e.2 as u32, e.3 as Lifetime))
+                .collect();
+            sols.push(tracker.step(t, &batch));
+        }
+        (sols, tracker.oracle_calls())
+    })
+}
+
+/// Asserts the incremental engine equals the full-recompute reference for
+/// one tracker family on one schedule, at 1 and 4 engine threads.
+fn assert_differential<T: InfluenceTracker>(
+    mk: impl Fn(SpreadMode) -> T,
+    evs: &[Ev],
+) -> Result<(), TestCaseError> {
+    for threads in [1usize, 4] {
+        let reference = replay(|| mk(SpreadMode::FullRecompute), evs, threads);
+        let incremental = replay(|| mk(SpreadMode::Incremental), evs, threads);
+        prop_assert_eq!(
+            &incremental.0,
+            &reference.0,
+            "solutions diverged from the naive path at {} threads",
+            threads
+        );
+        prop_assert_eq!(
+            incremental.1,
+            reference.1,
+            "oracle tally diverged from the naive path at {} threads",
+            threads
+        );
+    }
+    Ok(())
+}
+
+/// Bursty arrivals: quiet ticks interleaved with dense bursts, long
+/// lifetimes (the ADN-ish shape where the memo should be hot).
+fn bursty() -> impl Strategy<Value = Vec<Ev>> {
+    prop::collection::vec((0u8..12, 0u8..14, 0u8..14, 6u8..10), 1..80)
+}
+
+/// Heavy churn: lifetimes of 1–3 over a small universe — edges rarely
+/// survive two steps, exercising expiry-driven instance turnover.
+fn heavy_churn() -> impl Strategy<Value = Vec<Ev>> {
+    prop::collection::vec((0u8..16, 0u8..10, 0u8..10, 1u8..4), 1..70)
+}
+
+/// Re-activation: a tiny universe with sparse steps, so nodes die with
+/// their last edge and return from the dead in later batches.
+fn reactivation() -> impl Strategy<Value = Vec<Ev>> {
+    prop::collection::vec((0u8..24, 0u8..6, 0u8..6, 1u8..5), 1..50)
+}
+
+/// Adversarial same-bucket expiry storms: every lifetime is the same, so
+/// whole batches expire in a single bucket sweep several ticks later.
+fn expiry_storm() -> impl Strategy<Value = Vec<Ev>> {
+    (
+        1u8..5,
+        prop::collection::vec((0u8..12, 0u8..12, 0u8..12), 1..70),
+    )
+        .prop_map(|(l, evs)| evs.into_iter().map(|(t, u, v)| (t, u, v, l)).collect())
+}
+
+fn check_all_trackers(evs: &[Ev]) -> Result<(), TestCaseError> {
+    let cfg = TrackerConfig::new(3, 0.2, 8);
+    assert_differential(|m| SieveAdnTracker::new(&cfg).with_spread_mode(m), evs)?;
+    assert_differential(|m| BasicReduction::new(&cfg).with_spread_mode(m), evs)?;
+    assert_differential(|m| HistApprox::new(&cfg).with_spread_mode(m), evs)?;
+    let cfg_refeed = TrackerConfig::new(2, 0.15, 10);
+    assert_differential(
+        |m| {
+            HistApprox::new(&cfg_refeed)
+                .with_refeed()
+                .with_spread_mode(m)
+        },
+        evs,
+    )?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn bursty_streams_are_mode_invariant(evs in bursty()) {
+        check_all_trackers(&evs)?;
+    }
+
+    #[test]
+    fn heavy_churn_streams_are_mode_invariant(evs in heavy_churn()) {
+        check_all_trackers(&evs)?;
+    }
+
+    #[test]
+    fn reactivation_streams_are_mode_invariant(evs in reactivation()) {
+        check_all_trackers(&evs)?;
+    }
+
+    #[test]
+    fn expiry_storm_streams_are_mode_invariant(evs in expiry_storm()) {
+        check_all_trackers(&evs)?;
+    }
+}
+
+/// Fixed-seed smoke check on a larger horizon than the property cases:
+/// dense bursts over a reused universe, so every engine path fires —
+/// redundant shortcuts, new-sink deltas, old-sink `A ∖ B` patches, dirty
+/// cones, and the rebuild fallback.
+#[test]
+fn long_mixed_stream_is_mode_invariant() {
+    let mut state = 0xD1FF_5EED_u64;
+    let mut rnd = move |m: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) % m
+    };
+    let mut evs: Vec<Ev> = Vec::new();
+    for t in 0..40u8 {
+        for _ in 0..(2 + rnd(10)) {
+            evs.push((t, rnd(24) as u8, rnd(40) as u8, 1 + rnd(12) as u8));
+        }
+    }
+    let cfg = TrackerConfig::new(4, 0.2, 12);
+    for threads in [1usize, 4] {
+        let reference = replay(
+            || HistApprox::new(&cfg).with_spread_mode(SpreadMode::FullRecompute),
+            &evs,
+            threads,
+        );
+        let incremental = replay(
+            || HistApprox::new(&cfg).with_spread_mode(SpreadMode::Incremental),
+            &evs,
+            threads,
+        );
+        assert!(reference.1 > 0, "workload must exercise the oracle");
+        assert_eq!(incremental, reference, "threads = {threads}");
+    }
+}
+
+/// The engine's work profile must also be deterministic: identical runs
+/// (and runs at different thread counts) report identical engine tallies,
+/// because classification and cache planning are serial phases.
+#[test]
+fn engine_stats_are_deterministic_and_thread_invariant() {
+    let mut evs: Vec<Ev> = Vec::new();
+    let mut state = 0x5707_57A7_u64;
+    let mut rnd = move |m: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) % m
+    };
+    for t in 0..20u8 {
+        for _ in 0..(1 + rnd(6)) {
+            evs.push((t, rnd(15) as u8, rnd(25) as u8, 1 + rnd(8) as u8));
+        }
+    }
+    let cfg = TrackerConfig::new(3, 0.2, 10);
+    let run = |threads: usize| {
+        exec::with_threads(threads, || {
+            let mut tracker = HistApprox::new(&cfg);
+            for t in 0..=19u64 {
+                let batch: Vec<TimedEdge> = evs
+                    .iter()
+                    .filter(|e| e.0 as Time == t && e.1 != e.2)
+                    .map(|e| TimedEdge::new(e.1 as u32, e.2 as u32, e.3 as Lifetime))
+                    .collect();
+                tracker.step(t, &batch);
+            }
+            tracker.spread_stats()
+        })
+    };
+    let reference = run(1);
+    assert!(
+        reference.sink_delta_edges > 0 && reference.cache_hits > 0,
+        "workload must exercise the engine: {reference:?}"
+    );
+    assert_eq!(run(1), reference, "rerun diverged");
+    assert_eq!(run(4), reference, "thread count changed the work profile");
+}
