@@ -7,7 +7,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tdn_baselines::sample_rr;
 use tdn_core::SieveAdn;
-use tdn_graph::{marginal_gain, reach_count, AdnGraph, CoverSet, NodeId, ReachScratch, TdnGraph};
+use tdn_graph::{
+    marginal_gain, reach_count, reach_count_batch64, AdnGraph, CoverSet, NodeId, ReachScratch,
+    ScratchPool, TdnGraph, BATCH_LANES,
+};
 use tdn_streams::{Dataset, ZipfSampler};
 use tdn_submodular::OracleCounter;
 
@@ -95,6 +98,58 @@ fn bench_rr(c: &mut Criterion) {
     });
 }
 
+/// Scratch-pool checkout cost: the serial fast path (one uncontended
+/// `try_lock` on the caller's affinity slot) and the contended path (four
+/// threads hammering one pool, the shape `par_map` BFS fan-outs produce).
+/// The pre-PR5 shared-stack pool took a global mutex twice per checkout;
+/// regressions here show up as a widening gap between the two.
+fn bench_scratch_pool(c: &mut Criterion) {
+    let g = random_adn(2_000, 6_000, 5);
+    let pool = ScratchPool::new();
+    c.bench_function("micro/scratch_pool_checkout_serial", |b| {
+        b.iter(|| pool.with(|s| reach_count(&g, NodeId(1), s)))
+    });
+    c.bench_function("micro/scratch_pool_contended_4_threads", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for t in 0..4u32 {
+                    let (g, pool) = (&g, &pool);
+                    scope.spawn(move || {
+                        let mut acc = 0u64;
+                        for i in 0..64u32 {
+                            acc += pool.with(|s| reach_count(g, NodeId(t * 64 + i), s));
+                        }
+                        acc
+                    });
+                }
+            })
+        })
+    });
+}
+
+/// 64 singleton spreads, per-node BFS versus one 64-lane bit-parallel
+/// traversal — the phase-4a rebuild trade the cost model arbitrates.
+fn bench_batch64(c: &mut Criterion) {
+    let g = random_adn(2_000, 6_000, 6);
+    let sources: Vec<NodeId> = (0..BATCH_LANES as u32).map(NodeId).collect();
+    let mut scratch = ReachScratch::new();
+    c.bench_function("micro/spreads_64_scalar_bfs", |b| {
+        b.iter(|| {
+            sources
+                .iter()
+                .map(|&s| reach_count(&g, s, &mut scratch))
+                .sum::<u64>()
+        })
+    });
+    let mut counts = vec![0u64; sources.len()];
+    c.bench_function("micro/spreads_64_batch64", |b| {
+        b.iter(|| {
+            reach_count_batch64(&g, &sources, &mut scratch, &mut counts);
+            counts.iter().sum::<u64>()
+        })
+    });
+}
+
 fn bench_generators(c: &mut Criterion) {
     c.bench_function("micro/generate_10k_interactions", |b| {
         b.iter_batched(
@@ -111,6 +166,8 @@ criterion_group!(
     bench_tdn_ops,
     bench_sieve,
     bench_rr,
+    bench_scratch_pool,
+    bench_batch64,
     bench_generators
 );
 criterion_main!(benches);

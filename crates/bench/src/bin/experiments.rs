@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <target>... [--full] [--out DIR] [--checkpoint-every N]
 //!   targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!            ablations throughput restore hotpath all
+//!            ablations throughput restore hotpath flatgraph all
 //!   --full               paper-scale sweeps (default: quick)
 //!   --out                output directory for CSVs (default: results)
 //!   --checkpoint-every   steps between checkpoints for the `restore`
@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tdn_bench::experiments::{
-    ablations, fig11_12, fig13_14, fig7, fig8_10, hotpath, restore, table1, throughput,
+    ablations, fig11_12, fig13_14, fig7, fig8_10, flatgraph, hotpath, restore, table1, throughput,
 };
 use tdn_bench::Scale;
 
@@ -57,7 +57,7 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             t @ ("table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
-            | "fig14" | "ablations" | "throughput" | "restore" | "hotpath") => {
+            | "fig14" | "ablations" | "throughput" | "restore" | "hotpath" | "flatgraph") => {
                 // Shared runners: figs 8-10 and 13-14 are joint.
                 targets.insert(match t {
                     "fig9" | "fig10" => "fig8",
@@ -77,6 +77,7 @@ fn main() -> ExitCode {
                     "throughput",
                     "restore",
                     "hotpath",
+                    "flatgraph",
                 ] {
                     targets.insert(t);
                 }
@@ -107,6 +108,7 @@ fn main() -> ExitCode {
             "throughput" => throughput::run(&out, &scale),
             "restore" => restore::run(&out, &scale, checkpoint_every),
             "hotpath" => hotpath::run(&out, &scale),
+            "flatgraph" => flatgraph::run(&out, &scale),
             _ => unreachable!("validated above"),
         };
         match res {

@@ -1,0 +1,613 @@
+//! Flat-graph-core experiment: the 64-lane bit-parallel traversal backend
+//! over the CSR adjacency arena versus the scalar backend it replaced.
+//!
+//! Every workload replays the *identical* prepared stream through three
+//! tracker configurations:
+//!
+//! * `scalar` — [`SpreadMode::Incremental`] with
+//!   [`TraversalKind::Scalar`]: the pre-flat-core hot path (one full
+//!   reverse BFS per marked source, one forward BFS per rebuilt spread),
+//!   running on the same flat structures — the "before" measurement;
+//! * `batch64` — [`SpreadMode::Incremental`] with
+//!   [`TraversalKind::Batch64`] (the default): shared ordered `V̄_t`
+//!   sweep, lane-batched dirty/delta marking, 64-lane rebuild counting;
+//! * `full` — [`SpreadMode::FullRecompute`]: the naive reference.
+//!
+//! The run **fails with a non-zero exit** unless all three produce
+//! bit-identical per-step solution values and oracle tallies — at
+//! 1 thread *and* 4 threads — and unless the batched backend clears the
+//! acceptance bar (≥ 1.5× over scalar on the rebuild-heavy headline
+//! workloads). A mid-run checkpoint written by the scalar configuration is
+//! restored into a batch64 tracker and continued, asserting that
+//! checkpoints cross traversal backends cleanly (the byte format carries
+//! state, never strategy). Memory curves (`approx_bytes` samples, the
+//! Figs. 13/14 analogue) are recorded for both backends, and the
+//! accounting itself is sanity-checked against the bitset/arena layouts
+//! before anything is measured.
+
+use crate::checks::ensure;
+use crate::driver::PreparedStream;
+use crate::report::{f, percentile, print_table};
+use crate::scale::Scale;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+use tdn_core::{
+    HistApprox, InfluenceTracker, SieveAdnTracker, SpreadMode, SpreadStatsSnapshot, TrackerConfig,
+    TraversalKind,
+};
+use tdn_graph::{AdnGraph, CoverSet, NodeId, TdnGraph};
+use tdn_persist::{checkpoint_to_vec, restore_from_slice};
+use tdn_streams::Dataset;
+
+const EPS: f64 = 0.3;
+const P: f64 = 0.001;
+const K: usize = 10;
+
+/// Which tracker a workload measures.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Tracker {
+    /// SIEVEADN over the addition-only view (phases 3–4 dominate).
+    SieveAdn,
+    /// HISTAPPROX end to end.
+    HistApprox,
+}
+
+impl Tracker {
+    fn name(self) -> &'static str {
+        match self {
+            Tracker::SieveAdn => "SieveADN",
+            Tracker::HistApprox => "HistApprox",
+        }
+    }
+}
+
+/// One grid point.
+struct Workload {
+    name: &'static str,
+    tracker: Tracker,
+    dataset: Dataset,
+    /// Ticks coalesced per arrival batch. Large batches mean many novel
+    /// sources per batch — the dirty set dominates `V̄_t`, the cost model
+    /// rebuilds, and the rebuild sweep is where the 64-lane backend lives.
+    batch_ticks: usize,
+    max_lifetime: u32,
+    steps_factor: u64,
+    /// Whether this workload counts toward the ≥ 1.5× acceptance bar
+    /// (spread-rebuild-heavy shapes only; the others are honest controls).
+    headline: bool,
+}
+
+/// The measured grid. Cascade streams with coarse batches are the
+/// rebuild-heavy headline: every batch dirties deep, heavily-overlapping
+/// ancestor cones whose downstream spreads all need recounting — 64 of
+/// them per flat traversal instead of one BFS each. The small-batch and
+/// bipartite points are controls where patching already served most
+/// lookups and the batched backend can only break even.
+static WORKLOADS: [Workload; 5] = [
+    Workload {
+        name: "rebuild_cascade_hk",
+        tracker: Tracker::SieveAdn,
+        dataset: Dataset::TwitterHk,
+        batch_ticks: 48,
+        max_lifetime: 10_000,
+        steps_factor: 6,
+        headline: true,
+    },
+    Workload {
+        name: "rebuild_cascade_higgs",
+        tracker: Tracker::SieveAdn,
+        dataset: Dataset::TwitterHiggs,
+        batch_ticks: 48,
+        max_lifetime: 10_000,
+        steps_factor: 8,
+        headline: true,
+    },
+    Workload {
+        name: "rebuild_hist_long_decay",
+        tracker: Tracker::HistApprox,
+        dataset: Dataset::TwitterHiggs,
+        batch_ticks: 32,
+        max_lifetime: 10_000,
+        steps_factor: 6,
+        headline: true,
+    },
+    Workload {
+        name: "patch_small_batch_control",
+        tracker: Tracker::SieveAdn,
+        dataset: Dataset::TwitterHk,
+        batch_ticks: 4,
+        max_lifetime: 10_000,
+        steps_factor: 4,
+        headline: false,
+    },
+    Workload {
+        name: "bipartite_control",
+        tracker: Tracker::HistApprox,
+        dataset: Dataset::Brightkite,
+        batch_ticks: 8,
+        max_lifetime: 10_000,
+        steps_factor: 1,
+        headline: false,
+    },
+];
+
+/// One configuration's measurements over a workload.
+struct CellLog {
+    values: Vec<u64>,
+    calls: Vec<u64>,
+    step_secs: Vec<f64>,
+    wall_secs: f64,
+    /// `(step, approx_bytes)` samples.
+    memory: Vec<(u64, u64)>,
+    engine: SpreadStatsSnapshot,
+}
+
+enum AnyTracker {
+    SieveAdn(SieveAdnTracker),
+    HistApprox(HistApprox),
+}
+
+impl AnyTracker {
+    fn build(sel: Tracker, cfg: &TrackerConfig, mode: SpreadMode, tr: TraversalKind) -> Self {
+        match sel {
+            Tracker::SieveAdn => AnyTracker::SieveAdn(
+                SieveAdnTracker::new(cfg)
+                    .with_spread_mode(mode)
+                    .with_traversal(tr),
+            ),
+            Tracker::HistApprox => AnyTracker::HistApprox(
+                HistApprox::new(cfg)
+                    .with_spread_mode(mode)
+                    .with_traversal(tr),
+            ),
+        }
+    }
+
+    fn step(&mut self, t: u64, batch: &[tdn_streams::TimedEdge]) -> u64 {
+        match self {
+            AnyTracker::SieveAdn(tr) => tr.step(t, batch).value,
+            AnyTracker::HistApprox(tr) => tr.step(t, batch).value,
+        }
+    }
+
+    fn calls(&self) -> u64 {
+        match self {
+            AnyTracker::SieveAdn(tr) => tr.oracle_calls(),
+            AnyTracker::HistApprox(tr) => tr.oracle_calls(),
+        }
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        match self {
+            AnyTracker::SieveAdn(tr) => tr.instance().approx_bytes() as u64,
+            AnyTracker::HistApprox(tr) => tr.approx_bytes() as u64,
+        }
+    }
+
+    fn engine(&self) -> SpreadStatsSnapshot {
+        match self {
+            AnyTracker::SieveAdn(tr) => tr.spread_stats(),
+            AnyTracker::HistApprox(tr) => tr.spread_stats(),
+        }
+    }
+}
+
+fn run_cell(
+    sel: Tracker,
+    stream: &PreparedStream,
+    cfg: &TrackerConfig,
+    mode: SpreadMode,
+    tr: TraversalKind,
+    threads: usize,
+) -> CellLog {
+    exec::with_threads(threads, || {
+        let mut tracker = AnyTracker::build(sel, cfg, mode, tr);
+        let sample_every = (stream.len() / 32).max(1);
+        let mut log = CellLog {
+            values: Vec::with_capacity(stream.len()),
+            calls: Vec::with_capacity(stream.len()),
+            step_secs: Vec::with_capacity(stream.len()),
+            wall_secs: 0.0,
+            memory: Vec::new(),
+            engine: SpreadStatsSnapshot::default(),
+        };
+        let start = Instant::now();
+        for (i, (t, batch)) in stream.steps.iter().enumerate() {
+            let step_start = Instant::now();
+            let value = tracker.step(*t, batch);
+            log.step_secs.push(step_start.elapsed().as_secs_f64());
+            log.values.push(value);
+            log.calls.push(tracker.calls());
+            if (i + 1) % sample_every == 0 {
+                log.memory.push((i as u64 + 1, tracker.approx_bytes()));
+            }
+        }
+        log.wall_secs = start.elapsed().as_secs_f64();
+        log.engine = tracker.engine();
+        log
+    })
+}
+
+/// First-principles checks of the memory accounting the curves rely on:
+/// bitset covers bill their dense word arrays, adjacency arenas bill their
+/// buffers, and a fill/drain storm leaves recycled blocks accounted, not
+/// leaked into untracked allocations.
+fn accounting_sanity() -> std::io::Result<()> {
+    // A cover holding one node at index 1023 needs exactly 16 words.
+    let mut cover = CoverSet::new();
+    cover.insert(NodeId(1023));
+    ensure(
+        cover.approx_bytes() >= 16 * 8,
+        "CoverSet accounting misses its word array",
+    )?;
+    ensure(
+        cover.approx_bytes() <= 4 * 16 * 8 + 64,
+        format!(
+            "CoverSet accounting wildly over-reports: {} bytes for 16 words",
+            cover.approx_bytes()
+        ),
+    )?;
+    // Covers iterate (and therefore checkpoint) in canonical order.
+    cover.insert(NodeId(3));
+    let order: Vec<u32> = cover.iter().map(|n| n.0).collect();
+    ensure(order == vec![3, 1023], "CoverSet iteration not canonical")?;
+    // ADN arena accounting grows with edges.
+    let mut adn = AdnGraph::new();
+    let empty = adn.approx_bytes();
+    for i in 0..64u32 {
+        adn.add_edge(NodeId(0), NodeId(i + 1));
+    }
+    ensure(
+        adn.approx_bytes() > empty,
+        "AdnGraph arena accounting ignores growth",
+    )?;
+    // A TDN expiry storm recycles blocks; the arena stays accounted and
+    // does not regrow on the next identical cycle.
+    let mut tdn = TdnGraph::new();
+    let mut t = 0u64;
+    for i in 1..=64u32 {
+        tdn.add_edge(NodeId(0), NodeId(i), 1);
+    }
+    t += 1;
+    tdn.advance_to(t);
+    let after_storm = tdn.approx_bytes();
+    let (slots, recycled) = tdn.arena_stats();
+    ensure(recycled > 0, "expiry storm recycled no arena blocks")?;
+    for i in 1..=64u32 {
+        tdn.add_edge(NodeId(0), NodeId(i), 1);
+    }
+    tdn.advance_to(t + 1);
+    let (slots2, _) = tdn.arena_stats();
+    ensure(
+        slots2 == slots,
+        "second storm cycle grew the arena instead of reusing blocks",
+    )?;
+    ensure(
+        tdn.approx_bytes() == after_storm,
+        "storm cycle changed accounted bytes without changing state shape",
+    )?;
+    Ok(())
+}
+
+/// Mid-run checkpoint portability across traversal backends: bytes written
+/// by a scalar-backend tracker restore into a batch64-backend tracker and
+/// continue bit-identically (the format carries state, never strategy).
+fn checkpoint_crosses_backends(
+    stream: &PreparedStream,
+    cfg: &TrackerConfig,
+) -> std::io::Result<()> {
+    let cut = stream.len() / 2;
+    let mut scalar = HistApprox::new(cfg).with_traversal(TraversalKind::Scalar);
+    for (t, batch) in &stream.steps[..cut] {
+        scalar.step(*t, batch);
+    }
+    let bytes = checkpoint_to_vec(&scalar, cfg, cut as u64);
+    let (resume, warm): (u64, HistApprox) = restore_from_slice(&bytes, cfg)
+        .map_err(|e| std::io::Error::other(format!("cross-backend restore failed: {e}")))?;
+    ensure(resume == cut as u64, "restored stream position drifted")?;
+    let mut warm = warm.with_traversal(TraversalKind::Batch64);
+    let mut straight = HistApprox::new(cfg).with_traversal(TraversalKind::Batch64);
+    for (t, batch) in &stream.steps[..cut] {
+        straight.step(*t, batch);
+    }
+    for (t, batch) in &stream.steps[cut..] {
+        let a = warm.step(*t, batch);
+        let b = straight.step(*t, batch);
+        ensure(
+            a == b,
+            format!("cross-backend warm tail diverged at t = {t}"),
+        )?;
+    }
+    ensure(
+        warm.oracle_calls() == straight.oracle_calls(),
+        "cross-backend warm tally diverged",
+    )?;
+    Ok(())
+}
+
+/// One workload's paired measurements.
+struct GridPoint {
+    w: &'static Workload,
+    edges: u64,
+    steps: usize,
+    scalar: CellLog,
+    batch64: CellLog,
+    full: CellLog,
+}
+
+impl GridPoint {
+    fn speedup_vs_scalar(&self) -> f64 {
+        self.scalar.wall_secs / self.batch64.wall_secs.max(1e-9)
+    }
+
+    fn speedup_vs_full(&self) -> f64 {
+        self.full.wall_secs / self.batch64.wall_secs.max(1e-9)
+    }
+}
+
+/// Runs the grid, enforces bit-identity and the acceptance bar, writes
+/// `BENCH_flatgraph.json`, and prints the summary table.
+pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    accounting_sanity()?;
+    // Discarded warm-up (allocator/page-fault one-time costs).
+    {
+        let warm = PreparedStream::geometric(Dataset::TwitterHiggs, scale.seed, P, 10_000, 200)
+            .coalesce(8);
+        run_cell(
+            Tracker::HistApprox,
+            &warm,
+            &TrackerConfig::new(K, EPS, 10_000),
+            SpreadMode::Incremental,
+            TraversalKind::Batch64,
+            1,
+        );
+    }
+    let mut points = Vec::new();
+    for w in &WORKLOADS {
+        let stream = PreparedStream::geometric(
+            w.dataset,
+            scale.seed,
+            P,
+            w.max_lifetime,
+            scale.steps_main * w.steps_factor,
+        )
+        .coalesce(w.batch_ticks);
+        let cfg = TrackerConfig::new(K, EPS, w.max_lifetime);
+        let scalar = run_cell(
+            w.tracker,
+            &stream,
+            &cfg,
+            SpreadMode::Incremental,
+            TraversalKind::Scalar,
+            1,
+        );
+        let batch64 = run_cell(
+            w.tracker,
+            &stream,
+            &cfg,
+            SpreadMode::Incremental,
+            TraversalKind::Batch64,
+            1,
+        );
+        let full = run_cell(
+            w.tracker,
+            &stream,
+            &cfg,
+            SpreadMode::FullRecompute,
+            TraversalKind::Batch64,
+            1,
+        );
+        // Bit-identity across backends and modes at 1 thread...
+        ensure(
+            batch64.values == scalar.values && batch64.calls == scalar.calls,
+            format!("[{}] batch64 diverged from the scalar backend", w.name),
+        )?;
+        ensure(
+            batch64.values == full.values && batch64.calls == full.calls,
+            format!(
+                "[{}] incremental engine diverged from full recompute",
+                w.name
+            ),
+        )?;
+        ensure(
+            batch64.engine == scalar.engine,
+            format!(
+                "[{}] engine tallies depend on the traversal backend",
+                w.name
+            ),
+        )?;
+        // ...and across thread counts for both backends.
+        for (tag, tr, reference) in [
+            ("batch64", TraversalKind::Batch64, &batch64),
+            ("scalar", TraversalKind::Scalar, &scalar),
+        ] {
+            let threaded = run_cell(w.tracker, &stream, &cfg, SpreadMode::Incremental, tr, 4);
+            ensure(
+                threaded.values == reference.values && threaded.calls == reference.calls,
+                format!("[{}] {tag} backend not thread-count invariant", w.name),
+            )?;
+        }
+        // Memory accounting sanity on the live runs: every sample must be
+        // positive, and both backends' footprints must stay within 4× of
+        // each other (they share every state structure; only scratch
+        // shapes differ).
+        for (log, tag) in [(&batch64, "batch64"), (&scalar, "scalar")] {
+            ensure(
+                !log.memory.is_empty() && log.memory.iter().all(|&(_, b)| b > 0),
+                format!("[{}] {tag} memory curve has empty/zero samples", w.name),
+            )?;
+        }
+        let (mb, ms) = (
+            batch64.memory.last().unwrap().1 as f64,
+            scalar.memory.last().unwrap().1 as f64,
+        );
+        ensure(
+            mb / ms < 4.0 && ms / mb < 4.0,
+            format!("[{}] backend footprints diverged: {mb} vs {ms}", w.name),
+        )?;
+        points.push(GridPoint {
+            w,
+            edges: stream.edges,
+            steps: stream.len(),
+            scalar,
+            batch64,
+            full,
+        });
+    }
+    // Cross-backend checkpoint portability on the first headline stream.
+    {
+        let w = &WORKLOADS[2];
+        let stream = PreparedStream::geometric(
+            w.dataset,
+            scale.seed ^ 0x5EED,
+            P,
+            w.max_lifetime,
+            scale.steps_main,
+        )
+        .coalesce(w.batch_ticks);
+        checkpoint_crosses_backends(&stream, &TrackerConfig::new(K, EPS, w.max_lifetime))?;
+    }
+    let headline_best = points
+        .iter()
+        .filter(|p| p.w.headline)
+        .map(GridPoint::speedup_vs_scalar)
+        .fold(f64::NAN, f64::max);
+    ensure(
+        headline_best >= 1.5,
+        format!(
+            "acceptance bar missed: best rebuild-heavy speedup vs the scalar \
+             backend is {headline_best:.2}x (< 1.5x)"
+        ),
+    )?;
+    let best_vs_full = points
+        .iter()
+        .map(GridPoint::speedup_vs_full)
+        .fold(f64::NAN, f64::max);
+
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_flatgraph.json");
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"experiment\": \"flatgraph_core\",")?;
+    writeln!(
+        out,
+        "  \"config\": {{\"k\": {K}, \"eps\": {EPS}, \"geo_p\": {P}, \"seed\": {}}},",
+        scale.seed
+    )?;
+    writeln!(out, "  \"identical_all\": true,")?;
+    writeln!(out, "  \"checkpoint_cross_backend\": true,")?;
+    writeln!(out, "  \"best_speedup_vs_scalar\": {},", f(headline_best))?;
+    writeln!(out, "  \"best_speedup_vs_full\": {},", f(best_vs_full))?;
+    writeln!(out, "  \"workloads\": [")?;
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        let e = &p.batch64.engine;
+        writeln!(out, "    {{")?;
+        writeln!(
+            out,
+            "      \"name\": \"{}\", \"tracker\": \"{}\", \"dataset\": \"{}\", \
+             \"batch_ticks\": {}, \"max_lifetime\": {}, \"steps\": {}, \"edges\": {}, \
+             \"headline\": {},",
+            p.w.name,
+            p.w.tracker.name(),
+            p.w.dataset.slug(),
+            p.w.batch_ticks,
+            p.w.max_lifetime,
+            p.steps,
+            p.edges,
+            p.w.headline,
+        )?;
+        for (tag, log, comma) in [
+            ("scalar", &p.scalar, ","),
+            ("batch64", &p.batch64, ","),
+            ("full", &p.full, ","),
+        ] {
+            writeln!(
+                out,
+                "      \"{tag}\": {{\"wall_secs\": {}, \"p50_step_ms\": {}, \
+                 \"p99_step_ms\": {}}}{comma}",
+                f(log.wall_secs),
+                f(percentile(&log.step_secs, 0.5) * 1e3),
+                f(percentile(&log.step_secs, 0.99) * 1e3),
+            )?;
+        }
+        writeln!(
+            out,
+            "      \"speedup_vs_scalar\": {}, \"speedup_vs_full\": {}, \
+             \"identical\": true, \"oracle_calls\": {},",
+            f(p.speedup_vs_scalar()),
+            f(p.speedup_vs_full()),
+            p.batch64.calls.last().copied().unwrap_or(0),
+        )?;
+        writeln!(
+            out,
+            "      \"engine\": {{\"redundant_edges\": {}, \"sink_delta_edges\": {}, \
+             \"novel_edges\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"patched_batches\": {}, \"rebuilt_batches\": {}}},",
+            e.redundant_edges,
+            e.sink_delta_edges,
+            e.novel_edges,
+            e.cache_hits,
+            e.cache_misses,
+            e.patched_batches,
+            e.rebuilt_batches,
+        )?;
+        writeln!(out, "      \"memory\": [")?;
+        for (j, ((step, bb), (_, sb))) in p.batch64.memory.iter().zip(&p.scalar.memory).enumerate()
+        {
+            let msep = if j + 1 < p.batch64.memory.len() {
+                ","
+            } else {
+                ""
+            };
+            writeln!(
+                out,
+                "        {{\"step\": {step}, \"batch64_bytes\": {bb}, \"scalar_bytes\": {sb}}}{msep}"
+            )?;
+        }
+        writeln!(out, "      ]")?;
+        writeln!(out, "    }}{sep}")?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    out.flush()?;
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let e = &p.batch64.engine;
+            let rebuild_share = if e.patched_batches + e.rebuilt_batches > 0 {
+                e.rebuilt_batches as f64 / (e.patched_batches + e.rebuilt_batches) as f64
+            } else {
+                0.0
+            };
+            vec![
+                p.w.name.to_string(),
+                p.w.tracker.name().to_string(),
+                p.w.batch_ticks.to_string(),
+                f(p.scalar.wall_secs),
+                f(p.batch64.wall_secs),
+                format!("{:.2}x", p.speedup_vs_scalar()),
+                format!("{:.2}x", p.speedup_vs_full()),
+                format!("{:.0}%", rebuild_share * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Flat graph core: 64-lane batched traversal vs scalar backend (identical answers)",
+        &[
+            "workload",
+            "tracker",
+            "batch",
+            "scalar s",
+            "batch64 s",
+            "vs scalar",
+            "vs full",
+            "rebuilds",
+        ],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+    Ok(())
+}

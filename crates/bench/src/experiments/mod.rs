@@ -6,6 +6,7 @@ pub mod fig11_12;
 pub mod fig13_14;
 pub mod fig7;
 pub mod fig8_10;
+pub mod flatgraph;
 pub mod hotpath;
 pub mod restore;
 pub mod table1;

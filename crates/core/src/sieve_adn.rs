@@ -48,8 +48,9 @@ use crate::config::TrackerConfig;
 use crate::tracker::{InfluenceTracker, Solution};
 use std::collections::BTreeMap;
 use tdn_graph::{
-    marginal_gain, reach_count, reverse_reach_collect, AdnGraph, CoverSet, EdgeInsert, FxHashMap,
-    FxHashSet, NodeId, OutGraph, ScratchPool, SpreadMemo, SpreadStats, SpreadStatsSnapshot, Time,
+    marginal_gain, reach_count, reach_count_batch64, reverse_reach_batch64, reverse_reach_collect,
+    reverse_reach_union_ordered, AdnGraph, CoverSet, EdgeInsert, FxHashMap, FxHashSet, NodeId,
+    OutGraph, ScratchPool, SpreadMemo, SpreadStats, SpreadStatsSnapshot, Time, BATCH_LANES,
 };
 use tdn_streams::TimedEdge;
 use tdn_submodular::{OracleCounter, ThresholdLadder};
@@ -87,6 +88,27 @@ impl SpreadMode {
     }
 }
 
+/// Which traversal backend services the incremental engine's hot path
+/// (phase-3 dirty/delta marking, phase-3b old-sink patches, and phase-4a
+/// spread rebuilds). Both backends produce bit-identical solutions and
+/// oracle tallies; the knob exists so the `flatgraph` experiment can
+/// measure the 64-lane backend against the scalar one it replaced.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum TraversalKind {
+    /// 64-lane bit-parallel traversals over the flat graph core: one
+    /// shared ordered sweep builds `V̄_t`, dirty/delta marking runs as
+    /// label-propagation lanes, and spread rebuilds count up to 64 dirty
+    /// sources per traversal.
+    #[default]
+    Batch64,
+    /// The scalar backend retained from the engine's first release: one
+    /// full reverse BFS per distinct source (marking piggybacked), two
+    /// reverse BFSs per old sink, one forward BFS per rebuilt spread.
+    /// The measured "before" of `experiments flatgraph`, and a
+    /// differential oracle for the batched backend.
+    Scalar,
+}
+
 /// Cost-model knob: max BFS expansions a redundancy probe may spend before
 /// giving up (classifying the edge novel — sound, just less savings). Keeps
 /// the probe strictly cheaper than the ancestor invalidation it avoids.
@@ -97,6 +119,44 @@ const PROBE_BUDGET: usize = 512;
 const REBUILD_NUM: usize = 3;
 /// Denominator of the rebuild threshold (see [`REBUILD_NUM`]).
 const REBUILD_DEN: usize = 4;
+
+/// Phase-4a skeleton shared by the plan-shaped evaluation backends: serve
+/// clean nodes from the memo in one serial (deterministic) planning pass,
+/// evaluate the misses via `compute` (given the miss indices into `vbar`,
+/// returning their spreads in the same order), then merge back in plan
+/// order and re-store. Returns the values plus the memo-hit count.
+fn plan_compute_merge(
+    memo: &mut SpreadMemo,
+    vbar: &[NodeId],
+    rebuild: bool,
+    compute: impl FnOnce(&[usize]) -> Vec<u64>,
+) -> (Vec<u64>, u64) {
+    let mut values: Vec<Option<u64>> = vbar
+        .iter()
+        .map(|&v| {
+            if rebuild {
+                return None;
+            }
+            let patched = memo.lookup_patched(v);
+            if let Some(n) = patched {
+                memo.store(v, n);
+            }
+            patched
+        })
+        .collect();
+    let need: Vec<usize> = (0..vbar.len()).filter(|&j| values[j].is_none()).collect();
+    let computed = compute(&need);
+    for (&j, &n) in need.iter().zip(&computed) {
+        values[j] = Some(n);
+        memo.store(vbar[j], n);
+    }
+    let hits = (vbar.len() - need.len()) as u64;
+    let values = values
+        .into_iter()
+        .map(|v| v.expect("planned or computed"))
+        .collect();
+    (values, hits)
+}
 
 /// One threshold's partial solution: seeds plus their reach cover.
 #[derive(Clone, Debug, Default)]
@@ -119,6 +179,7 @@ pub struct SieveAdn {
     counter: OracleCounter,
     scratch: ScratchPool,
     mode: SpreadMode,
+    traversal: TraversalKind,
     memo: SpreadMemo,
 }
 
@@ -136,6 +197,7 @@ impl SieveAdn {
             counter,
             scratch: ScratchPool::new(),
             mode: SpreadMode::default(),
+            traversal: TraversalKind::default(),
             memo: SpreadMemo::new(),
         }
     }
@@ -177,6 +239,24 @@ impl SieveAdn {
     /// The active spread-maintenance mode.
     pub fn spread_mode(&self) -> SpreadMode {
         self.mode
+    }
+
+    /// Sets the traversal backend (builder form). Pure strategy — outputs
+    /// are bit-identical either way — so no state is invalidated and the
+    /// knob is not serialized (restored instances use the default).
+    pub fn with_traversal(mut self, traversal: TraversalKind) -> Self {
+        self.set_traversal(traversal);
+        self
+    }
+
+    /// Sets the traversal backend.
+    pub fn set_traversal(&mut self, traversal: TraversalKind) {
+        self.traversal = traversal;
+    }
+
+    /// The active traversal backend.
+    pub fn traversal(&self) -> TraversalKind {
+        self.traversal
     }
 
     /// Replaces the incremental engine's stats handle (clones of the
@@ -349,9 +429,13 @@ impl SieveAdn {
                 });
             });
         }
-        // Phase 3: V̄_t — reverse BFS per distinct source fans out; the
-        // merge dedups serially in source order, so `vbar`'s order (which
-        // the sieve replay below depends on) is schedule-independent.
+        // Phase 3: V̄_t and (incremental mode) dirty/delta marking. The
+        // batched backend builds `V̄_t` with one shared ordered sweep and
+        // marks up to 64 sources per bit-parallel reverse traversal; the
+        // scalar backend runs the retained reverse-BFS-per-source code.
+        // `vbar`'s membership AND order are identical across backends,
+        // spread modes, and thread counts — the sieve replay below depends
+        // on it.
         let mut sources: Vec<NodeId> = Vec::new();
         {
             let mut seen_src: FxHashSet<NodeId> = FxHashSet::default();
@@ -361,9 +445,71 @@ impl SieveAdn {
                 }
             }
         }
+        let use_batch = incremental && self.traversal == TraversalKind::Batch64;
         let mut vbar: Vec<NodeId> = Vec::new();
         let mut seen: FxHashSet<NodeId> = FxHashSet::default();
-        if exec::threads() <= 1 {
+        if use_batch {
+            // One shared sweep: sources in order, each appending its
+            // not-yet-seen ancestors in single-source BFS order — exactly
+            // the merge order of the per-source paths below (see the
+            // `reverse_reach_union_ordered` docs for the argument).
+            scratch.with(|s| reverse_reach_union_ordered(graph, &sources, s, &mut vbar));
+            // Marking sweep: one lane per source that needs it. Lane label
+            // words arrive per chunk (fanned out across workers); the
+            // merge applies dirty marks and exact deltas serially, so the
+            // sets and per-node counts the memo consults are identical to
+            // the scalar backend's (order within the EpochSets differs,
+            // which nothing observes).
+            let mark: Vec<(NodeId, bool, u32)> = sources
+                .iter()
+                .filter_map(|&u| {
+                    let novel = novel_sources.contains(&u);
+                    let k = delta_source_count.get(&u).copied().unwrap_or(0);
+                    (novel || k > 0).then_some((u, novel, k))
+                })
+                .collect();
+            let chunks: Vec<&[(NodeId, bool, u32)]> = mark.chunks(BATCH_LANES).collect();
+            let labeled: Vec<Vec<(NodeId, u64)>> = exec::par_map(&chunks, |chunk| {
+                scratch.with(|s| {
+                    let lanes: Vec<&[NodeId]> = chunk
+                        .iter()
+                        .map(|(u, _, _)| std::slice::from_ref(u))
+                        .collect();
+                    let mut out = Vec::new();
+                    reverse_reach_batch64(
+                        graph,
+                        &lanes,
+                        |_, _| 0,
+                        s,
+                        |n, mask| {
+                            out.push((n, mask));
+                        },
+                    );
+                    out
+                })
+            });
+            for (chunk, nodes) in chunks.iter().zip(&labeled) {
+                let novel_mask: u64 = chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, novel, _))| *novel)
+                    .fold(0, |acc, (i, _)| acc | 1u64 << i);
+                for &(n, mask) in nodes {
+                    if mask & novel_mask != 0 {
+                        memo.mark_dirty(n);
+                    }
+                    let mut lanes_left = mask;
+                    let mut k_total = 0u32;
+                    while lanes_left != 0 {
+                        k_total += chunk[lanes_left.trailing_zeros() as usize].2;
+                        lanes_left &= lanes_left - 1;
+                    }
+                    if k_total > 0 {
+                        memo.add_delta_n(n, k_total);
+                    }
+                }
+            }
+        } else if exec::threads() <= 1 {
             // Serial path keeps the subsumption skip: if `u` is already a
             // known ancestor, ancestors(u) ⊆ seen (reverse reachability is
             // transitive), so its BFS is provably redundant. The skip only
@@ -470,15 +616,50 @@ impl SieveAdn {
                 // Phase 3b: the sink deltas phase 3 could not fuse —
                 // pre-existing sinks, whose `+1` applies only to nodes
                 // that could not already reach the sink through its old
-                // in-edges (`A ∖ B`, two reverse BFSs per sink).
+                // in-edges (`A ∖ B`: two lanes per sink batched 32 at a
+                // time, or two reverse BFSs per sink under the scalar
+                // backend — identical per-node deltas either way).
                 scratch.with(|s| {
-                    for (v, sink_sources) in &old_sink_targets {
-                        memo.apply_old_sink_delta(graph, *v, sink_sources, s);
+                    if use_batch {
+                        memo.apply_old_sink_deltas_batch64(graph, &old_sink_targets, s);
+                    } else {
+                        for (v, sink_sources) in &old_sink_targets {
+                            memo.apply_old_sink_delta(graph, *v, sink_sources, s);
+                        }
                     }
                 });
             }
             let mut hits = 0u64;
-            let values = if exec::threads() <= 1 {
+            let values = if use_batch {
+                // Evaluate the misses in 64-lane counting batches: dirty
+                // sources are ancestors of the same novel edges, so their
+                // downstream cones overlap heavily and one shared labeled
+                // traversal replaces up to 64 cone re-walks. Counts are
+                // exactly what per-node BFS returns, so the values — and
+                // the tally, charged per evaluation below — are unchanged.
+                let (values, h) = plan_compute_merge(memo, &vbar, rebuild, |need| {
+                    if need.len() <= 1 {
+                        scratch.with(|s| {
+                            need.iter()
+                                .map(|&j| reach_count(graph, vbar[j], s))
+                                .collect()
+                        })
+                    } else {
+                        let chunks: Vec<&[usize]> = need.chunks(BATCH_LANES).collect();
+                        exec::par_map(&chunks, |chunk| {
+                            scratch.with(|s| {
+                                let srcs: Vec<NodeId> = chunk.iter().map(|&j| vbar[j]).collect();
+                                let mut counts = vec![0u64; srcs.len()];
+                                reach_count_batch64(graph, &srcs, s, &mut counts);
+                                counts
+                            })
+                        })
+                        .concat()
+                    }
+                });
+                hits = h;
+                values
+            } else if exec::threads() <= 1 {
                 let memo = &mut *memo;
                 let hits = &mut hits;
                 scratch.with(|s| {
@@ -498,33 +679,13 @@ impl SieveAdn {
                         .collect()
                 })
             } else {
-                // Plan serially (deterministic), BFS the misses in
-                // parallel, merge back in plan order.
-                let mut values: Vec<Option<u64>> = vbar
-                    .iter()
-                    .map(|&v| {
-                        if rebuild {
-                            return None;
-                        }
-                        let patched = memo.lookup_patched(v);
-                        if let Some(n) = patched {
-                            memo.store(v, n);
-                        }
-                        patched
-                    })
-                    .collect();
-                let need: Vec<usize> = (0..vbar.len()).filter(|&j| values[j].is_none()).collect();
-                let computed: Vec<u64> =
-                    exec::par_map(&need, |&j| scratch.with(|s| reach_count(graph, vbar[j], s)));
-                for (&j, &n) in need.iter().zip(&computed) {
-                    values[j] = Some(n);
-                    memo.store(vbar[j], n);
-                }
-                hits = (vbar.len() - need.len()) as u64;
+                // Scalar parallel path: BFS the misses in parallel, merge
+                // back in plan order.
+                let (values, h) = plan_compute_merge(memo, &vbar, rebuild, |need| {
+                    exec::par_map(need, |&j| scratch.with(|s| reach_count(graph, vbar[j], s)))
+                });
+                hits = h;
                 values
-                    .into_iter()
-                    .map(|v| v.expect("planned or computed"))
-                    .collect()
             };
             memo.stats().add_cache_hits(hits);
             memo.stats().add_cache_misses(vbar.len() as u64 - hits);
@@ -689,6 +850,7 @@ impl SieveAdn {
             counter,
             scratch: ScratchPool::new(),
             mode,
+            traversal: TraversalKind::default(),
             memo,
         })
     }
@@ -729,6 +891,17 @@ impl SieveAdnTracker {
     /// The active spread-maintenance mode.
     pub fn spread_mode(&self) -> SpreadMode {
         self.inner.spread_mode()
+    }
+
+    /// Sets the traversal backend (builder form).
+    pub fn with_traversal(mut self, traversal: TraversalKind) -> Self {
+        self.inner.set_traversal(traversal);
+        self
+    }
+
+    /// The active traversal backend.
+    pub fn traversal(&self) -> TraversalKind {
+        self.inner.traversal()
     }
 
     /// Current incremental-engine tallies.
@@ -924,6 +1097,44 @@ mod tests {
         assert!(
             full.spread_stats() == SpreadStatsSnapshot::default(),
             "the reference path must not touch the engine"
+        );
+    }
+
+    /// The traversal backends are pure strategy: the 64-lane bit-parallel
+    /// backend and the retained scalar backend must agree bit for bit —
+    /// solutions, oracle tallies, and engine tallies — on random streams.
+    #[test]
+    fn traversal_backends_are_bit_identical() {
+        let mut state = 0xB17B_A7C4_u64;
+        let mut rnd = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % m
+        };
+        let batch_counter = OracleCounter::new();
+        let scalar_counter = OracleCounter::new();
+        let mut batched = SieveAdn::new(3, 0.15, true, batch_counter.clone());
+        let mut scalar = SieveAdn::new(3, 0.15, true, scalar_counter.clone())
+            .with_traversal(TraversalKind::Scalar);
+        assert_eq!(batched.traversal(), TraversalKind::Batch64);
+        assert_eq!(scalar.traversal(), TraversalKind::Scalar);
+        for _ in 0..40 {
+            let batch: Vec<(NodeId, NodeId)> = (0..1 + rnd(10))
+                .map(|_| (NodeId(rnd(70) as u32), NodeId(rnd(70) as u32)))
+                .collect();
+            batched.feed(batch.clone());
+            scalar.feed(batch);
+            assert_eq!(batched.query(), scalar.query());
+            assert_eq!(batched.best_value(), scalar.best_value());
+            assert_eq!(
+                batch_counter.get(),
+                scalar_counter.get(),
+                "tallies diverged"
+            );
+        }
+        assert_eq!(
+            batched.spread_stats(),
+            scalar.spread_stats(),
+            "engine tallies must not depend on the traversal backend"
         );
     }
 

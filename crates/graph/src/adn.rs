@@ -10,6 +10,7 @@
 //! insensitive to edge multiplicity, and instances may be fed the same edge
 //! via several paths in HISTAPPROX (copy + range feed + fresh batch).
 
+use crate::arena::AdjPool;
 use crate::hash::FxHashSet;
 use crate::node::{pack_pair, NodeId};
 use crate::reach::{reverse_reachable_within, ReachScratch};
@@ -62,12 +63,19 @@ impl EdgeInsert {
 }
 
 /// Append-only directed graph with forward and reverse adjacency.
+///
+/// Both adjacency directions live in [`AdjPool`] arenas: one contiguous
+/// buffer per direction, power-of-two blocks per node, zero per-node heap
+/// allocations — BFS walks cache-dense slices instead of chasing one heap
+/// pointer per node. List order is append order, exactly as the previous
+/// `Vec<Vec<_>>` backing stored it, so traversal order, `V̄_t` replay
+/// order, and snapshot bytes are all unchanged.
 #[derive(Default, Clone)]
 pub struct AdnGraph {
-    /// Forward adjacency, indexed densely by node id.
-    out: Vec<Vec<NodeId>>,
-    /// Reverse adjacency (for `V̄_t` computation).
-    inc: Vec<Vec<NodeId>>,
+    /// Forward adjacency arena, indexed densely by node id.
+    out: AdjPool<NodeId>,
+    /// Reverse adjacency arena (for `V̄_t` computation).
+    inc: AdjPool<NodeId>,
     /// Ordered pairs already present (dedup of parallel edges).
     pairs: FxHashSet<u64>,
     /// Nodes with at least one incident edge.
@@ -112,12 +120,10 @@ impl AdnGraph {
             return false;
         }
         let bound = u.index().max(v.index()) + 1;
-        if self.out.len() < bound {
-            self.out.resize_with(bound, Vec::new);
-            self.inc.resize_with(bound, Vec::new);
-        }
-        self.out[u.index()].push(v);
-        self.inc[v.index()].push(u);
+        self.out.ensure_node_bound(bound);
+        self.inc.ensure_node_bound(bound);
+        self.out.push(u.index(), v);
+        self.inc.push(v.index(), u);
         self.nodes.insert(u);
         self.nodes.insert(v);
         true
@@ -175,12 +181,12 @@ impl AdnGraph {
 
     /// Forward neighbors of `u` (empty slice if unknown).
     pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
-        self.out.get(u.index()).map_or(&[], Vec::as_slice)
+        self.out.as_slice(u.index())
     }
 
     /// Reverse neighbors of `v` (empty slice if unknown).
     pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
-        self.inc.get(v.index()).map_or(&[], Vec::as_slice)
+        self.inc.as_slice(v.index())
     }
 
     /// Serializes the graph for checkpointing.
@@ -191,22 +197,20 @@ impl AdnGraph {
     /// for the bit-identical-restore guarantee. The `pairs` and `nodes`
     /// sets are derivable from the adjacency and are rebuilt on restore.
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
-        w.put_len(self.out.len());
-        for list in &self.out {
-            w.put_len(list.len());
-            for n in list {
-                w.put_u32(n.0);
+        let put_pool = |w: &mut codec::Writer, pool: &AdjPool<NodeId>| {
+            w.put_len(pool.node_bound());
+            for n in 0..pool.node_bound() {
+                let list = pool.as_slice(n);
+                w.put_len(list.len());
+                for n in list {
+                    w.put_u32(n.0);
+                }
             }
-        }
+        };
+        put_pool(w, &self.out);
         // `inc` is fully determined by `out` but its *list order* is not
         // (it interleaves by arrival), so it is stored verbatim too.
-        w.put_len(self.inc.len());
-        for list in &self.inc {
-            w.put_len(list.len());
-            for n in list {
-                w.put_u32(n.0);
-            }
-        }
+        put_pool(w, &self.inc);
     }
 
     /// Reconstructs a graph from [`Self::write_snapshot`] bytes.
@@ -216,14 +220,13 @@ impl AdnGraph {
     /// snapshots fail loudly instead of producing a silently skewed graph.
     pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
         let n_out = r.get_len(8)?;
-        let mut out = Vec::with_capacity(n_out);
-        for _ in 0..n_out {
+        let mut out: AdjPool<NodeId> = AdjPool::new();
+        out.ensure_node_bound(n_out);
+        for n in 0..n_out {
             let len = r.get_len(4)?;
-            let mut list = Vec::with_capacity(len);
             for _ in 0..len {
-                list.push(NodeId(r.get_u32()?));
+                out.push(n, NodeId(r.get_u32()?));
             }
-            out.push(list);
         }
         let n_inc = r.get_len(8)?;
         if n_inc != n_out {
@@ -231,18 +234,18 @@ impl AdnGraph {
                 "AdnGraph adjacency directions disagree on node bound",
             ));
         }
-        let mut inc = vec![Vec::new(); n_inc];
-        for list in inc.iter_mut() {
+        let mut inc: AdjPool<NodeId> = AdjPool::new();
+        inc.ensure_node_bound(n_inc);
+        for n in 0..n_inc {
             let len = r.get_len(4)?;
-            list.reserve(len);
             for _ in 0..len {
-                list.push(NodeId(r.get_u32()?));
+                inc.push(n, NodeId(r.get_u32()?));
             }
         }
         let mut pairs = FxHashSet::default();
         let mut nodes = FxHashSet::default();
-        for (u, list) in out.iter().enumerate() {
-            for &v in list {
+        for u in 0..n_out {
+            for &v in out.as_slice(u) {
                 if v.index() >= n_out {
                     return Err(codec::CodecError::Invalid(
                         "AdnGraph edge endpoint outside node bound",
@@ -262,8 +265,8 @@ impl AdnGraph {
         // reverse BFS — and therefore the `V̄_t` replay — walks it, so a
         // drifted `inc` would silently skew results or index out of range.
         let mut rev_pairs = FxHashSet::default();
-        for (v, list) in inc.iter().enumerate() {
-            for &u in list {
+        for v in 0..n_inc {
+            for &u in inc.as_slice(v) {
                 if u.index() >= n_out {
                     return Err(codec::CodecError::Invalid(
                         "AdnGraph reverse edge endpoint outside node bound",
@@ -290,16 +293,13 @@ impl AdnGraph {
         })
     }
 
-    /// Approximate heap footprint in bytes (adjacency + dedup set), used by
-    /// memory-accounting experiments.
+    /// Approximate heap footprint in bytes (adjacency arenas + dedup set),
+    /// used by memory-accounting experiments.
     pub fn approx_bytes(&self) -> usize {
-        let adj: usize = self
-            .out
-            .iter()
-            .chain(self.inc.iter())
-            .map(|v| v.capacity() * std::mem::size_of::<NodeId>() + 24)
-            .sum();
-        adj + self.pairs.capacity() * 8 + self.nodes.capacity() * 4
+        self.out.approx_bytes()
+            + self.inc.approx_bytes()
+            + self.pairs.capacity() * 8
+            + self.nodes.capacity() * 4
     }
 }
 
@@ -322,7 +322,7 @@ impl OutGraph for AdnGraph {
 
     #[inline]
     fn node_index_bound(&self) -> usize {
-        self.out.len()
+        self.out.node_bound()
     }
 
     #[inline]

@@ -1,0 +1,357 @@
+//! Paged CSR-style adjacency arena: every node's neighbor list lives in one
+//! shared contiguous buffer, in power-of-two blocks.
+//!
+//! The `Vec<Vec<_>>` adjacency it replaces costs one heap allocation and one
+//! pointer chase per node; BFS over it hops between unrelated heap pages.
+//! [`AdjPool`] packs all lists into a single `Vec<T>` arena: a list is a
+//! `(start, len, cap)` view into the buffer, appending is amortized O(1)
+//! (grow by doubling into a recycled or fresh block), and blocks freed by
+//! growth or compaction are recycled through per-size-class free lists —
+//! so expiry storms that shrink lists return their blocks to the arena
+//! instead of thrashing the allocator.
+//!
+//! List order is preserved verbatim by [`AdjPool::push`] and
+//! [`AdjPool::retain`]: adjacency order drives BFS traversal order, which
+//! drives `V̄_t` replay order, which the bit-identical determinism and
+//! checkpoint contracts depend on. [`AdjPool::swap_remove`] is the O(1)
+//! unordered eviction primitive for callers whose downstream consumers are
+//! order-insensitive.
+
+/// Smallest block capacity handed to a non-empty list.
+const MIN_BLOCK: u32 = 4;
+
+/// One node's list view into the shared buffer.
+#[derive(Copy, Clone, Debug, Default)]
+struct ListRef {
+    /// First slot of the backing block in the arena buffer.
+    start: usize,
+    /// Live entries (prefix of the block).
+    len: u32,
+    /// Block capacity; always `0` or a power of two `≥ MIN_BLOCK`.
+    cap: u32,
+}
+
+/// A pool of dynamically sized neighbor lists packed into one buffer.
+///
+/// Indexed densely by node id. See the module docs for the layout and the
+/// ordering contract.
+#[derive(Clone, Debug)]
+pub struct AdjPool<T: Copy> {
+    buf: Vec<T>,
+    lists: Vec<ListRef>,
+    /// `free[c]` holds starts of recycled blocks of capacity `1 << c`.
+    free: Vec<Vec<usize>>,
+}
+
+impl<T: Copy> Default for AdjPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> AdjPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        AdjPool {
+            buf: Vec::new(),
+            lists: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of node slots (the exclusive node-index bound).
+    #[inline]
+    pub fn node_bound(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Grows the node-slot table to at least `bound` (empty lists).
+    pub fn ensure_node_bound(&mut self, bound: usize) {
+        if self.lists.len() < bound {
+            self.lists.resize(bound, ListRef::default());
+        }
+    }
+
+    /// The list of node `n` (empty slice if `n` is out of bounds).
+    #[inline]
+    pub fn as_slice(&self, n: usize) -> &[T] {
+        match self.lists.get(n) {
+            Some(l) => &self.buf[l.start..l.start + l.len as usize],
+            None => &[],
+        }
+    }
+
+    /// Mutable access to the list of node `n` (empty slice if out of
+    /// bounds). Entries may be rewritten in place; the length is fixed.
+    #[inline]
+    pub fn as_mut_slice(&mut self, n: usize) -> &mut [T] {
+        match self.lists.get(n) {
+            Some(&l) => &mut self.buf[l.start..l.start + l.len as usize],
+            None => &mut [],
+        }
+    }
+
+    /// Length of node `n`'s list.
+    #[inline]
+    pub fn list_len(&self, n: usize) -> usize {
+        self.lists.get(n).map_or(0, |l| l.len as usize)
+    }
+
+    /// Pops a recycled block of exactly `cap` slots, if one is available.
+    fn pop_free(&mut self, cap: u32) -> Option<usize> {
+        let class = cap.trailing_zeros() as usize;
+        self.free.get_mut(class)?.pop()
+    }
+
+    /// Returns a block to its size-class free list.
+    fn push_free(&mut self, start: usize, cap: u32) {
+        let class = cap.trailing_zeros() as usize;
+        if self.free.len() <= class {
+            self.free.resize_with(class + 1, Vec::new);
+        }
+        self.free[class].push(start);
+    }
+
+    /// Acquires a block of `cap` slots: recycled if possible, else fresh at
+    /// the end of the buffer (filled with `fill`; recycled blocks keep
+    /// their stale-but-initialized contents).
+    fn acquire_block(&mut self, cap: u32, fill: T) -> usize {
+        if let Some(start) = self.pop_free(cap) {
+            return start;
+        }
+        let start = self.buf.len();
+        self.buf.resize(start + cap as usize, fill);
+        start
+    }
+
+    /// Moves node `n`'s live prefix into a block of `new_cap` slots and
+    /// recycles the old block. `new_cap` must hold the current length.
+    fn rehome(&mut self, n: usize, new_cap: u32, fill: T) {
+        let old = self.lists[n];
+        debug_assert!(old.len <= new_cap);
+        let start = self.acquire_block(new_cap, fill);
+        self.buf
+            .copy_within(old.start..old.start + old.len as usize, start);
+        if old.cap > 0 {
+            self.push_free(old.start, old.cap);
+        }
+        self.lists[n] = ListRef {
+            start,
+            len: old.len,
+            cap: new_cap,
+        };
+    }
+
+    /// Appends `item` to node `n`'s list (growing the node table and the
+    /// block as needed). Amortized O(1); list order is append order.
+    pub fn push(&mut self, n: usize, item: T) {
+        self.ensure_node_bound(n + 1);
+        let l = self.lists[n];
+        if l.len == l.cap {
+            let new_cap = (l.cap * 2).max(MIN_BLOCK);
+            self.rehome(n, new_cap, item);
+        }
+        let l = &mut self.lists[n];
+        self.buf[l.start + l.len as usize] = item;
+        l.len += 1;
+    }
+
+    /// Removes and returns entry `idx` of node `n`'s list in O(1) by
+    /// swapping the last entry into its place. **Does not preserve list
+    /// order** — only for callers whose consumers are order-insensitive.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn swap_remove(&mut self, n: usize, idx: usize) -> T {
+        let l = self.lists[n];
+        assert!(idx < l.len as usize, "swap_remove index out of bounds");
+        let last = l.len as usize - 1;
+        let item = self.buf[l.start + idx];
+        self.buf[l.start + idx] = self.buf[l.start + last];
+        self.lists[n].len -= 1;
+        self.maybe_shrink(n);
+        item
+    }
+
+    /// Keeps only the entries of node `n`'s list satisfying `pred`,
+    /// preserving their relative order (the TDN compaction primitive).
+    /// A list that shrank to a quarter of its block is rehomed into a
+    /// smaller block and the old one recycled.
+    pub fn retain(&mut self, n: usize, mut pred: impl FnMut(&T) -> bool) {
+        let l = self.lists[n];
+        let (start, len) = (l.start, l.len as usize);
+        let mut write = 0usize;
+        for read in 0..len {
+            let item = self.buf[start + read];
+            if pred(&item) {
+                self.buf[start + write] = item;
+                write += 1;
+            }
+        }
+        self.lists[n].len = write as u32;
+        self.maybe_shrink(n);
+    }
+
+    /// Rehomes node `n` into a smaller block when at most a quarter of the
+    /// current block is live, so storms of same-bucket expiries hand their
+    /// blocks back for reuse instead of pinning peak capacity forever.
+    fn maybe_shrink(&mut self, n: usize) {
+        let l = self.lists[n];
+        if l.cap > MIN_BLOCK && l.len * 4 <= l.cap {
+            if l.len == 0 {
+                self.push_free(l.start, l.cap);
+                self.lists[n] = ListRef::default();
+            } else {
+                let new_cap = l.len.next_power_of_two().max(MIN_BLOCK);
+                let fill = self.buf[l.start];
+                self.rehome(n, new_cap, fill);
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes (arena buffer, list table, free
+    /// lists).
+    pub fn approx_bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<T>()
+            + self.lists.capacity() * std::mem::size_of::<ListRef>()
+            + self
+                .free
+                .iter()
+                .map(|f| f.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+    }
+
+    /// Arena occupancy counters for diagnostics and block-reuse tests:
+    /// `(buffer_slots, recycled_blocks)`.
+    #[doc(hidden)]
+    pub fn arena_stats(&self) -> (usize, usize) {
+        (self.buf.len(), self.free.iter().map(Vec::len).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back_in_order() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        assert!(p.as_slice(3).is_empty());
+        for i in 0..10 {
+            p.push(2, i);
+        }
+        p.push(0, 99);
+        assert_eq!(p.as_slice(2), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(p.as_slice(0), &[99]);
+        assert!(p.as_slice(1).is_empty());
+        assert_eq!(p.node_bound(), 3);
+        assert_eq!(p.list_len(2), 10);
+    }
+
+    #[test]
+    fn growth_recycles_outgrown_blocks() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        // Fill one list past several doublings: each outgrown block must
+        // land on a free list, and a second list must pick them up instead
+        // of growing the buffer.
+        for i in 0..32 {
+            p.push(0, i);
+        }
+        let (slots_before, freed) = p.arena_stats();
+        assert!(freed >= 3, "outgrown 4/8/16 blocks recycled, got {freed}");
+        for i in 0..16 {
+            p.push(1, i);
+        }
+        let (slots_after, _) = p.arena_stats();
+        assert_eq!(
+            slots_after, slots_before,
+            "second list must reuse recycled blocks"
+        );
+        assert_eq!(p.as_slice(0).len(), 32);
+        assert_eq!(p.as_slice(1).len(), 16);
+    }
+
+    #[test]
+    fn swap_remove_is_unordered_but_complete() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        for i in 0..5 {
+            p.push(0, i);
+        }
+        assert_eq!(p.swap_remove(0, 1), 1);
+        let mut rest = p.as_slice(0).to_vec();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn retain_preserves_order_and_shrinks_blocks() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        for i in 0..64 {
+            p.push(0, i);
+        }
+        p.retain(0, |&x| x % 10 == 0);
+        assert_eq!(p.as_slice(0), &[0, 10, 20, 30, 40, 50, 60]);
+        let (_, freed) = p.arena_stats();
+        assert!(freed > 0, "shrunk list must recycle its big block");
+        // Retaining nothing releases the block entirely.
+        p.retain(0, |_| false);
+        assert!(p.as_slice(0).is_empty());
+        // The list remains fully usable afterwards.
+        p.push(0, 7);
+        assert_eq!(p.as_slice(0), &[7]);
+    }
+
+    #[test]
+    fn expiry_storm_reuses_blocks_instead_of_growing() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        // Warm up to peak shape once.
+        for i in 0..256 {
+            p.push(0, i);
+        }
+        p.retain(0, |_| false);
+        let (peak, _) = p.arena_stats();
+        // Repeated fill/drain cycles at the same peak must not grow the
+        // arena: every cycle's blocks come from the free lists.
+        for _ in 0..10 {
+            for i in 0..256 {
+                p.push(0, i);
+            }
+            p.retain(0, |_| false);
+            let (now, _) = p.arena_stats();
+            assert_eq!(now, peak, "storm cycle grew the arena");
+        }
+    }
+
+    #[test]
+    fn as_mut_slice_rewrites_in_place() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        for i in 0..4 {
+            p.push(1, i);
+        }
+        for x in p.as_mut_slice(1) {
+            *x *= 2;
+        }
+        assert_eq!(p.as_slice(1), &[0, 2, 4, 6]);
+        assert!(p.as_mut_slice(9).is_empty());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        p.push(0, 1);
+        let mut q = p.clone();
+        q.push(0, 2);
+        assert_eq!(p.as_slice(0), &[1]);
+        assert_eq!(q.as_slice(0), &[1, 2]);
+    }
+
+    #[test]
+    fn accounting_tracks_buffer_growth() {
+        let mut p: AdjPool<u64> = AdjPool::new();
+        let empty = p.approx_bytes();
+        for i in 0..100 {
+            p.push(i as usize % 7, i);
+        }
+        assert!(p.approx_bytes() > empty);
+    }
+}

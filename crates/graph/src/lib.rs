@@ -12,9 +12,15 @@
 //! * [`tdn::TdnGraph`] — the live time-decaying network `G_t` with
 //!   lifetime-bucketed expiry (§II-B), used by the recompute baselines and
 //!   by HISTAPPROX's instance-creation range queries;
+//! * [`arena::AdjPool`] — paged CSR-style adjacency arena backing both
+//!   graphs: every neighbor list is a power-of-two block inside one
+//!   contiguous buffer, with per-size-class block recycling;
+//! * [`bitset::NodeBitSet`] — dense `u64`-word node set backing
+//!   [`reach::CoverSet`];
 //! * [`reach`] — BFS reachability with reusable scratch (pooled per worker
-//!   for parallel callers), incremental cover sets, and pruned
-//!   marginal-gain evaluation;
+//!   for parallel callers), incremental cover sets, pruned marginal-gain
+//!   evaluation, and 64-lane bit-parallel multi-source traversals
+//!   ([`reach::reverse_reach_batch64`], [`reach::reach_count_batch64`]);
 //! * [`hash`] — in-tree Fx hashing so hot maps avoid SipHash;
 //! * [`indexed_set::IndexedSet`] — O(1) sampleable live-node set;
 //! * [`analysis`] — offline SCC condensation + exact all-node spreads
@@ -33,6 +39,8 @@
 
 pub mod adn;
 pub mod analysis;
+pub mod arena;
+pub mod bitset;
 pub mod epoch;
 pub mod hash;
 pub mod indexed_set;
@@ -43,14 +51,17 @@ pub mod traits;
 
 pub use adn::{AdnGraph, EdgeInsert};
 pub use analysis::{condense, Condensation};
+pub use arena::AdjPool;
+pub use bitset::NodeBitSet;
 pub use epoch::EpochSet;
 pub use hash::{FxHashMap, FxHashSet};
 pub use indexed_set::IndexedSet;
 pub use node::{pack_pair, unpack_pair, Lifetime, NodeId, NodeInterner, Time};
 pub use reach::{
-    extend_cover, marginal_gain, reach_collect, reach_count, reverse_reach_collect,
-    reverse_reach_excluding, reverse_reach_multi_collect, reverse_reachable_within, CoverSet,
-    ReachScratch, ScratchPool, SpreadMemo, SpreadStats, SpreadStatsSnapshot,
+    extend_cover, marginal_gain, reach_collect, reach_count, reach_count_batch64,
+    reverse_reach_batch64, reverse_reach_collect, reverse_reach_excluding,
+    reverse_reach_multi_collect, reverse_reach_union_ordered, reverse_reachable_within, CoverSet,
+    ReachScratch, ScratchPool, SpreadMemo, SpreadStats, SpreadStatsSnapshot, BATCH_LANES,
 };
 pub use tdn::{LiveEdge, TdnGraph};
 pub use traits::{InGraph, OutGraph};

@@ -12,14 +12,15 @@
 //! * the marginal gain `f(S ∪ {v}) − f(S) = |reach(v) \ R|` is computable
 //!   with a single pruned BFS.
 
+use crate::bitset::NodeBitSet;
 use crate::epoch::EpochSet;
-use crate::hash::FxHashSet;
 use crate::node::NodeId;
 use crate::traits::{InGraph, OutGraph};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Reusable BFS scratch: an epoch-stamped visited array and a queue.
+/// Reusable BFS scratch: an epoch-stamped visited array and a queue, plus
+/// the label words and touch list of the 64-lane bit-parallel traversals.
 ///
 /// Epoch stamping makes `clear` O(1): bumping the epoch invalidates all
 /// previous marks without touching memory.
@@ -28,6 +29,18 @@ pub struct ReachScratch {
     visited: Vec<u32>,
     epoch: u32,
     queue: Vec<NodeId>,
+    /// Per-node lane masks for [`reverse_reach_batch64`] /
+    /// [`reach_count_batch64`]; a node's word is live only while its
+    /// `visited` stamp matches the current epoch.
+    labels: Vec<u64>,
+    /// In-worklist stamps for the bit-parallel traversals (`0` = not
+    /// queued; any other value is compared against `epoch2`).
+    stamp2: Vec<u32>,
+    epoch2: u32,
+    /// First-touch order of the current bit-parallel traversal.
+    touched: Vec<NodeId>,
+    /// Reusable gained-nodes buffer for [`extend_cover`].
+    gained: Vec<NodeId>,
 }
 
 impl Clone for ReachScratch {
@@ -47,7 +60,10 @@ impl ReachScratch {
     /// in memory experiments so per-worker arenas stay visible).
     pub fn approx_bytes(&self) -> usize {
         self.visited.capacity() * std::mem::size_of::<u32>()
-            + self.queue.capacity() * std::mem::size_of::<NodeId>()
+            + self.stamp2.capacity() * std::mem::size_of::<u32>()
+            + self.labels.capacity() * std::mem::size_of::<u64>()
+            + (self.queue.capacity() + self.touched.capacity() + self.gained.capacity())
+                * std::mem::size_of::<NodeId>()
     }
 
     /// Starts a new traversal, sizing the visited array for `bound` nodes.
@@ -64,6 +80,47 @@ impl ReachScratch {
         }
         self.queue.clear();
     }
+
+    /// Starts a bit-parallel traversal: [`Self::begin`] plus label words
+    /// and worklist stamps for `bound` nodes. `epoch2` skips the `0`
+    /// sentinel, which marks "not currently queued".
+    fn begin_batch(&mut self, bound: usize) {
+        self.begin(bound);
+        if self.labels.len() < bound {
+            self.labels.resize(bound, 0);
+        }
+        if self.stamp2.len() < bound {
+            self.stamp2.resize(bound, 0);
+        }
+        self.epoch2 = self.epoch2.wrapping_add(1);
+        if self.epoch2 == 0 {
+            self.stamp2.fill(0);
+            self.epoch2 = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Forces the epoch counters close to their wrap point — test hook for
+    /// exercising wrap-around behavior from outside the crate.
+    #[doc(hidden)]
+    pub fn force_epochs_near_wrap(&mut self) {
+        self.epoch = u32::MAX - 1;
+        self.epoch2 = u32::MAX - 1;
+    }
+}
+
+/// Number of arena slots per pool; matches the execution engine's worker
+/// cap so every concurrent checkout normally finds a free slot.
+const POOL_SLOTS: usize = 64;
+
+thread_local! {
+    /// Stable per-thread probe offset into the slot array (assigned once
+    /// per thread from a process-wide counter), so each worker settles on
+    /// its own warm arena instead of all threads racing for slot 0.
+    static THREAD_PROBE: usize = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) as usize % POOL_SLOTS
+    };
 }
 
 /// A pool of thread-confined [`ReachScratch`] arenas for parallel BFS.
@@ -73,9 +130,24 @@ impl ReachScratch {
 /// queue is ever shared between threads. Buffers return to the pool warm,
 /// keeping the epoch-stamping amortization across calls — including the
 /// serial path, which simply checks out the same scratch every time.
-#[derive(Default)]
+///
+/// A checkout is **one** lock acquisition: each arena sits behind its own
+/// slot mutex, the calling thread probes the slot array starting at its
+/// stable per-thread offset, and the first successful `try_lock` holds the
+/// arena for the duration of `f` (the guard drop is the return — no second
+/// acquisition, unlike the previous shared-stack design which locked once
+/// to pop and again to push). Arenas are boxed lazily, so an unused pool
+/// owns no buffers.
 pub struct ScratchPool {
-    idle: Mutex<Vec<ReachScratch>>,
+    slots: Box<[Mutex<Option<Box<ReachScratch>>>]>,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        ScratchPool {
+            slots: (0..POOL_SLOTS).map(|_| Mutex::new(None)).collect(),
+        }
+    }
 }
 
 impl Clone for ScratchPool {
@@ -88,8 +160,12 @@ impl Clone for ScratchPool {
 
 impl std::fmt::Debug for ScratchPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let n = self.idle.lock().map(|v| v.len()).unwrap_or(0);
-        write!(f, "ScratchPool {{ idle: {n} }}")
+        let n = self
+            .slots
+            .iter()
+            .filter(|s| s.lock().is_ok_and(|g| g.is_some()))
+            .count();
+        write!(f, "ScratchPool {{ arenas: {n} }}")
     }
 }
 
@@ -100,36 +176,53 @@ impl ScratchPool {
     }
 
     /// Checks out a scratch arena, runs `f` with exclusive access, and
-    /// returns the arena to the pool (dropped instead if `f` panics).
+    /// returns the arena to the pool when the guard drops (also on panic —
+    /// scratch holds no logical state, so a poisoned arena is still fine
+    /// to reuse and is simply un-poisoned on the next checkout).
     pub fn with<R>(&self, f: impl FnOnce(&mut ReachScratch) -> R) -> R {
-        let mut scratch = self
-            .idle
-            .lock()
-            .expect("scratch pool poisoned")
-            .pop()
-            .unwrap_or_default();
-        let out = f(&mut scratch);
-        self.idle
-            .lock()
-            .expect("scratch pool poisoned")
-            .push(scratch);
-        out
+        let start = THREAD_PROBE.with(|p| *p);
+        for k in 0..POOL_SLOTS {
+            let slot = &self.slots[(start + k) % POOL_SLOTS];
+            let mut guard = match slot.try_lock() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => continue,
+            };
+            return f(guard.get_or_insert_with(Default::default));
+        }
+        // More concurrent checkouts than slots (only possible with outside
+        // threads beyond the engine's cap): run on a cold temporary.
+        f(&mut ReachScratch::default())
     }
 
     /// Approximate heap footprint of all pooled arenas in bytes. Memory
     /// experiments (Figs. 13/14 analogue) add this so per-worker scratch
     /// does not hide from the accounting.
     pub fn approx_bytes(&self) -> usize {
-        let idle = self.idle.lock().expect("scratch pool poisoned");
-        idle.iter().map(|s| s.approx_bytes()).sum::<usize>() + idle.capacity() * 8
+        self.slots
+            .iter()
+            .map(|s| {
+                let guard = match s.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                guard.as_ref().map_or(0, |b| b.approx_bytes())
+            })
+            .sum()
     }
 }
 
-/// The set of nodes covered (reached) by a seed set; wraps a hash set so the
-/// closure invariant is documented at the type level.
+/// The set of nodes covered (reached) by a seed set; wraps a dense
+/// [`NodeBitSet`] so the closure invariant is documented at the type level.
+///
+/// Membership is probed on every visited edge of every marginal-gain BFS,
+/// so `contains` is one shift and one AND on a word array. Iteration is
+/// always ascending — the canonical order the v2 checkpoint format already
+/// serialized covers in, so snapshot bytes are unchanged by the backend
+/// swap (and the sort the hash-set backend needed is gone).
 #[derive(Default, Clone, Debug)]
 pub struct CoverSet {
-    nodes: FxHashSet<NodeId>,
+    bits: NodeBitSet,
 }
 
 impl CoverSet {
@@ -141,46 +234,46 @@ impl CoverSet {
     /// Number of covered nodes, i.e. the coverage value `f(S_θ)`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.bits.len()
     }
 
     /// Whether the cover is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.bits.is_empty()
     }
 
     /// Whether `n` is covered.
     #[inline]
     pub fn contains(&self, n: NodeId) -> bool {
-        self.nodes.contains(&n)
+        self.bits.contains(n)
     }
 
     /// Inserts a node into the cover.
     #[inline]
     pub fn insert(&mut self, n: NodeId) -> bool {
-        self.nodes.insert(n)
+        self.bits.insert(n)
     }
 
-    /// Iterates over covered nodes (arbitrary order).
+    /// Iterates over covered nodes in ascending (canonical) order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().copied()
+        self.bits.iter()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes: the dense word array. Honest
+    /// for the Figs. 13/14 analogue curves — a cover costs one bit per
+    /// node-index slot up to the highest covered index, regardless of how
+    /// many nodes are covered.
     pub fn approx_bytes(&self) -> usize {
-        // hashbrown stores ~1 byte of control data plus the key per slot.
-        self.nodes.capacity() * (std::mem::size_of::<NodeId>() + 1) + 48
+        self.bits.approx_bytes() + std::mem::size_of::<usize>()
     }
 
-    /// Serializes the cover for checkpointing, in canonical (sorted) order.
-    /// Covers are only ever queried by membership and size, so the hash
-    /// set's internal order need not survive the round trip.
+    /// Serializes the cover for checkpointing, in canonical (sorted) order
+    /// — the bitset's natural iteration order, and byte-identical to what
+    /// the pre-bitset backend wrote.
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
-        let mut nodes: Vec<NodeId> = self.nodes.iter().copied().collect();
-        nodes.sort_unstable();
-        w.put_len(nodes.len());
-        for n in nodes {
+        w.put_len(self.bits.len());
+        for n in self.bits.iter() {
             w.put_u32(n.0);
         }
     }
@@ -188,21 +281,20 @@ impl CoverSet {
     /// Reconstructs a cover from [`Self::write_snapshot`] bytes.
     pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
         let len = r.get_len(4)?;
-        let mut nodes = FxHashSet::default();
-        nodes.reserve(len);
+        let mut bits = NodeBitSet::new();
         for _ in 0..len {
-            if !nodes.insert(NodeId(r.get_u32()?)) {
+            if !bits.insert(NodeId(r.get_u32()?)) {
                 return Err(codec::CodecError::Invalid("duplicate CoverSet member"));
             }
         }
-        Ok(CoverSet { nodes })
+        Ok(CoverSet { bits })
     }
 }
 
 impl FromIterator<NodeId> for CoverSet {
     fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
         CoverSet {
-            nodes: iter.into_iter().collect(),
+            bits: iter.into_iter().collect(),
         }
     }
 }
@@ -216,6 +308,7 @@ pub fn reach_count(g: &impl OutGraph, start: NodeId, scratch: &mut ReachScratch)
         visited,
         epoch,
         queue,
+        ..
     } = scratch;
     let mut head = 0;
     while head < queue.len() {
@@ -268,6 +361,7 @@ pub fn marginal_gain(
         visited,
         epoch,
         queue,
+        ..
     } = scratch;
     let mut head = 0;
     while head < queue.len() {
@@ -287,17 +381,21 @@ pub fn marginal_gain(
 
 /// Extends `cover` with `reach(start)` (pruning at already-covered nodes)
 /// and returns the number of newly covered nodes.
+///
+/// The gained-nodes buffer lives in `scratch`, so repeated calls (one per
+/// admitted candidate per threshold) allocate nothing.
 pub fn extend_cover(
     g: &impl OutGraph,
     start: NodeId,
     cover: &mut CoverSet,
     scratch: &mut ReachScratch,
 ) -> u64 {
-    let mut gained = Vec::new();
+    let mut gained = std::mem::take(&mut scratch.gained);
     let n = marginal_gain(g, start, cover, scratch, &mut gained);
-    for v in gained {
+    for &v in &gained {
         cover.insert(v);
     }
+    scratch.gained = gained;
     n
 }
 
@@ -319,6 +417,7 @@ pub fn reverse_reach_collect<G: OutGraph + InGraph>(
         visited,
         epoch,
         queue,
+        ..
     } = scratch;
     let mut head = 0;
     while head < queue.len() {
@@ -369,6 +468,7 @@ pub fn reverse_reachable_within<G: OutGraph + InGraph>(
         visited,
         epoch,
         queue,
+        ..
     } = scratch;
     let mut head = 0;
     let mut expanded = 0usize;
@@ -417,6 +517,7 @@ pub fn reverse_reach_excluding<G: OutGraph + InGraph>(
         visited,
         epoch,
         queue,
+        ..
     } = scratch;
     let mut head = 0;
     while head < queue.len() {
@@ -462,6 +563,7 @@ pub fn reverse_reach_multi_collect<G: OutGraph + InGraph>(
         visited,
         epoch,
         queue,
+        ..
     } = scratch;
     let mut head = 0;
     while head < queue.len() {
@@ -477,6 +579,250 @@ pub fn reverse_reach_multi_collect<G: OutGraph + InGraph>(
     }
     out.clear();
     out.extend_from_slice(queue);
+}
+
+/// Maximum number of lanes per bit-parallel traversal (`u64` label words).
+pub const BATCH_LANES: usize = 64;
+
+/// Collects the union of the reverse reachability sets of `sources` into
+/// `out` (cleared first), **in the exact order the per-source V̄ merge
+/// produces**: sources in slice order, each contributing its not-yet-seen
+/// ancestors in the order a full single-source reverse BFS from it would
+/// first discover them.
+///
+/// This equivalence lets one shared traversal replace a full reverse BFS
+/// per source: the seen set is always a union of *complete* ancestor sets
+/// (ancestor-closed), so every in-neighbor of a seen node is itself seen —
+/// pruning at seen nodes skips no new node, and the new nodes a pruned BFS
+/// discovers appear in exactly the same relative order as the new-node
+/// subsequence of the unpruned BFS (new nodes are only ever pushed while
+/// expanding new nodes). Total work is linear in the union's size instead
+/// of the sum of the per-source cone sizes. See DESIGN.md § Flat graph
+/// core for the full argument.
+pub fn reverse_reach_union_ordered<G: OutGraph + InGraph>(
+    g: &G,
+    sources: &[NodeId],
+    scratch: &mut ReachScratch,
+    out: &mut Vec<NodeId>,
+) {
+    let max_start = sources.iter().map(|s| s.index() + 1).max().unwrap_or(0);
+    scratch.begin(g.node_index_bound().max(max_start));
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+        ..
+    } = scratch;
+    let mut head = 0;
+    for &s in sources {
+        let slot = &mut visited[s.index()];
+        if *slot == *epoch {
+            // Subsumed source: its complete ancestor set is already seen.
+            continue;
+        }
+        *slot = *epoch;
+        queue.push(s);
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            g.for_each_in(v, |u| {
+                let slot = &mut visited[u.index()];
+                if *slot != *epoch {
+                    *slot = *epoch;
+                    queue.push(u);
+                }
+            });
+        }
+    }
+    out.clear();
+    out.extend_from_slice(queue);
+}
+
+/// 64-lane bit-parallel multi-source **reverse** reachability.
+///
+/// Lane `i` computes the union of the reverse reachability sets of
+/// `lanes[i]` (every node that reaches any of its sources, sources
+/// included). All lanes run in one label-propagation traversal: each node
+/// carries a `u64` word whose bit `i` means "this node is in lane `i`'s
+/// set", and a worklist re-expands a node whenever its word grows. `visit`
+/// is called exactly once per reached node with its final word, in
+/// first-touch order (deterministic, but callers must treat it as
+/// arbitrary).
+///
+/// `skip(v, u)` returns a mask of lanes that must **not** propagate across
+/// the reverse hop `v ← u`; pass `|_, _| 0` for plain reachability. The
+/// incremental spread engine uses it to exclude a sink's fresh direct
+/// in-edges from the old-ancestor side of the `A ∖ B` patch.
+///
+/// # Panics
+/// Panics if more than [`BATCH_LANES`] lanes are given.
+pub fn reverse_reach_batch64<G: OutGraph + InGraph>(
+    g: &G,
+    lanes: &[&[NodeId]],
+    mut skip: impl FnMut(NodeId, NodeId) -> u64,
+    scratch: &mut ReachScratch,
+    mut visit: impl FnMut(NodeId, u64),
+) {
+    assert!(lanes.len() <= BATCH_LANES, "at most 64 lanes per traversal");
+    let max_start = lanes
+        .iter()
+        .flat_map(|l| l.iter())
+        .map(|s| s.index() + 1)
+        .max()
+        .unwrap_or(0);
+    scratch.begin_batch(g.node_index_bound().max(max_start));
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+        labels,
+        stamp2,
+        epoch2,
+        touched,
+        ..
+    } = scratch;
+    for (i, lane) in lanes.iter().enumerate() {
+        let bit = 1u64 << i;
+        for &s in *lane {
+            let slot = &mut visited[s.index()];
+            if *slot != *epoch {
+                *slot = *epoch;
+                labels[s.index()] = 0;
+                touched.push(s);
+            }
+            labels[s.index()] |= bit;
+            if stamp2[s.index()] != *epoch2 {
+                stamp2[s.index()] = *epoch2;
+                queue.push(s);
+            }
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        stamp2[v.index()] = 0;
+        let lv = labels[v.index()];
+        g.for_each_in(v, |u| {
+            let prop = lv & !skip(v, u);
+            if prop == 0 {
+                return;
+            }
+            let slot = &mut visited[u.index()];
+            if *slot != *epoch {
+                *slot = *epoch;
+                labels[u.index()] = 0;
+                touched.push(u);
+            }
+            let word = &mut labels[u.index()];
+            let grown = *word | prop;
+            if grown != *word {
+                *word = grown;
+                if stamp2[u.index()] != *epoch2 {
+                    stamp2[u.index()] = *epoch2;
+                    queue.push(u);
+                }
+            }
+        });
+        // A node can re-enter the worklist when its word grows again, so
+        // the drained prefix is reclaimed once it dominates the queue.
+        if head >= 1024 && head * 2 >= queue.len() {
+            queue.drain(..head);
+            head = 0;
+        }
+    }
+    for &n in touched.iter() {
+        visit(n, labels[n.index()]);
+    }
+}
+
+/// 64-lane bit-parallel **forward** reachability counting: writes
+/// `counts[i] = |reach(sources[i])|` (the singleton influence spread of
+/// Definition 3) for up to 64 sources in one label-propagation traversal.
+///
+/// The values are exactly what [`reach_count`] returns per source — counts
+/// are order-independent, so this is the drop-in batched backend for
+/// `SpreadMemo` rebuild sweeps, where consecutive dirty sources share most
+/// of their downstream cones and a per-source BFS re-walks the shared part
+/// over and over.
+///
+/// # Panics
+/// Panics if `sources` and `counts` differ in length or exceed
+/// [`BATCH_LANES`].
+pub fn reach_count_batch64<G: OutGraph>(
+    g: &G,
+    sources: &[NodeId],
+    scratch: &mut ReachScratch,
+    counts: &mut [u64],
+) {
+    assert!(
+        sources.len() <= BATCH_LANES,
+        "at most 64 lanes per traversal"
+    );
+    assert_eq!(sources.len(), counts.len());
+    counts.fill(0);
+    let max_start = sources.iter().map(|s| s.index() + 1).max().unwrap_or(0);
+    scratch.begin_batch(g.node_index_bound().max(max_start));
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+        labels,
+        stamp2,
+        epoch2,
+        ..
+    } = scratch;
+    let tally = |counts: &mut [u64], mut added: u64| {
+        while added != 0 {
+            counts[added.trailing_zeros() as usize] += 1;
+            added &= added - 1;
+        }
+    };
+    for (i, &s) in sources.iter().enumerate() {
+        let bit = 1u64 << i;
+        let slot = &mut visited[s.index()];
+        if *slot != *epoch {
+            *slot = *epoch;
+            labels[s.index()] = 0;
+        }
+        let word = &mut labels[s.index()];
+        if *word & bit == 0 {
+            *word |= bit;
+            tally(counts, bit);
+        }
+        if stamp2[s.index()] != *epoch2 {
+            stamp2[s.index()] = *epoch2;
+            queue.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        stamp2[v.index()] = 0;
+        let lv = labels[v.index()];
+        g.for_each_out(v, |u| {
+            let slot = &mut visited[u.index()];
+            if *slot != *epoch {
+                *slot = *epoch;
+                labels[u.index()] = 0;
+            }
+            let word = &mut labels[u.index()];
+            let grown = *word | lv;
+            if grown != *word {
+                tally(counts, grown & !*word);
+                *word = grown;
+                if stamp2[u.index()] != *epoch2 {
+                    stamp2[u.index()] = *epoch2;
+                    queue.push(u);
+                }
+            }
+        });
+        if head >= 1024 && head * 2 >= queue.len() {
+            queue.drain(..head);
+            head = 0;
+        }
+    }
 }
 
 /// Shared, cheaply clonable counters describing what the incremental
@@ -855,6 +1201,55 @@ impl SpreadMemo {
         self.bbuf = b;
     }
 
+    /// Applies the exact deltas of many pre-existing sinks with two lanes
+    /// per sink in bit-parallel reverse traversals ([`BATCH_LANES`]` / 2`
+    /// sinks per traversal): lane `2i` is sink `i`'s `A` side (everything
+    /// reaching a fresh in-edge source) and lane `2i + 1` its `B` side
+    /// (everything reaching the sink without the fresh direct hops, via
+    /// the `skip` mask). A node gains `+1` per sink whose `A` bit is set
+    /// and `B` bit clear — identical per-node totals to calling
+    /// [`Self::apply_old_sink_delta`] once per sink, in two traversals per
+    /// 32 sinks instead of two full reverse BFSs per sink.
+    pub fn apply_old_sink_deltas_batch64<G: OutGraph + InGraph>(
+        &mut self,
+        g: &G,
+        sinks: &[(NodeId, Vec<NodeId>)],
+        scratch: &mut ReachScratch,
+    ) {
+        for chunk in sinks.chunks(BATCH_LANES / 2) {
+            let mut lanes: Vec<&[NodeId]> = Vec::with_capacity(chunk.len() * 2);
+            let mut sink_nodes: Vec<NodeId> = Vec::with_capacity(chunk.len());
+            // O(1) pre-check so the overwhelmingly common non-sink node
+            // costs one word probe per expanded edge, not a chunk scan.
+            let mut sink_bits = NodeBitSet::new();
+            for (sink, fresh) in chunk {
+                lanes.push(fresh.as_slice());
+                lanes.push(std::slice::from_ref(sink));
+                sink_nodes.push(*sink);
+                sink_bits.insert(*sink);
+            }
+            let skip = |v: NodeId, u: NodeId| -> u64 {
+                // Lane 2i+1 must not walk sink_i's fresh direct in-edges.
+                if !sink_bits.contains(v) {
+                    return 0;
+                }
+                match sink_nodes.iter().position(|&s| s == v) {
+                    Some(i) if chunk[i].1.contains(&u) => 1u64 << (2 * i + 1),
+                    _ => 0,
+                }
+            };
+            let deltas = &mut *self;
+            reverse_reach_batch64(g, &lanes, skip, scratch, |n, word| {
+                // Bits 2i (A) without their 2i+1 (B) partner.
+                let gained = word & !(word >> 1) & 0x5555_5555_5555_5555;
+                let k = gained.count_ones();
+                if k > 0 {
+                    deltas.add_delta_n(n, k);
+                }
+            });
+        }
+    }
+
     /// The memoised spread of `n`, if stored and clean this batch.
     #[inline]
     pub fn lookup(&self, n: NodeId) -> Option<u64> {
@@ -1203,6 +1598,178 @@ mod tests {
         assert_eq!(out.len(), 3);
         reverse_reach_multi_collect(&g, &[], &mut s, &mut out);
         assert!(out.is_empty());
+    }
+
+    /// Deterministic random digraph for differential traversal tests.
+    fn random_graph(seed: u64, nodes: u32, edges: usize) -> AdnGraph {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut rnd = move |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as u32) % m
+        };
+        let mut g = AdnGraph::new();
+        for _ in 0..edges {
+            let (u, v) = (rnd(nodes), rnd(nodes));
+            if u != v {
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn union_ordered_matches_per_source_full_bfs_merge() {
+        // The shared-sweep fast path must reproduce, node for node in
+        // order, what the per-source full reverse BFS + dedup merge (the
+        // V̄_t construction both spread modes replay) produces.
+        for seed in 0..30u64 {
+            let g = random_graph(seed, 24, 40);
+            let mut state = seed.wrapping_add(7) | 1;
+            let mut rnd = move |m: u32| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as u32) % m
+            };
+            let sources: Vec<NodeId> = (0..1 + rnd(8)).map(|_| NodeId(rnd(24))).collect();
+            let mut s = ReachScratch::new();
+            // Reference: full BFS per source, merged with dedup in order.
+            let mut reference = Vec::new();
+            let mut seen = crate::hash::FxHashSet::default();
+            let mut one = Vec::new();
+            for &src in &sources {
+                reverse_reach_collect(&g, src, &mut s, &mut one);
+                for &a in &one {
+                    if seen.insert(a) {
+                        reference.push(a);
+                    }
+                }
+            }
+            let mut got = Vec::new();
+            reverse_reach_union_ordered(&g, &sources, &mut s, &mut got);
+            assert_eq!(got, reference, "seed {seed} sources {sources:?}");
+        }
+    }
+
+    #[test]
+    fn reach_count_batch64_matches_scalar_counts() {
+        for seed in 0..20u64 {
+            let g = random_graph(seed, 40, 90);
+            let sources: Vec<NodeId> = (0..40).map(NodeId).collect();
+            let mut s = ReachScratch::new();
+            for chunk in sources.chunks(BATCH_LANES) {
+                let mut counts = vec![0u64; chunk.len()];
+                reach_count_batch64(&g, chunk, &mut s, &mut counts);
+                for (&src, &got) in chunk.iter().zip(&counts) {
+                    assert_eq!(got, reach_count(&g, src, &mut s), "seed {seed} src {src:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reach_count_batch64_handles_lane_edges() {
+        let g = line_graph(4);
+        let mut s = ReachScratch::new();
+        // Empty batch is a no-op.
+        reach_count_batch64(&g, &[], &mut s, &mut []);
+        // Duplicate sources occupy independent lanes with equal counts; a
+        // 64-lane full batch exercises the top bit.
+        let sources: Vec<NodeId> = (0..64).map(|i| NodeId(i % 4)).collect();
+        let mut counts = vec![0u64; 64];
+        reach_count_batch64(&g, &sources, &mut s, &mut counts);
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(c, 4 - (i as u64 % 4));
+        }
+    }
+
+    #[test]
+    fn reverse_batch64_lanes_match_multi_collect() {
+        for seed in 0..20u64 {
+            let g = random_graph(seed.wrapping_add(100), 30, 55);
+            let lane_sources: Vec<Vec<NodeId>> = (0..10)
+                .map(|i| {
+                    (0..1 + (seed + i) % 3)
+                        .map(|j| NodeId(((seed * 7 + i * 5 + j * 11) % 30) as u32))
+                        .collect()
+                })
+                .collect();
+            let lanes: Vec<&[NodeId]> = lane_sources.iter().map(Vec::as_slice).collect();
+            let mut s = ReachScratch::new();
+            let mut per_node: Vec<u64> = vec![0; 64];
+            reverse_reach_batch64(
+                &g,
+                &lanes,
+                |_, _| 0,
+                &mut s,
+                |n, mask| {
+                    per_node[n.index()] = mask;
+                },
+            );
+            let mut expect = Vec::new();
+            for (i, srcs) in lane_sources.iter().enumerate() {
+                reverse_reach_multi_collect(&g, srcs, &mut s, &mut expect);
+                for n in 0..30u32 {
+                    let in_lane = expect.contains(&NodeId(n));
+                    let bit = per_node[n as usize] >> i & 1 == 1;
+                    assert_eq!(bit, in_lane, "seed {seed} lane {i} node {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_old_sink_deltas_match_sequential_patch() {
+        for seed in 0..15u64 {
+            let mut g = random_graph(seed.wrapping_add(500), 25, 40);
+            // Pick some "sinks" and attach fresh in-edges to them.
+            let mut state = seed | 1;
+            let mut rnd = move |m: u32| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as u32) % m
+            };
+            let mut sinks: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+            for i in 0..1 + rnd(4) {
+                let sink = NodeId(25 + i);
+                let fresh: Vec<NodeId> = (0..1 + rnd(3)).map(|_| NodeId(rnd(25))).collect();
+                for &f in &fresh {
+                    g.add_edge(f, sink);
+                }
+                sinks.push((sink, fresh));
+            }
+            let bound = g.node_index_bound();
+            let mut s = ReachScratch::new();
+            let mut seq = SpreadMemo::new();
+            seq.begin_batch(bound);
+            for (sink, fresh) in &sinks {
+                seq.apply_old_sink_delta(&g, *sink, fresh, &mut s);
+            }
+            let mut batched = SpreadMemo::new();
+            batched.begin_batch(bound);
+            batched.apply_old_sink_deltas_batch64(&g, &sinks, &mut s);
+            for n in 0..bound as u32 {
+                assert_eq!(
+                    batched.delta_of(NodeId(n)),
+                    seq.delta_of(NodeId(n)),
+                    "seed {seed} node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch64_epoch_wrap_cannot_alias_marks() {
+        let g = line_graph(5);
+        let mut s = ReachScratch::new();
+        s.force_epochs_near_wrap();
+        let sources = [NodeId(0), NodeId(2)];
+        for _ in 0..5 {
+            // Repeated calls across the wrap keep answers exact.
+            let mut counts = [0u64; 2];
+            reach_count_batch64(&g, &sources, &mut s, &mut counts);
+            assert_eq!(counts, [5, 3]);
+            let mut out = Vec::new();
+            reverse_reach_union_ordered(&g, &[NodeId(4)], &mut s, &mut out);
+            assert_eq!(out.len(), 5);
+        }
     }
 
     #[test]

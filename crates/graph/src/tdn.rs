@@ -12,6 +12,7 @@
 //! once at least half of a list is dead, keeping amortized O(1) cost per
 //! expired edge.
 
+use crate::arena::AdjPool;
 use crate::epoch::EpochSet;
 use crate::hash::FxHashMap;
 use crate::indexed_set::IndexedSet;
@@ -22,38 +23,50 @@ use std::collections::BTreeMap;
 /// An adjacency entry: target node plus the edge instance's expiry time.
 type Entry = (NodeId, Time);
 
-/// One direction of lazily-compacted adjacency.
+/// One direction of lazily-compacted adjacency: an [`AdjPool`] arena of
+/// `(node, expiry)` entries plus a per-node dead counter.
+///
+/// Entries are removed lazily — traversals skip dead ones — and a list is
+/// compacted (order-preserving `retain` inside its arena block, shrinking
+/// the block when most of it died) once at least half its entries are
+/// dead. Compaction is deferred to the end of the advance that evicted the
+/// entries (see [`TdnGraph::advance_to_with`]): only once *every* bucket
+/// `≤ t` has drained does the dead counter exactly equal the number of
+/// dead entries, making `retain` safe. Order preservation matters: entry
+/// order drives BFS traversal order, which the determinism and checkpoint
+/// contracts pin verbatim (`AdjPool::swap_remove` would be O(1) but
+/// reorders).
 #[derive(Default, Clone)]
-struct AdjList {
-    entries: Vec<Entry>,
-    dead: u32,
+struct AdjSide {
+    pool: AdjPool<Entry>,
+    dead: Vec<u32>,
 }
 
-impl AdjList {
-    /// Number of live entries.
-    fn live(&self) -> usize {
-        self.entries.len() - self.dead as usize
+impl AdjSide {
+    /// Number of live entries in node `n`'s list.
+    fn live(&self, n: usize) -> usize {
+        self.pool.list_len(n) - self.dead[n] as usize
     }
 
-    fn push(&mut self, e: Entry) {
-        self.entries.push(e);
-    }
-
-    /// Notes one expired entry. Compaction is deferred to the end of the
-    /// advance that evicted it (see [`TdnGraph::advance_to_with`]): only
-    /// once *every* bucket `≤ t` has drained does the dead counter exactly
-    /// equal the number of dead entries, making `retain` safe.
-    fn note_dead(&mut self) {
-        self.dead += 1;
-    }
-
-    /// Compacts if at least half the entries are dead. Must only run when
-    /// all entries with `exp ≤ now` have been evicted (dead counter exact).
-    fn maybe_compact(&mut self, now: Time) {
-        if self.dead as usize * 2 >= self.entries.len() {
-            self.entries.retain(|&(_, exp)| exp > now);
-            self.dead = 0;
+    fn ensure_node_bound(&mut self, bound: usize) {
+        self.pool.ensure_node_bound(bound);
+        if self.dead.len() < bound {
+            self.dead.resize(bound, 0);
         }
+    }
+
+    /// Compacts node `n` if at least half its entries are dead. Must only
+    /// run when all entries with `exp ≤ now` have been evicted (dead
+    /// counter exact).
+    fn maybe_compact(&mut self, n: usize, now: Time) {
+        if self.dead[n] as usize * 2 >= self.pool.list_len(n) {
+            self.pool.retain(n, |&(_, exp)| exp > now);
+            self.dead[n] = 0;
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.pool.approx_bytes() + self.dead.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -79,8 +92,8 @@ impl LiveEdge {
 #[derive(Default, Clone)]
 pub struct TdnGraph {
     now: Time,
-    out: Vec<AdjList>,
-    inc: Vec<AdjList>,
+    out: AdjSide,
+    inc: AdjSide,
     /// live in+out degree per node index (edge instances, incl. multi-edges).
     degree: Vec<u32>,
     /// expiry time → edges expiring at that time.
@@ -186,8 +199,8 @@ impl TdnGraph {
         // Compact once per touched list, after ALL buckets ≤ t are drained
         // (dead counters are exact only then).
         for &n in touched.members() {
-            self.out[n.index()].maybe_compact(t);
-            self.inc[n.index()].maybe_compact(t);
+            self.out.maybe_compact(n.index(), t);
+            self.inc.maybe_compact(n.index(), t);
         }
         self.touched = touched;
     }
@@ -238,8 +251,8 @@ impl TdnGraph {
                 self.pair_count.remove(&key);
             }
         }
-        self.out[u.index()].note_dead();
-        self.inc[v.index()].note_dead();
+        self.out.dead[u.index()] += 1;
+        self.inc.dead[v.index()] += 1;
         self.live_edges -= 1;
         for n in [u, v] {
             let d = &mut self.degree[n.index()];
@@ -265,17 +278,17 @@ impl TdnGraph {
             self.now + lifetime as Time
         };
         let bound = u.index().max(v.index()) + 1;
-        if self.out.len() < bound {
-            self.out.resize_with(bound, AdjList::default);
-            self.inc.resize_with(bound, AdjList::default);
+        self.out.ensure_node_bound(bound);
+        self.inc.ensure_node_bound(bound);
+        if self.degree.len() < bound {
             self.degree.resize(bound, 0);
         }
         if self.dirty_enabled {
             self.dirty.insert(u);
             self.dirty.insert(v);
         }
-        self.out[u.index()].push((v, expiry));
-        self.inc[v.index()].push((u, expiry));
+        self.out.pool.push(u.index(), (v, expiry));
+        self.inc.pool.push(v.index(), (u, expiry));
         *self.pair_count.entry(pack_pair(u, v)).or_insert(0) += 1;
         if expiry != Time::MAX {
             self.buckets.entry(expiry).or_default().push((u, v));
@@ -320,11 +333,9 @@ impl TdnGraph {
     /// Distinct live in-neighbors of `v`, deduplicated, with multiplicity.
     pub fn in_neighbors_distinct(&self, v: NodeId) -> Vec<(NodeId, u32)> {
         let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
-        if let Some(list) = self.inc.get(v.index()) {
-            for &(u, exp) in &list.entries {
-                if exp > self.now {
-                    *counts.entry(u).or_insert(0) += 1;
-                }
+        for &(u, exp) in self.inc.pool.as_slice(v.index()) {
+            if exp > self.now {
+                *counts.entry(u).or_insert(0) += 1;
             }
         }
         let mut v: Vec<_> = counts.into_iter().collect();
@@ -334,17 +345,23 @@ impl TdnGraph {
 
     /// Live out-degree (edge instances) of `u`.
     pub fn out_degree_live(&self, u: NodeId) -> usize {
-        self.out.get(u.index()).map_or(0, |l| {
-            l.entries.iter().filter(|&&(_, exp)| exp > self.now).count()
-        })
+        self.out
+            .pool
+            .as_slice(u.index())
+            .iter()
+            .filter(|&&(_, exp)| exp > self.now)
+            .count()
     }
 
     /// Live in-degree (edge instances) of `v` — the `w(R)` ingredient of
     /// TIM+'s KPT estimation.
     pub fn in_degree_live(&self, v: NodeId) -> usize {
-        self.inc.get(v.index()).map_or(0, |l| {
-            l.entries.iter().filter(|&&(_, exp)| exp > self.now).count()
-        })
+        self.inc
+            .pool
+            .as_slice(v.index())
+            .iter()
+            .filter(|&&(_, exp)| exp > self.now)
+            .count()
     }
 
     /// Serializes the live graph for checkpointing.
@@ -357,15 +374,16 @@ impl TdnGraph {
     /// at the same future steps as in an uninterrupted run.
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
         w.put_u64(self.now);
-        let put_adj = |w: &mut codec::Writer, lists: &[AdjList]| {
-            w.put_len(lists.len());
-            for l in lists {
-                w.put_len(l.entries.len());
-                for &(n, exp) in &l.entries {
+        let put_adj = |w: &mut codec::Writer, side: &AdjSide| {
+            w.put_len(side.pool.node_bound());
+            for n in 0..side.pool.node_bound() {
+                let list = side.pool.as_slice(n);
+                w.put_len(list.len());
+                for &(n, exp) in list {
                     w.put_u32(n.0);
                     w.put_u64(exp);
                 }
-                w.put_u32(l.dead);
+                w.put_u32(side.dead[n]);
             }
         };
         put_adj(w, &self.out);
@@ -406,26 +424,26 @@ impl TdnGraph {
     /// keys) so a corrupted snapshot surfaces as a typed error.
     pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
         let now = r.get_u64()?;
-        let get_adj = |r: &mut codec::Reader<'_>| -> codec::Result<Vec<AdjList>> {
+        let get_adj = |r: &mut codec::Reader<'_>| -> codec::Result<AdjSide> {
             let n = r.get_len(8)?;
-            let mut lists = Vec::with_capacity(n);
-            for _ in 0..n {
+            let mut side = AdjSide::default();
+            side.ensure_node_bound(n);
+            for i in 0..n {
                 let len = r.get_len(12)?;
-                let mut entries = Vec::with_capacity(len);
                 for _ in 0..len {
                     let node = NodeId(r.get_u32()?);
                     let exp = r.get_u64()?;
-                    entries.push((node, exp));
+                    side.pool.push(i, (node, exp));
                 }
                 let dead = r.get_u32()?;
-                if dead as usize > entries.len() {
+                if dead as usize > len {
                     return Err(codec::CodecError::Invalid(
                         "TdnGraph dead counter exceeds adjacency length",
                     ));
                 }
-                lists.push(AdjList { entries, dead });
+                side.dead[i] = dead;
             }
-            Ok(lists)
+            Ok(side)
         };
         let out = get_adj(r)?;
         let inc = get_adj(r)?;
@@ -434,7 +452,8 @@ impl TdnGraph {
         for _ in 0..n_deg {
             degree.push(r.get_u32()?);
         }
-        if out.len() != inc.len() || out.len() != degree.len() {
+        let bound = out.pool.node_bound();
+        if bound != inc.pool.node_bound() || bound != degree.len() {
             return Err(codec::CodecError::Invalid(
                 "TdnGraph per-node vectors disagree on node bound",
             ));
@@ -475,7 +494,7 @@ impl TdnGraph {
         let live_nodes = IndexedSet::read_snapshot(r)?;
         let live_edges = r.get_u64()?;
         let dirty_enabled = r.get_bool()?;
-        let dirty = EpochSet::read_snapshot(r, out.len())?;
+        let dirty = EpochSet::read_snapshot(r, bound)?;
         if !dirty_enabled && !dirty.is_empty() {
             return Err(codec::CodecError::Invalid(
                 "TdnGraph dirty set present with tracking disabled",
@@ -487,7 +506,6 @@ impl TdnGraph {
         // (eviction, compaction) indexes and decrements based on exactly
         // these invariants. Any disagreement is a typed error here, not a
         // panic later.
-        let bound = out.len();
         let mut live_out = vec![0u32; bound];
         let mut live_in = vec![0u32; bound];
         let mut live_pairs: FxHashMap<u64, u32> = FxHashMap::default();
@@ -495,9 +513,10 @@ impl TdnGraph {
         // buckets must consume it exactly.
         let mut expiring: FxHashMap<(u64, Time), i64> = FxHashMap::default();
         let mut recount = 0u64;
-        for (u, list) in out.iter().enumerate() {
+        #[allow(clippy::needless_range_loop)]
+        for u in 0..bound {
             let mut dead_recount = 0u32;
-            for &(v, exp) in &list.entries {
+            for &(v, exp) in out.pool.as_slice(u) {
                 if v.index() >= bound {
                     return Err(codec::CodecError::Invalid(
                         "TdnGraph adjacency target outside node bound",
@@ -516,7 +535,7 @@ impl TdnGraph {
                     dead_recount += 1;
                 }
             }
-            if dead_recount != list.dead {
+            if dead_recount != out.dead[u] {
                 return Err(codec::CodecError::Invalid(
                     "TdnGraph dead counter disagrees with entry recount",
                 ));
@@ -531,9 +550,9 @@ impl TdnGraph {
         // an exact per-list dead count too.
         {
             let mut rev_pairs: FxHashMap<u64, u32> = FxHashMap::default();
-            for (v, list) in inc.iter().enumerate() {
+            for v in 0..bound {
                 let mut dead_recount = 0u32;
-                for &(u, exp) in &list.entries {
+                for &(u, exp) in inc.pool.as_slice(v) {
                     if u.index() >= bound {
                         return Err(codec::CodecError::Invalid(
                             "TdnGraph reverse adjacency source outside node bound",
@@ -545,7 +564,7 @@ impl TdnGraph {
                         dead_recount += 1;
                     }
                 }
-                if dead_recount != list.dead {
+                if dead_recount != inc.dead[v] {
                     return Err(codec::CodecError::Invalid(
                         "TdnGraph reverse dead counter disagrees with entry recount",
                     ));
@@ -626,34 +645,46 @@ impl TdnGraph {
 
     /// Approximate heap footprint in bytes.
     pub fn approx_bytes(&self) -> usize {
-        let adj: usize = self
-            .out
-            .iter()
-            .chain(self.inc.iter())
-            .map(|l| l.entries.capacity() * std::mem::size_of::<Entry>() + 32)
-            .sum();
         let buckets: usize = self
             .buckets
             .values()
             .map(|v| v.capacity() * std::mem::size_of::<(NodeId, NodeId)>() + 48)
             .sum();
-        adj + buckets
+        self.out.approx_bytes()
+            + self.inc.approx_bytes()
+            + buckets
             + self.pair_count.capacity() * 12
             + self.degree.capacity() * 4
             + self.dirty.approx_bytes()
             + self.touched.approx_bytes()
     }
 
+    /// Combined adjacency-arena occupancy: `(buffer_slots,
+    /// recycled_blocks)` summed over both directions — the block-reuse
+    /// observable for expiry-storm tests.
+    #[doc(hidden)]
+    pub fn arena_stats(&self) -> (usize, usize) {
+        let (ob, of) = self.out.pool.arena_stats();
+        let (ib, inf) = self.inc.pool.arena_stats();
+        (ob + ib, of + inf)
+    }
+
     /// Debug-only check that bookkeeping matches a from-scratch recount.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        let recount: u64 = self
-            .out
-            .iter()
-            .map(|l| l.entries.iter().filter(|&&(_, e)| e > self.now).count() as u64)
+        let bound = self.out.pool.node_bound();
+        let recount: u64 = (0..bound)
+            .map(|n| {
+                self.out
+                    .pool
+                    .as_slice(n)
+                    .iter()
+                    .filter(|&&(_, e)| e > self.now)
+                    .count() as u64
+            })
             .sum();
         assert_eq!(recount, self.live_edges, "live edge count drifted");
-        let live_tracked: usize = self.out.iter().map(AdjList::live).sum();
+        let live_tracked: usize = (0..bound).map(|n| self.out.live(n)).sum();
         assert_eq!(
             live_tracked, self.live_edges as usize,
             "per-list live bookkeeping drifted"
@@ -680,18 +711,16 @@ impl std::fmt::Debug for TdnGraph {
 impl OutGraph for TdnGraph {
     #[inline]
     fn for_each_out(&self, u: NodeId, mut f: impl FnMut(NodeId)) {
-        if let Some(list) = self.out.get(u.index()) {
-            for &(v, exp) in &list.entries {
-                if exp > self.now {
-                    f(v);
-                }
+        for &(v, exp) in self.out.pool.as_slice(u.index()) {
+            if exp > self.now {
+                f(v);
             }
         }
     }
 
     #[inline]
     fn node_index_bound(&self) -> usize {
-        self.out.len()
+        self.out.pool.node_bound()
     }
 
     #[inline]
@@ -703,11 +732,9 @@ impl OutGraph for TdnGraph {
 impl InGraph for TdnGraph {
     #[inline]
     fn for_each_in(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
-        if let Some(list) = self.inc.get(v.index()) {
-            for &(u, exp) in &list.entries {
-                if exp > self.now {
-                    f(u);
-                }
+        for &(u, exp) in self.inc.pool.as_slice(v.index()) {
+            if exp > self.now {
+                f(u);
             }
         }
     }

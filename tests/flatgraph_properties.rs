@@ -1,0 +1,185 @@
+//! Property suite for the flat graph core (PR 5): epoch wrap-around in the
+//! stamped scratch structures, adjacency-arena block reuse under
+//! same-bucket expiry storms, and traversal-backend bit-identity — all
+//! exercised at both [`SpreadMode`]s and `TDN_THREADS` ∈ {1, 4}.
+
+use proptest::prelude::*;
+use tdn::graph::{reach_count, AdjPool, EpochSet, NodeId as GNodeId, ReachScratch, TdnGraph};
+use tdn::prelude::*;
+use tdn_core::TraversalKind;
+
+/// One scheduled edge: (step, src, dst, lifetime).
+type Ev = (u8, u8, u8, u8);
+
+/// Storm-shaped schedules: many edges share one lifetime class, so whole
+/// adjacency lists die in the same expiry bucket and the arena's
+/// shrink-and-recycle path runs constantly.
+fn storm_schedule() -> impl Strategy<Value = Vec<Ev>> {
+    prop::collection::vec(
+        (
+            0u8..12,
+            0u8..10,
+            0u8..10,
+            (0u8..4).prop_map(|x| if x == 3 { 4 } else { 1 }),
+        ),
+        1..80,
+    )
+}
+
+fn batch_at(evs: &[Ev], t: Time) -> Vec<TimedEdge> {
+    evs.iter()
+        .filter(|e| e.0 as Time == t && e.1 != e.2)
+        .map(|e| TimedEdge::new(e.1 as u32, e.2 as u32, e.3 as Lifetime))
+        .collect()
+}
+
+fn run_hist(
+    evs: &[Ev],
+    mode: SpreadMode,
+    traversal: TraversalKind,
+    threads: usize,
+) -> (Vec<Solution>, u64) {
+    tdn::parallel::with_threads(threads, || {
+        let mut tracker = HistApprox::new(&TrackerConfig::new(2, 0.2, 6))
+            .with_spread_mode(mode)
+            .with_traversal(traversal);
+        let horizon = evs.iter().map(|e| e.0).max().unwrap_or(0) as Time;
+        let mut sols = Vec::new();
+        for t in 0..=horizon {
+            sols.push(tracker.step(t, &batch_at(evs, t)));
+        }
+        (sols, tracker.oracle_calls())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under expiry storms, every (mode, backend, thread-count) cell must
+    /// produce the same solutions and oracle tallies — the flat core and
+    /// the 64-lane backend change how answers are computed, never what
+    /// they are.
+    #[test]
+    fn storm_streams_are_backend_and_thread_invariant(evs in storm_schedule()) {
+        let reference = run_hist(&evs, SpreadMode::FullRecompute, TraversalKind::Scalar, 1);
+        for mode in [SpreadMode::Incremental, SpreadMode::FullRecompute] {
+            for traversal in [TraversalKind::Batch64, TraversalKind::Scalar] {
+                for threads in [1usize, 4] {
+                    let got = run_hist(&evs, mode, traversal, threads);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "mode {:?} traversal {:?} threads {}", mode, traversal, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// Forced epoch wrap-around in `ReachScratch` (both the plain visited
+    /// epoch and the bit-parallel worklist epoch) must not alias marks:
+    /// traversals right after a wrap agree with a fresh scratch.
+    #[test]
+    fn reach_scratch_epoch_wrap_is_transparent(
+        edges in prop::collection::vec((0u32..24, 0u32..24), 1..60),
+    ) {
+        let mut g = tdn::graph::AdnGraph::new();
+        for &(u, v) in &edges {
+            if u != v {
+                g.add_edge(GNodeId(u), GNodeId(v));
+            }
+        }
+        let mut wrapped = ReachScratch::new();
+        wrapped.force_epochs_near_wrap();
+        let mut fresh = ReachScratch::new();
+        for round in 0..4 {
+            for n in 0..24u32 {
+                prop_assert_eq!(
+                    reach_count(&g, GNodeId(n), &mut wrapped),
+                    reach_count(&g, GNodeId(n), &mut fresh),
+                    "round {} node {}", round, n
+                );
+            }
+            let sources: Vec<GNodeId> = (0..24).map(GNodeId).collect();
+            let mut batch_counts = vec![0u64; 24];
+            tdn::graph::reach_count_batch64(&g, &sources, &mut wrapped, &mut batch_counts);
+            for (n, &c) in batch_counts.iter().enumerate() {
+                prop_assert_eq!(c, reach_count(&g, GNodeId(n as u32), &mut fresh));
+            }
+        }
+    }
+
+    /// `EpochSet` clears spanning the wrap boundary never resurrect or
+    /// lose members.
+    #[test]
+    fn epoch_set_wrap_round_trips(members in prop::collection::vec(0u32..50, 0..30)) {
+        let mut set = EpochSet::new();
+        // Park the epoch near the wrap by churning clears.
+        for m in &members {
+            set.insert(GNodeId(*m));
+        }
+        for _ in 0..3 {
+            set.clear();
+            prop_assert!(set.is_empty());
+            let mut expect: Vec<u32> = Vec::new();
+            for m in &members {
+                if set.insert(GNodeId(*m)) {
+                    expect.push(*m);
+                }
+            }
+            let got: Vec<u32> = set.members().iter().map(|n| n.0).collect();
+            prop_assert_eq!(got, expect, "insertion order survives clear cycles");
+        }
+    }
+}
+
+/// Same-bucket expiry storms must recycle arena blocks: after the first
+/// full fill/drain cycle establishes peak occupancy, subsequent identical
+/// cycles draw every block from the free lists instead of growing the
+/// arena buffer.
+#[test]
+fn tdn_expiry_storms_reuse_arena_blocks() {
+    let mut g = TdnGraph::new();
+    let mut t: Time = 0;
+    let mut peak = None;
+    for cycle in 0..12 {
+        // 100 edges out of one hub, all dying at the same tick.
+        for i in 1..=100u32 {
+            g.add_edge(GNodeId(0), GNodeId(i), 1);
+        }
+        t += 1;
+        g.advance_to(t);
+        assert_eq!(g.edge_count(), 0);
+        g.check_invariants();
+        let (slots, _) = g.arena_stats();
+        match peak {
+            None => peak = Some(slots),
+            Some(p) => assert_eq!(slots, p, "cycle {cycle} grew the arena"),
+        }
+    }
+    let (_, recycled) = g.arena_stats();
+    assert!(recycled > 0, "drained blocks must sit on the free lists");
+}
+
+/// The raw pool primitive honors the same contract for the unordered O(1)
+/// eviction path.
+#[test]
+fn adj_pool_swap_remove_storm_reuses_blocks() {
+    let mut pool: AdjPool<u32> = AdjPool::new();
+    for i in 0..128 {
+        pool.push(0, i);
+    }
+    while pool.list_len(0) > 0 {
+        pool.swap_remove(0, 0);
+    }
+    let (peak, _) = pool.arena_stats();
+    for _ in 0..8 {
+        for i in 0..128 {
+            pool.push(0, i);
+        }
+        while pool.list_len(0) > 0 {
+            pool.swap_remove(0, pool.list_len(0) - 1);
+        }
+        let (now, _) = pool.arena_stats();
+        assert_eq!(now, peak, "swap-remove storm grew the arena");
+    }
+}
