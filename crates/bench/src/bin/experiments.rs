@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <target>... [--full] [--out DIR] [--checkpoint-every N]
 //!   targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!            ablations throughput restore hotpath flatgraph all
+//!            ablations throughput restore hotpath flatgraph scale all
 //!   --full               paper-scale sweeps (default: quick)
 //!   --out                output directory for CSVs (default: results)
 //!   --checkpoint-every   steps between checkpoints for the `restore`
@@ -21,7 +21,8 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tdn_bench::experiments::{
-    ablations, fig11_12, fig13_14, fig7, fig8_10, flatgraph, hotpath, restore, table1, throughput,
+    ablations, fig11_12, fig13_14, fig7, fig8_10, flatgraph, hotpath, restore, scale as scale_exp,
+    table1, throughput,
 };
 use tdn_bench::Scale;
 
@@ -29,7 +30,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <target>... [--full] [--out DIR] [--checkpoint-every N]\n\
          targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations \
-         throughput restore hotpath all"
+         throughput restore hotpath flatgraph scale all"
     );
     ExitCode::FAILURE
 }
@@ -57,7 +58,8 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             t @ ("table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
-            | "fig14" | "ablations" | "throughput" | "restore" | "hotpath" | "flatgraph") => {
+            | "fig14" | "ablations" | "throughput" | "restore" | "hotpath" | "flatgraph"
+            | "scale") => {
                 // Shared runners: figs 8-10 and 13-14 are joint.
                 targets.insert(match t {
                     "fig9" | "fig10" => "fig8",
@@ -78,6 +80,7 @@ fn main() -> ExitCode {
                     "restore",
                     "hotpath",
                     "flatgraph",
+                    "scale",
                 ] {
                     targets.insert(t);
                 }
@@ -109,6 +112,7 @@ fn main() -> ExitCode {
             "restore" => restore::run(&out, &scale, checkpoint_every),
             "hotpath" => hotpath::run(&out, &scale),
             "flatgraph" => flatgraph::run(&out, &scale),
+            "scale" => scale_exp::run(&out, &scale),
             _ => unreachable!("validated above"),
         };
         match res {

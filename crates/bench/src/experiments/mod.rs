@@ -9,5 +9,6 @@ pub mod fig8_10;
 pub mod flatgraph;
 pub mod hotpath;
 pub mod restore;
+pub mod scale;
 pub mod table1;
 pub mod throughput;

@@ -15,6 +15,9 @@ pub struct Scale {
     pub steps_sweep: u64,
     /// Steps for Figs. 13–14 (RIS baselines rebuild per step).
     pub steps_ris: u64,
+    /// Arrival windows for the `scale` persistence/memory experiment
+    /// (each window is one dense batch; see `experiments::scale`).
+    pub steps_persist: u64,
     /// Forget probabilities for Fig. 7's sweep.
     pub p_values: Vec<f64>,
     /// Budgets for Fig. 11's sweep.
@@ -41,6 +44,7 @@ impl Scale {
             steps_main: 5_000,
             steps_sweep: 2_500,
             steps_ris: 2_000,
+            steps_persist: 128,
             p_values: vec![0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008],
             k_values: (1..=10).map(|i| i * 10).collect(),
             l_values: (1..=10).map(|i| i * 10_000).collect(),
@@ -59,6 +63,7 @@ impl Scale {
             steps_main: 1_000,
             steps_sweep: 600,
             steps_ris: 300,
+            steps_persist: 48,
             p_values: vec![0.001, 0.002, 0.004, 0.008],
             k_values: vec![10, 30, 50, 70, 100],
             l_values: vec![10_000, 40_000, 70_000, 100_000],
@@ -80,6 +85,7 @@ mod tests {
         let q = Scale::quick();
         let f = Scale::full();
         assert!(q.steps_main < f.steps_main);
+        assert!(q.steps_persist < f.steps_persist);
         assert!(q.p_values.len() <= f.p_values.len());
         assert!(q.max_rr < f.max_rr);
         assert_eq!(q.dim_beta, 32, "quick keeps the paper's beta");

@@ -172,6 +172,48 @@ impl BasicReduction {
         })
     }
 
+    /// Sets or clears the approximate heap ceiling at runtime (restored
+    /// trackers come back unbudgeted; see
+    /// [`TrackerConfig::memory_budget`]).
+    pub fn set_memory_budget(&mut self, budget: Option<usize>) {
+        self.cfg.memory_budget = budget;
+    }
+
+    /// Budget-enforcement ladder, run after every step (see DESIGN.md
+    /// "Memory budget"): escalate through the correctness-preserving
+    /// shedding levels across all `L` instances — (1) drop memo entries,
+    /// (2) return recycled arenas and scratch, (3) fall back to
+    /// [`SpreadMode::FullRecompute`] for current and future instances.
+    /// Each level taken is tallied once in the shared engine stats.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.cfg.memory_budget else {
+            return;
+        };
+        if self.approx_bytes() <= budget {
+            return;
+        }
+        for inst in &mut self.instances {
+            inst.release_memo_memory();
+        }
+        self.spread_stats.note_shed(1);
+        if self.approx_bytes() <= budget {
+            return;
+        }
+        for inst in &mut self.instances {
+            inst.release_recycled_memory();
+        }
+        self.spread_stats.note_shed(2);
+        if self.approx_bytes() <= budget {
+            return;
+        }
+        self.mode = SpreadMode::FullRecompute;
+        for inst in &mut self.instances {
+            inst.set_spread_mode(SpreadMode::FullRecompute);
+            inst.release_memo_memory();
+        }
+        self.spread_stats.note_shed(3);
+    }
+
     /// Advances the instance window by one step: drop `A_1`, append a new
     /// `A_L` (Alg. 2 lines 5–7).
     fn shift(&mut self) {
@@ -225,6 +267,10 @@ impl InfluenceTracker for BasicReduction {
         });
         let sol = self.instances.front().expect("L ≥ 1 instances").query();
         self.shift();
+        // Enforced after the shift so the post-step footprint — including
+        // the freshly appended `A_L` — is bounded by the ceiling whenever
+        // the irreducible live state fits under it.
+        self.enforce_budget();
         sol
     }
 

@@ -14,6 +14,14 @@ pub struct TrackerConfig {
     /// Skip a threshold without an oracle call when the node's singleton
     /// value is already below it (sound by submodularity; on by default).
     pub singleton_prune: bool,
+    /// Approximate heap ceiling in bytes, enforced after every step by
+    /// graceful shedding (memo entries, recycled arenas, then an
+    /// Incremental → FullRecompute fallback — all correctness-preserving;
+    /// see DESIGN.md "Memory budget"). `None` (the default) disables
+    /// enforcement. Operational knob only: it is deliberately **not** part
+    /// of the checkpoint payload or the config hash, so budgeted and
+    /// unbudgeted runs restore each other's checkpoints.
+    pub memory_budget: Option<usize>,
 }
 
 impl TrackerConfig {
@@ -28,6 +36,7 @@ impl TrackerConfig {
             eps,
             max_lifetime,
             singleton_prune: true,
+            memory_budget: None,
         }
     }
 
@@ -38,8 +47,20 @@ impl TrackerConfig {
         self
     }
 
+    /// Sets an approximate heap ceiling in bytes (builder form). See
+    /// [`TrackerConfig::memory_budget`].
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "memory budget must be positive");
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Serializes the config for checkpointing (`ε` as its exact bit
     /// pattern, so the restored sieves compute identical thresholds).
+    /// [`Self::memory_budget`] is excluded on purpose: shedding is
+    /// correctness-preserving, so the budget is operational state, not
+    /// logical state — and hashing it would needlessly split checkpoint
+    /// lineages between budgeted and unbudgeted runs.
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
         w.put_u64(self.k as u64);
         w.put_f64(self.eps);
@@ -71,6 +92,9 @@ impl TrackerConfig {
             eps,
             max_lifetime,
             singleton_prune,
+            // Not serialized (see `write_snapshot`): restored trackers run
+            // unbudgeted until the operator reapplies a ceiling.
+            memory_budget: None,
         })
     }
 }

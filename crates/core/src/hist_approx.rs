@@ -301,6 +301,51 @@ impl HistApprox {
         }
     }
 
+    /// Sets or clears the approximate heap ceiling at runtime (restored
+    /// trackers come back unbudgeted; see
+    /// [`TrackerConfig::memory_budget`]).
+    pub fn set_memory_budget(&mut self, budget: Option<usize>) {
+        self.cfg.memory_budget = budget;
+    }
+
+    /// Budget-enforcement ladder, run after every step (see DESIGN.md
+    /// "Memory budget"): escalate through the correctness-preserving
+    /// shedding levels across *all* instances plus the live TDN —
+    /// (1) drop memo entries, (2) return recycled arenas and scratch,
+    /// (3) fall back to [`SpreadMode::FullRecompute`] for current and
+    /// future instances. Each level taken is tallied once in the shared
+    /// engine stats. Never fails: a workload whose irreducible live state
+    /// exceeds the ceiling keeps running at level 3.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.cfg.memory_budget else {
+            return;
+        };
+        if self.approx_bytes() <= budget {
+            return;
+        }
+        for inst in self.instances.values_mut() {
+            inst.release_memo_memory();
+        }
+        self.spread_stats.note_shed(1);
+        if self.approx_bytes() <= budget {
+            return;
+        }
+        for inst in self.instances.values_mut() {
+            inst.release_recycled_memory();
+        }
+        self.graph.release_recycled_memory();
+        self.spread_stats.note_shed(2);
+        if self.approx_bytes() <= budget {
+            return;
+        }
+        self.mode = SpreadMode::FullRecompute;
+        for inst in self.instances.values_mut() {
+            inst.set_spread_mode(SpreadMode::FullRecompute);
+            inst.release_memo_memory();
+        }
+        self.spread_stats.note_shed(3);
+    }
+
     /// Drops instances whose deadline has arrived (index reached zero).
     fn expire_instances(&mut self, t: Time) {
         loop {
@@ -341,7 +386,7 @@ impl InfluenceTracker for HistApprox {
             self.process_group(t, l, &edges);
         }
         // Answer from A_{x₁}, optionally refeeding short-lifetime edges.
-        match self.instances.first_key_value() {
+        let sol = match self.instances.first_key_value() {
             None => Solution::empty(),
             Some((&d1, inst)) => {
                 let x1 = (d1 - t) as Lifetime;
@@ -358,7 +403,12 @@ impl InfluenceTracker for HistApprox {
                     inst.query()
                 }
             }
-        }
+        };
+        // Enforced after the query so the post-step footprint — the state
+        // an operator meters between steps — is bounded by the ceiling
+        // whenever the irreducible live state fits under it.
+        self.enforce_budget();
+        sol
     }
 
     fn oracle_calls(&self) -> u64 {

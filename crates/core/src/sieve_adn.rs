@@ -855,6 +855,151 @@ impl SieveAdn {
         })
     }
 
+    /// Serializes the instance as named sections under `prefix` — the
+    /// delta-checkpoint counterpart of [`Self::write_snapshot`]:
+    ///
+    /// - `{prefix}meta`: spread mode, budget `k`, prune flag, node bound.
+    /// - `{prefix}graph.{out,inc}.<c>`: adjacency chunk `c` of each
+    ///   direction ([`tdn_graph::arena::SNAPSHOT_CHUNK`] lists, raw word
+    ///   runs), skipped via arena chunk generations when untouched since
+    ///   the parent save — the ADN is addition-only, so old chunks
+    ///   stabilize and deltas shrink to the recently-touched tail.
+    /// - `{prefix}sieve`: threshold ladder plus every slot's seeds and
+    ///   cover (word runs). Always fresh: covers track every batch.
+    /// - `{prefix}memo`: the spread memo as raw runs.
+    pub fn write_sections(&self, sink: &mut codec::SectionSink, prefix: &str) {
+        let mut w = codec::Writer::new();
+        w.put_u8(self.mode.tag());
+        w.put_u64(self.k as u64);
+        w.put_bool(self.singleton_prune);
+        w.put_len(self.graph.node_bound());
+        sink.put(&format!("{prefix}meta"), w.into_vec());
+        for c in 0..self.graph.chunk_count() {
+            sink.put_with_gen(
+                &format!("{prefix}graph.out.{c}"),
+                self.graph.out_chunk_generation(c),
+                || {
+                    let mut w = codec::Writer::new();
+                    self.graph.write_out_chunk(c, &mut w);
+                    w.into_vec()
+                },
+            );
+            sink.put_with_gen(
+                &format!("{prefix}graph.inc.{c}"),
+                self.graph.inc_chunk_generation(c),
+                || {
+                    let mut w = codec::Writer::new();
+                    self.graph.write_inc_chunk(c, &mut w);
+                    w.into_vec()
+                },
+            );
+        }
+        let mut w = codec::Writer::new();
+        self.ladder.write_snapshot(&mut w);
+        w.put_len(self.slots.len());
+        for (&i, slot) in &self.slots {
+            w.put_i64(i);
+            let seeds: Vec<u32> = slot.seeds.iter().map(|s| s.0).collect();
+            w.put_u32_run(&seeds);
+            slot.cover.write_snapshot_words(&mut w);
+        }
+        sink.put(&format!("{prefix}sieve"), w.into_vec());
+        let mut w = codec::Writer::new();
+        self.memo.write_snapshot_raw(&mut w);
+        sink.put(&format!("{prefix}memo"), w.into_vec());
+    }
+
+    /// Reconstructs an instance from the sections [`Self::write_sections`]
+    /// emitted under `prefix`, with the same validation as
+    /// [`Self::read_snapshot`].
+    pub fn read_sections(
+        map: &codec::SectionMap,
+        prefix: &str,
+        counter: OracleCounter,
+    ) -> Result<Self, codec::SectionError> {
+        let invalid =
+            |msg: &'static str| codec::SectionError::Codec(codec::CodecError::Invalid(msg));
+        let mut r = map.reader(&format!("{prefix}meta"))?;
+        let mode = SpreadMode::from_tag(r.get_u8()?).ok_or(invalid("unknown spread mode tag"))?;
+        let k = r.get_u64()?;
+        if k == 0 || k > usize::MAX as u64 {
+            return Err(invalid("sieve budget k out of range"));
+        }
+        let k = k as usize;
+        let singleton_prune = r.get_bool()?;
+        // The bound is the meta section's last field, so `get_len`'s
+        // bytes-remaining guard cannot apply; instead sanity-check it
+        // against the stored chunk sections before allocating.
+        let bound = r.get_u64()? as usize;
+        r.finish()?;
+        let chunks = bound.div_ceil(tdn_graph::arena::SNAPSHOT_CHUNK);
+        if chunks > 0 && !map.contains(&format!("{prefix}graph.out.{}", chunks - 1)) {
+            return Err(invalid(
+                "sieve node bound disagrees with stored graph chunks",
+            ));
+        }
+        let mut graph = AdnGraph::new();
+        graph.ensure_node_bound(bound);
+        for c in 0..chunks {
+            let lists = (bound - c * tdn_graph::arena::SNAPSHOT_CHUNK)
+                .min(tdn_graph::arena::SNAPSHOT_CHUNK);
+            let mut r = map.reader(&format!("{prefix}graph.out.{c}"))?;
+            graph.read_out_chunk(c, lists, &mut r)?;
+            r.finish()?;
+            let mut r = map.reader(&format!("{prefix}graph.inc.{c}"))?;
+            graph.read_inc_chunk(c, lists, &mut r)?;
+            r.finish()?;
+        }
+        graph.rebuild_indexes()?;
+        let mut r = map.reader(&format!("{prefix}sieve"))?;
+        let ladder = ThresholdLadder::read_snapshot(&mut r)?;
+        let n_slots = r.get_len(8)?;
+        let mut slots = BTreeMap::new();
+        for _ in 0..n_slots {
+            let i = r.get_i64()?;
+            let seeds: Vec<NodeId> = r.get_u32_run()?.into_iter().map(NodeId).collect();
+            if seeds.len() > k {
+                return Err(invalid("sieve slot exceeds budget k"));
+            }
+            let cover = CoverSet::read_snapshot_words(&mut r)?;
+            if slots.insert(i, Slot { seeds, cover }).is_some() {
+                return Err(invalid("duplicate sieve threshold slot"));
+            }
+        }
+        r.finish()?;
+        let mut r = map.reader(&format!("{prefix}memo"))?;
+        let memo = SpreadMemo::read_snapshot_raw(&mut r, graph.node_index_bound())?;
+        r.finish()?;
+        Ok(SieveAdn {
+            graph,
+            ladder,
+            slots,
+            k,
+            singleton_prune,
+            counter,
+            scratch: ScratchPool::new(),
+            mode,
+            traversal: TraversalKind::default(),
+            memo,
+        })
+    }
+
+    /// Shedding level 1: drops the spread memo's allocations, keeping only
+    /// the probe-gate counters. Correctness-preserving — every future
+    /// lookup misses and recomputes the exact BFS answer. Returns the
+    /// approximate bytes released.
+    pub fn release_memo_memory(&mut self) -> usize {
+        self.memo.release_memory()
+    }
+
+    /// Shedding level 2: returns recycled adjacency-arena blocks, excess
+    /// hash capacity, and pooled BFS scratch to the allocator. Pure layout
+    /// change — contents, traversal order, and snapshot bytes are all
+    /// unaffected. Returns the approximate bytes released.
+    pub fn release_recycled_memory(&mut self) -> usize {
+        self.graph.release_recycled_memory() + self.scratch.release_memory()
+    }
+
     /// Current best value `g_t` (the histogram ordinate in HISTAPPROX).
     pub fn best_value(&self) -> u64 {
         self.slots
@@ -870,6 +1015,10 @@ impl SieveAdn {
 pub struct SieveAdnTracker {
     inner: SieveAdn,
     counter: OracleCounter,
+    /// Approximate heap ceiling ([`TrackerConfig::memory_budget`]);
+    /// enforced after every step by the shedding ladder (see
+    /// DESIGN.md "Memory budget").
+    budget: Option<usize>,
 }
 
 impl SieveAdnTracker {
@@ -879,7 +1028,20 @@ impl SieveAdnTracker {
         SieveAdnTracker {
             inner: SieveAdn::from_config(cfg, counter.clone()),
             counter,
+            budget: cfg.memory_budget,
         }
+    }
+
+    /// Sets or clears the approximate heap ceiling at runtime (restored
+    /// trackers come back unbudgeted — the budget is operational state and
+    /// deliberately not checkpointed; see [`TrackerConfig::memory_budget`]).
+    pub fn set_memory_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+    }
+
+    /// Approximate heap footprint in bytes (what the budget meters).
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.approx_bytes()
     }
 
     /// Sets the spread-maintenance mode (builder form).
@@ -914,12 +1076,74 @@ impl SieveAdnTracker {
         &self.inner
     }
 
+    /// Budget-enforcement ladder, run after every step: while the
+    /// footprint exceeds the ceiling, escalate through the
+    /// correctness-preserving shedding levels — (1) drop memo entries,
+    /// (2) return recycled arenas and scratch, (3) fall back to
+    /// [`SpreadMode::FullRecompute`] so the memo stops regrowing. Each
+    /// level taken is tallied in [`SpreadStatsSnapshot`]'s shed counters.
+    /// Never fails: a workload whose irreducible live state exceeds the
+    /// ceiling keeps running at level 3.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.budget else { return };
+        if self.inner.approx_bytes() <= budget {
+            return;
+        }
+        let stats = self.inner.spread_stats_handle().clone();
+        self.inner.release_memo_memory();
+        stats.note_shed(1);
+        if self.inner.approx_bytes() <= budget {
+            return;
+        }
+        self.inner.release_recycled_memory();
+        stats.note_shed(2);
+        if self.inner.approx_bytes() <= budget {
+            return;
+        }
+        self.inner.set_spread_mode(SpreadMode::FullRecompute);
+        self.inner.release_memo_memory();
+        stats.note_shed(3);
+    }
+
     /// Serializes the tracker (instance state, the oracle tally, and the
     /// incremental-engine tallies) for checkpointing.
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
         w.put_u64(self.counter.get());
         self.inner.spread_stats().write_snapshot(w);
         self.inner.write_snapshot(w);
+    }
+
+    /// Serializes the tracker as named sections — the delta-checkpoint
+    /// counterpart of [`Self::write_snapshot`]: a fresh `meta` section
+    /// (oracle tally + engine tallies, including the shed counters) plus
+    /// the instance's sections under the `adn.` prefix, whose stable
+    /// adjacency chunks are skipped relative to the parent save.
+    pub fn write_sections(&self, sink: &mut codec::SectionSink) {
+        let mut w = codec::Writer::new();
+        w.put_u64(self.counter.get());
+        self.inner.spread_stats().write_snapshot_v3(&mut w);
+        sink.put("meta", w.into_vec());
+        self.inner.write_sections(sink, "adn.");
+    }
+
+    /// Reconstructs a tracker from the sections [`Self::write_sections`]
+    /// emitted. The restored tracker resumes the oracle and engine tallies
+    /// at the saved counts; the memory budget is operational state and
+    /// comes back unset (see [`Self::set_memory_budget`]).
+    pub fn read_sections(map: &codec::SectionMap) -> Result<Self, codec::SectionError> {
+        let mut r = map.reader("meta")?;
+        let calls = r.get_u64()?;
+        let stats_snap = SpreadStatsSnapshot::read_snapshot_v3(&mut r)?;
+        r.finish()?;
+        let counter = OracleCounter::new();
+        counter.set(calls);
+        let inner = SieveAdn::read_sections(map, "adn.", counter.clone())?;
+        inner.spread_stats_handle().restore(&stats_snap);
+        Ok(SieveAdnTracker {
+            inner,
+            counter,
+            budget: None,
+        })
     }
 
     /// Reconstructs a tracker from [`Self::write_snapshot`] bytes. The
@@ -932,7 +1156,11 @@ impl SieveAdnTracker {
         counter.set(calls);
         let inner = SieveAdn::read_snapshot(r, counter.clone())?;
         inner.spread_stats_handle().restore(&stats_snap);
-        Ok(SieveAdnTracker { inner, counter })
+        Ok(SieveAdnTracker {
+            inner,
+            counter,
+            budget: None,
+        })
     }
 }
 
@@ -943,7 +1171,12 @@ impl InfluenceTracker for SieveAdnTracker {
 
     fn step(&mut self, _t: Time, batch: &[TimedEdge]) -> Solution {
         self.inner.feed(batch.iter().map(|e| (e.src, e.dst)));
-        self.inner.query()
+        let sol = self.inner.query();
+        // Enforced after the query: the post-step footprint is what an
+        // operator meters between steps, so that is the state the ceiling
+        // must bound (whenever the irreducible live state fits under it).
+        self.enforce_budget();
+        sol
     }
 
     fn oracle_calls(&self) -> u64 {
@@ -1217,6 +1450,131 @@ mod tests {
             let mut r = codec::Reader::new(&corrupt);
             assert!(SieveAdn::read_snapshot(&mut r, counter.clone()).is_err());
         }
+    }
+
+    /// Sectioned saves must restore bit-identically (same future
+    /// evolution) and a delta save against an unchanged-graph parent must
+    /// reference the stable adjacency chunks instead of re-serializing
+    /// them.
+    #[test]
+    fn tracker_sectioned_save_round_trips_and_deltas_skip_stable_chunks() {
+        let mut t = SieveAdnTracker::new(&TrackerConfig::new(2, 0.2, 100));
+        t.step(
+            0,
+            &[TimedEdge::new(0u32, 1u32, 1), TimedEdge::new(1u32, 2u32, 1)],
+        );
+        let mut sink = codec::SectionSink::new(codec::ParentIndex::new());
+        t.write_sections(&mut sink);
+        let (base, parent) = sink.finish();
+        // Restore from the base alone and check identical evolution.
+        let map = codec::SectionMap::from_single(&base).expect("resolve base");
+        let mut back = SieveAdnTracker::read_sections(&map).expect("restore base");
+        assert_eq!(back.oracle_calls(), t.oracle_calls());
+        assert_eq!(back.spread_stats(), t.spread_stats());
+        let batch = [TimedEdge::new(2u32, 3u32, 1), TimedEdge::new(3u32, 4u32, 1)];
+        let a = t.step(1, &batch);
+        let b = back.step(1, &batch);
+        assert_eq!(a, b, "restored tracker must evolve identically");
+        assert_eq!(back.oracle_calls(), t.oracle_calls());
+        // Delta save against the base: both graph chunks changed (the
+        // batch grew the node bound), so this delta is all-fresh — the
+        // ref-heavy case is exercised by
+        // `unchanged_graph_chunks_become_refs_in_delta_saves`.
+        let mut sink = codec::SectionSink::new(parent);
+        t.write_sections(&mut sink);
+        let (delta, _) = sink.finish();
+        // Chain restore (tip first) equals a direct sectioned restore.
+        let chained = codec::SectionMap::resolve(&[&delta, &base]).expect("resolve chain");
+        let mut from_chain = SieveAdnTracker::read_sections(&chained).expect("restore chain");
+        let batch2 = [TimedEdge::new(4u32, 0u32, 1)];
+        let c = t.step(2, &batch2);
+        let d = from_chain.step(2, &batch2);
+        assert_eq!(c, d, "chain-restored tracker must evolve identically");
+        assert_eq!(from_chain.oracle_calls(), t.oracle_calls());
+    }
+
+    /// A stable parent graph makes every adjacency chunk a ref: feed
+    /// enough edges to span two chunks, save, then save again without
+    /// touching the graph.
+    #[test]
+    fn unchanged_graph_chunks_become_refs_in_delta_saves() {
+        use tdn_graph::arena::SNAPSHOT_CHUNK;
+        let counter = OracleCounter::new();
+        let mut s = SieveAdn::new(2, 0.2, true, counter.clone());
+        let far = SNAPSHOT_CHUNK as u32 + 10;
+        s.feed([(NodeId(0), NodeId(1)), (NodeId(far), NodeId(far + 1))]);
+        let mut sink = codec::SectionSink::new(codec::ParentIndex::new());
+        s.write_sections(&mut sink, "adn.");
+        let (fresh_base, refs_base) = sink.counts();
+        let (base, parent) = sink.finish();
+        assert!(fresh_base >= 7, "base emits everything inline");
+        assert_eq!(refs_base, 0);
+        let mut sink = codec::SectionSink::new(parent);
+        s.write_sections(&mut sink, "adn.");
+        let (fresh_delta, refs_delta) = sink.counts();
+        let (delta, _) = sink.finish();
+        // Nothing changed between the saves, so every section refs the
+        // parent: the four graph chunks via generation match, and the
+        // meta/sieve/memo sections via byte-identical checksums.
+        assert_eq!(refs_delta, 7, "unchanged instance → all sections ref");
+        assert_eq!(fresh_delta, 0);
+        assert!(delta.len() < base.len());
+        let map = codec::SectionMap::resolve(&[&delta, &base]).expect("resolve chain");
+        let mut back =
+            SieveAdn::read_sections(&map, "adn.", counter.clone()).expect("restore chain");
+        assert_eq!(back.query(), s.query());
+        // Both copies evolve identically.
+        back.feed([(NodeId(1), NodeId(2))]);
+        s.feed([(NodeId(1), NodeId(2))]);
+        assert_eq!(back.query(), s.query());
+        // A lone delta cannot resolve: its refs have no parent.
+        assert!(matches!(
+            codec::SectionMap::resolve(&[&delta]),
+            Err(codec::SectionError::Unresolved { .. })
+        ));
+    }
+
+    /// The memory budget is enforced by correctness-preserving shedding:
+    /// a tightly budgeted tracker answers bit-identically to an
+    /// unconstrained control while tallying shed events.
+    #[test]
+    fn memory_budget_sheds_without_changing_answers() {
+        let cfg = TrackerConfig::new(2, 0.2, 100);
+        // A ceiling far below the workload's natural footprint forces the
+        // full ladder, including the FullRecompute fallback.
+        let tight = cfg.clone().with_memory_budget(1);
+        let mut budgeted = SieveAdnTracker::new(&tight);
+        let mut control = SieveAdnTracker::new(&cfg);
+        let mut state = 0xB06E7u64;
+        let mut rnd = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % m
+        };
+        for t in 0..20u64 {
+            let batch: Vec<TimedEdge> = (0..3)
+                .map(|_| TimedEdge::new(rnd(30) as u32, rnd(30) as u32, 1))
+                .collect();
+            let a = budgeted.step(t, &batch);
+            let b = control.step(t, &batch);
+            assert_eq!(a, b, "shedding must not change answers (t={t})");
+            assert_eq!(budgeted.oracle_calls(), control.oracle_calls());
+        }
+        let stats = budgeted.spread_stats();
+        assert!(stats.shed_memo >= 1, "level 1 must have fired");
+        assert!(stats.shed_arena >= 1, "level 2 must have fired");
+        assert!(stats.shed_fallback >= 1, "level 3 must have fired");
+        assert_eq!(
+            budgeted.spread_mode(),
+            SpreadMode::FullRecompute,
+            "fallback sticks"
+        );
+        assert_eq!(control.spread_stats().shed_memo, 0);
+        // A generous ceiling sheds nothing.
+        let roomy = cfg.clone().with_memory_budget(1 << 30);
+        let mut easy = SieveAdnTracker::new(&roomy);
+        easy.step(0, &[TimedEdge::new(0u32, 1u32, 1)]);
+        assert_eq!(easy.spread_stats().shed_memo, 0);
+        assert_eq!(easy.spread_mode(), SpreadMode::Incremental);
     }
 
     /// Golden-path guarantee check: SieveADN ≥ (1/2−ε)·OPT on a stream of

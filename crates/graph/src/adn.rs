@@ -242,10 +242,34 @@ impl AdnGraph {
                 inc.push(n, NodeId(r.get_u32()?));
             }
         }
+        let mut g = AdnGraph {
+            out,
+            inc,
+            pairs: FxHashSet::default(),
+            nodes: FxHashSet::default(),
+        };
+        g.rebuild_indexes()?;
+        Ok(g)
+    }
+
+    /// Rebuilds the derived `pairs`/`nodes` sets from the adjacency pools
+    /// and validates that the reverse adjacency is exactly the transpose
+    /// of the forward one (bounds-checked, duplicate-free, same edge set):
+    /// reverse BFS — and therefore the `V̄_t` replay — walks it, so a
+    /// drifted `inc` would silently skew results or index out of range.
+    /// The restore-finalization step shared by the element-wise and the
+    /// sectioned (chunked) read paths.
+    pub fn rebuild_indexes(&mut self) -> codec::Result<()> {
+        let n_out = self.out.node_bound();
+        if self.inc.node_bound() != n_out {
+            return Err(codec::CodecError::Invalid(
+                "AdnGraph adjacency directions disagree on node bound",
+            ));
+        }
         let mut pairs = FxHashSet::default();
         let mut nodes = FxHashSet::default();
         for u in 0..n_out {
-            for &v in out.as_slice(u) {
+            for &v in self.out.as_slice(u) {
                 if v.index() >= n_out {
                     return Err(codec::CodecError::Invalid(
                         "AdnGraph edge endpoint outside node bound",
@@ -260,13 +284,9 @@ impl AdnGraph {
                 nodes.insert(v);
             }
         }
-        // The reverse adjacency must be exactly the transpose of the
-        // forward one (bounds-checked, duplicate-free, same edge set):
-        // reverse BFS — and therefore the `V̄_t` replay — walks it, so a
-        // drifted `inc` would silently skew results or index out of range.
         let mut rev_pairs = FxHashSet::default();
-        for v in 0..n_inc {
-            for &u in inc.as_slice(v) {
+        for v in 0..n_out {
+            for &u in self.inc.as_slice(v) {
                 if u.index() >= n_out {
                     return Err(codec::CodecError::Invalid(
                         "AdnGraph reverse edge endpoint outside node bound",
@@ -285,12 +305,83 @@ impl AdnGraph {
                 "AdnGraph reverse adjacency edge count drifted from forward",
             ));
         }
-        Ok(AdnGraph {
-            out,
-            inc,
-            pairs,
-            nodes,
-        })
+        self.pairs = pairs;
+        self.nodes = nodes;
+        Ok(())
+    }
+
+    /// Node-index bound of the adjacency pools (both directions always
+    /// agree; [`Self::add_edge`] grows them in lockstep).
+    pub fn node_bound(&self) -> usize {
+        self.out.node_bound()
+    }
+
+    /// Grows both adjacency pools to `bound` slots (no-op if already that
+    /// large) — the sectioned restore path sizes the pools before reading
+    /// chunks into them.
+    pub fn ensure_node_bound(&mut self, bound: usize) {
+        self.out.ensure_node_bound(bound);
+        self.inc.ensure_node_bound(bound);
+    }
+
+    /// Number of snapshot chunks covering the adjacency pools (see
+    /// [`crate::arena::SNAPSHOT_CHUNK`]).
+    pub fn chunk_count(&self) -> usize {
+        self.out.chunk_count()
+    }
+
+    /// Generation at which forward-adjacency chunk `c` last changed.
+    pub fn out_chunk_generation(&self, c: usize) -> u64 {
+        self.out.chunk_generation(c)
+    }
+
+    /// Generation at which reverse-adjacency chunk `c` last changed.
+    pub fn inc_chunk_generation(&self, c: usize) -> u64 {
+        self.inc.chunk_generation(c)
+    }
+
+    /// Serializes forward-adjacency chunk `c` as raw word runs.
+    pub fn write_out_chunk(&self, c: usize, w: &mut codec::Writer) {
+        self.out.write_chunk_snapshot(c, w);
+    }
+
+    /// Serializes reverse-adjacency chunk `c` as raw word runs.
+    pub fn write_inc_chunk(&self, c: usize, w: &mut codec::Writer) {
+        self.inc.write_chunk_snapshot(c, w);
+    }
+
+    /// Restores forward-adjacency chunk `c` by bulk copy. Call
+    /// [`Self::rebuild_indexes`] once after all chunks are in.
+    pub fn read_out_chunk(
+        &mut self,
+        c: usize,
+        expected_lists: usize,
+        r: &mut codec::Reader<'_>,
+    ) -> codec::Result<()> {
+        self.out.read_chunk_snapshot(c, expected_lists, r)
+    }
+
+    /// Restores reverse-adjacency chunk `c` by bulk copy.
+    pub fn read_inc_chunk(
+        &mut self,
+        c: usize,
+        expected_lists: usize,
+        r: &mut codec::Reader<'_>,
+    ) -> codec::Result<()> {
+        self.inc.read_chunk_snapshot(c, expected_lists, r)
+    }
+
+    /// Releases recycled arena blocks and excess hash-set capacity back to
+    /// the allocator (the memory-budget shedding hook). Pure layout
+    /// change: adjacency contents, traversal order, and snapshot bytes are
+    /// all unaffected. Returns the approximate bytes released.
+    pub fn release_recycled_memory(&mut self) -> usize {
+        let before = self.approx_bytes();
+        self.out.release_free_tail();
+        self.inc.release_free_tail();
+        self.pairs.shrink_to_fit();
+        self.nodes.shrink_to_fit();
+        before.saturating_sub(self.approx_bytes())
     }
 
     /// Approximate heap footprint in bytes (adjacency arenas + dedup set),
@@ -497,6 +588,63 @@ mod tests {
                 classified.in_neighbors(NodeId(n))
             );
         }
+    }
+
+    #[test]
+    fn chunked_snapshot_round_trip_matches_element_wise() {
+        let mut g = AdnGraph::new();
+        let mut state = 7u64;
+        let mut rnd = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % m
+        };
+        for _ in 0..400 {
+            g.add_edge(NodeId(rnd(90) as u32), NodeId(rnd(90) as u32));
+        }
+        // Serialize every chunk, restore into a fresh graph, finalize.
+        let mut h = AdnGraph::new();
+        for c in 0..g.chunk_count() {
+            let lo = c * crate::arena::SNAPSHOT_CHUNK;
+            let expected = (lo + crate::arena::SNAPSHOT_CHUNK).min(g.node_bound()) - lo;
+            let mut w = codec::Writer::new();
+            g.write_out_chunk(c, &mut w);
+            let bytes = w.into_vec();
+            let mut r = codec::Reader::new(&bytes);
+            h.read_out_chunk(c, expected, &mut r).unwrap();
+            r.finish().unwrap();
+            let mut w = codec::Writer::new();
+            g.write_inc_chunk(c, &mut w);
+            let bytes = w.into_vec();
+            let mut r = codec::Reader::new(&bytes);
+            h.read_inc_chunk(c, expected, &mut r).unwrap();
+            r.finish().unwrap();
+        }
+        h.rebuild_indexes().expect("transpose validates");
+        assert_eq!(g.edge_count(), h.edge_count());
+        assert_eq!(g.node_count(), h.node_count());
+        for n in 0..g.node_bound() as u32 {
+            assert_eq!(g.out_neighbors(NodeId(n)), h.out_neighbors(NodeId(n)));
+            assert_eq!(g.in_neighbors(NodeId(n)), h.in_neighbors(NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn release_recycled_memory_keeps_contents() {
+        let mut g = AdnGraph::new();
+        for u in 0..50u32 {
+            for v in 0..20u32 {
+                g.add_edge(NodeId(u), NodeId(v + 100));
+            }
+        }
+        let before = g.clone();
+        g.release_recycled_memory();
+        assert_eq!(g.edge_count(), before.edge_count());
+        for n in 0..g.node_bound() as u32 {
+            assert_eq!(g.out_neighbors(NodeId(n)), before.out_neighbors(NodeId(n)));
+            assert_eq!(g.in_neighbors(NodeId(n)), before.in_neighbors(NodeId(n)));
+        }
+        // Still usable for growth afterwards.
+        assert!(g.add_edge(NodeId(200), NodeId(201)));
     }
 
     #[test]

@@ -20,6 +20,12 @@
 /// Smallest block capacity handed to a non-empty list.
 const MIN_BLOCK: u32 = 4;
 
+/// Node lists per dirty-tracking / snapshot chunk: chunk `c` covers list
+/// indices `[c·SNAPSHOT_CHUNK, (c+1)·SNAPSHOT_CHUNK)`. Sectioned saves
+/// serialize one section per chunk and skip chunks whose generation has
+/// not moved since the last save.
+pub const SNAPSHOT_CHUNK: usize = 1024;
+
 /// One node's list view into the shared buffer.
 #[derive(Copy, Clone, Debug, Default)]
 struct ListRef {
@@ -41,6 +47,14 @@ pub struct AdjPool<T: Copy> {
     lists: Vec<ListRef>,
     /// `free[c]` holds starts of recycled blocks of capacity `1 << c`.
     free: Vec<Vec<usize>>,
+    /// Bumped on every *content* mutation (pushes, removals, rewrites,
+    /// node-table growth). Block moves (`rehome`, shrink, free-list
+    /// release) do not bump it: they change layout, not the serialized
+    /// list contents.
+    generation: u64,
+    /// Per-chunk copy of `generation` at the chunk's last content
+    /// mutation (see [`SNAPSHOT_CHUNK`]). Indexed by chunk, grown lazily.
+    chunk_gen: Vec<u64>,
 }
 
 impl<T: Copy> Default for AdjPool<T> {
@@ -56,7 +70,29 @@ impl<T: Copy> AdjPool<T> {
             buf: Vec::new(),
             lists: Vec::new(),
             free: Vec::new(),
+            generation: 0,
+            chunk_gen: Vec::new(),
         }
+    }
+
+    /// Marks node `n`'s chunk dirty at a fresh generation.
+    #[inline]
+    fn touch(&mut self, n: usize) {
+        self.generation += 1;
+        let c = n / SNAPSHOT_CHUNK;
+        if self.chunk_gen.len() <= c {
+            self.chunk_gen.resize(c + 1, 0);
+        }
+        self.chunk_gen[c] = self.generation;
+    }
+
+    /// Marks node `n`'s chunk content-dirty without mutating the pool —
+    /// for wrappers that serialize satellite per-node state (e.g. lazy
+    /// dead-entry counters) alongside the list contents in the same
+    /// section.
+    #[inline]
+    pub(crate) fn mark_dirty(&mut self, n: usize) {
+        self.touch(n);
     }
 
     /// Number of node slots (the exclusive node-index bound).
@@ -68,7 +104,18 @@ impl<T: Copy> AdjPool<T> {
     /// Grows the node-slot table to at least `bound` (empty lists).
     pub fn ensure_node_bound(&mut self, bound: usize) {
         if self.lists.len() < bound {
+            // Growth changes the serialized shape of every chunk gaining
+            // slots: the old tail chunk and everything after it.
+            let first = self.lists.len() / SNAPSHOT_CHUNK;
             self.lists.resize(bound, ListRef::default());
+            self.generation += 1;
+            let last = (bound - 1) / SNAPSHOT_CHUNK;
+            if self.chunk_gen.len() <= last {
+                self.chunk_gen.resize(last + 1, 0);
+            }
+            for g in &mut self.chunk_gen[first..=last] {
+                *g = self.generation;
+            }
         }
     }
 
@@ -83,10 +130,17 @@ impl<T: Copy> AdjPool<T> {
 
     /// Mutable access to the list of node `n` (empty slice if out of
     /// bounds). Entries may be rewritten in place; the length is fixed.
+    /// Conservatively marks the chunk dirty (the caller holds a mutable
+    /// view and is assumed to write through it).
     #[inline]
     pub fn as_mut_slice(&mut self, n: usize) -> &mut [T] {
         match self.lists.get(n) {
-            Some(&l) => &mut self.buf[l.start..l.start + l.len as usize],
+            Some(&l) => {
+                if l.len > 0 {
+                    self.touch(n);
+                }
+                &mut self.buf[l.start..l.start + l.len as usize]
+            }
             None => &mut [],
         }
     }
@@ -154,6 +208,7 @@ impl<T: Copy> AdjPool<T> {
         let l = &mut self.lists[n];
         self.buf[l.start + l.len as usize] = item;
         l.len += 1;
+        self.touch(n);
     }
 
     /// Removes and returns entry `idx` of node `n`'s list in O(1) by
@@ -169,6 +224,7 @@ impl<T: Copy> AdjPool<T> {
         let item = self.buf[l.start + idx];
         self.buf[l.start + idx] = self.buf[l.start + last];
         self.lists[n].len -= 1;
+        self.touch(n);
         self.maybe_shrink(n);
         item
     }
@@ -188,7 +244,10 @@ impl<T: Copy> AdjPool<T> {
                 write += 1;
             }
         }
-        self.lists[n].len = write as u32;
+        if write as u32 != l.len {
+            self.lists[n].len = write as u32;
+            self.touch(n);
+        }
         self.maybe_shrink(n);
     }
 
@@ -209,8 +268,87 @@ impl<T: Copy> AdjPool<T> {
         }
     }
 
+    /// Replaces node `n`'s list wholesale by bulk copy (the raw-section
+    /// restore primitive). The old block, if any, is recycled.
+    pub fn set_list(&mut self, n: usize, items: &[T]) {
+        self.ensure_node_bound(n + 1);
+        let old = self.lists[n];
+        if old.cap > 0 {
+            self.push_free(old.start, old.cap);
+            self.lists[n] = ListRef::default();
+        }
+        if !items.is_empty() {
+            let cap = (items.len() as u32).next_power_of_two().max(MIN_BLOCK);
+            let start = self.acquire_block(cap, items[0]);
+            self.buf[start..start + items.len()].copy_from_slice(items);
+            self.lists[n] = ListRef {
+                start,
+                len: items.len() as u32,
+                cap,
+            };
+        }
+        self.touch(n);
+    }
+
+    /// The pool-wide content generation: bumped on every mutation that
+    /// changes what a snapshot would serialize.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of snapshot chunks covering the current node table.
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.lists.len().div_ceil(SNAPSHOT_CHUNK)
+    }
+
+    /// Generation at which chunk `chunk` last changed (0 = never touched).
+    #[inline]
+    pub fn chunk_generation(&self, chunk: usize) -> u64 {
+        self.chunk_gen.get(chunk).copied().unwrap_or(0)
+    }
+
+    /// Releases recycled free-list blocks sitting at the arena tail and
+    /// returns the freed buffer to the allocator — the budget-shedding
+    /// primitive. Only tail blocks can be released (the arena is an
+    /// offset-addressed bump allocator; interior holes must stay for their
+    /// recorded starts to remain valid). Returns the approximate bytes
+    /// released. Pure layout change: no snapshot content is affected.
+    pub fn release_free_tail(&mut self) -> usize {
+        let before = self.approx_bytes();
+        let mut blocks: Vec<(usize, u32)> = Vec::new();
+        for (class, list) in self.free.iter().enumerate() {
+            for &start in list {
+                blocks.push((start, 1u32 << class));
+            }
+        }
+        blocks.sort_unstable_by_key(|b| std::cmp::Reverse(b.0));
+        let mut end = self.buf.len();
+        let mut dropped = crate::hash::FxHashSet::default();
+        for (start, cap) in blocks {
+            if start + cap as usize == end {
+                end = start;
+                dropped.insert(start);
+            } else {
+                break;
+            }
+        }
+        if !dropped.is_empty() {
+            for list in &mut self.free {
+                list.retain(|s| !dropped.contains(s));
+            }
+            self.buf.truncate(end);
+        }
+        self.buf.shrink_to_fit();
+        for list in &mut self.free {
+            list.shrink_to_fit();
+        }
+        before.saturating_sub(self.approx_bytes())
+    }
+
     /// Approximate heap footprint in bytes (arena buffer, list table, free
-    /// lists).
+    /// lists, chunk generation table).
     pub fn approx_bytes(&self) -> usize {
         self.buf.capacity() * std::mem::size_of::<T>()
             + self.lists.capacity() * std::mem::size_of::<ListRef>()
@@ -219,6 +357,7 @@ impl<T: Copy> AdjPool<T> {
                 .iter()
                 .map(|f| f.capacity() * std::mem::size_of::<usize>())
                 .sum::<usize>()
+            + self.chunk_gen.capacity() * std::mem::size_of::<u64>()
     }
 
     /// Arena occupancy counters for diagnostics and block-reuse tests:
@@ -226,6 +365,87 @@ impl<T: Copy> AdjPool<T> {
     #[doc(hidden)]
     pub fn arena_stats(&self) -> (usize, usize) {
         (self.buf.len(), self.free.iter().map(Vec::len).sum())
+    }
+
+    /// Slots currently held on free lists (recycled, reusable capacity).
+    /// `buffer_slots = live slots + free slots + unrecycled stale slots`;
+    /// the accounting identity test pins this decomposition.
+    #[doc(hidden)]
+    pub fn free_slots(&self) -> usize {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(class, list)| list.len() << class)
+            .sum()
+    }
+
+    /// Slots occupied by live list entries.
+    #[doc(hidden)]
+    pub fn live_slots(&self) -> usize {
+        self.lists.iter().map(|l| l.len as usize).sum()
+    }
+
+    /// Slots reserved by list blocks (live capacity, whether filled or
+    /// not).
+    #[doc(hidden)]
+    pub fn reserved_slots(&self) -> usize {
+        self.lists.iter().map(|l| l.cap as usize).sum()
+    }
+}
+
+impl AdjPool<crate::node::NodeId> {
+    /// Serializes chunk `chunk` as two raw `u32` runs — list lengths, then
+    /// all entries concatenated in list order — the contiguous LE block
+    /// format sectioned saves use instead of element-by-element encoding.
+    pub fn write_chunk_snapshot(&self, chunk: usize, w: &mut codec::Writer) {
+        let lo = chunk * SNAPSHOT_CHUNK;
+        let hi = (lo + SNAPSHOT_CHUNK).min(self.lists.len());
+        debug_assert!(lo < hi, "chunk out of range");
+        let lens: Vec<u32> = (lo..hi).map(|n| self.lists[n].len).collect();
+        w.put_u32_run(&lens);
+        let total: usize = lens.iter().map(|&l| l as usize).sum();
+        let mut entries: Vec<u32> = Vec::with_capacity(total);
+        for n in lo..hi {
+            entries.extend(self.as_slice(n).iter().map(|v| v.0));
+        }
+        w.put_u32_run(&entries);
+    }
+
+    /// Restores chunk `chunk` from [`Self::write_chunk_snapshot`] bytes by
+    /// bulk copy. `expected_lists` is the list count the chunk must hold
+    /// (from the enclosing snapshot's node bound); a mismatch is typed
+    /// corruption.
+    pub fn read_chunk_snapshot(
+        &mut self,
+        chunk: usize,
+        expected_lists: usize,
+        r: &mut codec::Reader<'_>,
+    ) -> codec::Result<()> {
+        let lens = r.get_u32_run()?;
+        if lens.len() != expected_lists {
+            return Err(codec::CodecError::Invalid(
+                "adjacency chunk holds the wrong number of lists",
+            ));
+        }
+        let entries = r.get_u32_run()?;
+        let total: usize = lens.iter().map(|&l| l as usize).sum();
+        if total != entries.len() {
+            return Err(codec::CodecError::Invalid(
+                "adjacency chunk lengths disagree with entry run",
+            ));
+        }
+        let lo = chunk * SNAPSHOT_CHUNK;
+        self.ensure_node_bound(lo + lens.len());
+        let mut off = 0usize;
+        for (i, &len) in lens.iter().enumerate() {
+            let items: Vec<crate::node::NodeId> = entries[off..off + len as usize]
+                .iter()
+                .map(|&v| crate::node::NodeId(v))
+                .collect();
+            self.set_list(lo + i, &items);
+            off += len as usize;
+        }
+        Ok(())
     }
 }
 
@@ -353,5 +573,159 @@ mod tests {
             p.push(i as usize % 7, i);
         }
         assert!(p.approx_bytes() > empty);
+    }
+
+    /// The accounting identity the memory budget relies on: every arena
+    /// slot is owned by exactly one party — a live list block or a free
+    /// list — so `buffer_slots == reserved + free` at all times, and
+    /// `approx_bytes` bills at least the whole buffer.
+    #[test]
+    fn accounting_identity_buffer_equals_reserved_plus_free() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        let check = |p: &AdjPool<u32>, at: &str| {
+            let (slots, _) = p.arena_stats();
+            assert_eq!(
+                slots,
+                p.reserved_slots() + p.free_slots(),
+                "slot ownership leaked ({at})"
+            );
+            assert!(p.live_slots() <= p.reserved_slots(), "{at}");
+            assert!(
+                p.approx_bytes() >= slots * std::mem::size_of::<u32>(),
+                "approx_bytes undercounts the buffer ({at})"
+            );
+        };
+        check(&p, "empty");
+        for i in 0..500u32 {
+            p.push((i % 13) as usize, i);
+        }
+        check(&p, "after growth");
+        for n in 0..13 {
+            p.retain(n, |&x| x % 3 == 0);
+        }
+        check(&p, "after retain shrink");
+        for n in 0..6 {
+            while p.list_len(n) > 0 {
+                p.swap_remove(n, 0);
+            }
+        }
+        check(&p, "after full drains");
+        p.release_free_tail();
+        check(&p, "after free-tail release");
+        for i in 0..200u32 {
+            p.push((i % 5) as usize, i);
+        }
+        check(&p, "after regrowth");
+    }
+
+    #[test]
+    fn generations_track_content_not_layout() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        assert_eq!(p.generation(), 0);
+        p.push(0, 1);
+        let g1 = p.generation();
+        assert!(g1 > 0);
+        assert_eq!(p.chunk_generation(0), g1);
+        // Reading does not bump.
+        let _ = p.as_slice(0);
+        assert_eq!(p.generation(), g1);
+        // A mutation in a far chunk bumps that chunk, not chunk 0.
+        p.push(SNAPSHOT_CHUNK * 3 + 5, 9);
+        assert!(p.chunk_generation(3) > g1);
+        // Growth dirtied the intermediate chunks too (their serialized
+        // list counts changed), all at the same generation event window.
+        assert!(p.chunk_generation(1) > g1);
+        assert!(p.chunk_generation(2) > g1);
+        let g0 = p.chunk_generation(0);
+        // Layout-only changes (free-tail release) never bump.
+        let g = p.generation();
+        p.release_free_tail();
+        assert_eq!(p.generation(), g);
+        assert_eq!(p.chunk_generation(0), g0);
+    }
+
+    #[test]
+    fn set_list_bulk_copies_and_recycles() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        for i in 0..40 {
+            p.push(2, i);
+        }
+        let (slots, _) = p.arena_stats();
+        p.set_list(2, &[7, 7, 7]);
+        assert_eq!(p.as_slice(2), &[7, 7, 7]);
+        let (after, freed) = p.arena_stats();
+        assert!(freed > 0, "old block must be recycled");
+        assert_eq!(slots, after, "small replacement reuses recycled space");
+        p.set_list(2, &[]);
+        assert!(p.as_slice(2).is_empty());
+        p.set_list(5, &[1, 2]);
+        assert_eq!(p.node_bound(), 6);
+        assert_eq!(p.as_slice(5), &[1, 2]);
+    }
+
+    #[test]
+    fn release_free_tail_returns_tail_blocks_only() {
+        let mut p: AdjPool<u32> = AdjPool::new();
+        // List 0 grows to the tail, then empties: its blocks are at the
+        // end of the buffer and releasable.
+        for i in 0..16 {
+            p.push(0, i);
+        }
+        p.push(1, 42); // a live block pinned mid-buffer? (ordering varies)
+        for i in 0..64 {
+            p.push(2, i);
+        }
+        p.retain(2, |_| false);
+        let (before_slots, _) = p.arena_stats();
+        let released = p.release_free_tail();
+        let (after_slots, _) = p.arena_stats();
+        assert!(after_slots <= before_slots);
+        assert!(released > 0, "tail blocks must release bytes");
+        // Contents survive untouched.
+        assert_eq!(p.as_slice(0).len(), 16);
+        assert_eq!(p.as_slice(1), &[42]);
+        assert!(p.as_slice(2).is_empty());
+        // The pool remains fully usable.
+        for i in 0..32 {
+            p.push(2, i);
+        }
+        assert_eq!(p.as_slice(2).len(), 32);
+        let (slots, _) = p.arena_stats();
+        assert_eq!(slots, p.reserved_slots() + p.free_slots());
+    }
+
+    #[test]
+    fn chunk_snapshot_round_trip() {
+        use crate::node::NodeId;
+        let mut p: AdjPool<NodeId> = AdjPool::new();
+        // Spread lists across two chunks with distinctive order.
+        for (n, v) in [(0usize, 3u32), (0, 1), (5, 9), (SNAPSHOT_CHUNK + 2, 4)] {
+            p.push(n, NodeId(v));
+        }
+        let mut restored: AdjPool<NodeId> = AdjPool::new();
+        for chunk in 0..p.chunk_count() {
+            let mut w = codec::Writer::new();
+            p.write_chunk_snapshot(chunk, &mut w);
+            let bytes = w.into_vec();
+            let lo = chunk * SNAPSHOT_CHUNK;
+            let expected = (lo + SNAPSHOT_CHUNK).min(p.node_bound()) - lo;
+            let mut r = codec::Reader::new(&bytes);
+            restored
+                .read_chunk_snapshot(chunk, expected, &mut r)
+                .expect("round trip");
+            r.finish().expect("fully consumed");
+            // Every truncation of the chunk errors cleanly.
+            for cut in 0..bytes.len() {
+                let mut r = codec::Reader::new(&bytes[..cut]);
+                let res = AdjPool::<NodeId>::new()
+                    .read_chunk_snapshot(chunk, expected, &mut r)
+                    .and_then(|_| r.finish());
+                assert!(res.is_err(), "prefix of {cut} bytes decoded");
+            }
+        }
+        assert_eq!(restored.node_bound(), p.node_bound());
+        for n in 0..p.node_bound() {
+            assert_eq!(restored.as_slice(n), p.as_slice(n), "list {n} drifted");
+        }
     }
 }

@@ -118,6 +118,39 @@ impl NodeBitSet {
     pub fn approx_bytes(&self) -> usize {
         self.words.capacity() * std::mem::size_of::<u64>()
     }
+
+    /// The backing word array (bit `i` of word `w` = node `64·w + i`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Serializes the set as one raw `u64` word run, trailing zero words
+    /// trimmed (the canonical form `remove` maintains and the element-wise
+    /// read path produces) — the zero-copy alternative to member-by-member
+    /// encoding.
+    pub fn write_snapshot_words(&self, w: &mut codec::Writer) {
+        let used = self
+            .words
+            .iter()
+            .rposition(|&x| x != 0)
+            .map_or(0, |i| i + 1);
+        w.put_u64_run(&self.words[..used]);
+    }
+
+    /// Reconstructs a set from [`Self::write_snapshot_words`] bytes by bulk
+    /// copy, recomputing the member count. Trailing zero words are rejected
+    /// (non-canonical input would break derived equality).
+    pub fn read_snapshot_words(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let words = r.get_u64_run()?;
+        if words.last() == Some(&0) {
+            return Err(codec::CodecError::Invalid(
+                "bitset snapshot has a trailing zero word",
+            ));
+        }
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(NodeBitSet { words, len })
+    }
 }
 
 impl FromIterator<NodeId> for NodeBitSet {
@@ -182,6 +215,38 @@ mod tests {
             assert!(s.contains(NodeId(i)));
         }
         assert!(!s.contains(NodeId(62)) && !s.contains(NodeId(129)));
+    }
+
+    #[test]
+    fn raw_word_snapshot_round_trip() {
+        let s: NodeBitSet = [3u32, 64, 129, 700].into_iter().map(NodeId).collect();
+        let mut w = codec::Writer::new();
+        s.write_snapshot_words(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        let back = NodeBitSet::read_snapshot_words(&mut r).expect("round trip");
+        r.finish().expect("fully consumed");
+        assert_eq!(back, s);
+        assert_eq!(back.len(), 4);
+        // A set with trailing zero words (via clear) still writes the
+        // trimmed canonical form.
+        let mut t = NodeBitSet::new();
+        t.insert(NodeId(500));
+        t.clear(); // keeps the 8-word allocation, all zero
+        t.insert(NodeId(1));
+        assert!(t.words().len() > 1, "clear must keep the allocation");
+        let mut w = codec::Writer::new();
+        t.write_snapshot_words(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        let back = NodeBitSet::read_snapshot_words(&mut r).unwrap();
+        assert_eq!(back.words(), &[2u64]);
+        // Every truncation errors.
+        for cut in 0..bytes.len() {
+            let mut r = codec::Reader::new(&bytes[..cut]);
+            let res = NodeBitSet::read_snapshot_words(&mut r).and_then(|_| r.finish());
+            assert!(res.is_err(), "prefix of {cut} bytes decoded");
+        }
     }
 
     #[test]

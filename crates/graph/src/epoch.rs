@@ -125,6 +125,32 @@ impl EpochSet {
         }
         Ok(set)
     }
+
+    /// Serializes the member list as one raw `u32` word run (order
+    /// verbatim) — the sectioned-save fast path.
+    pub fn write_snapshot_raw(&self, w: &mut codec::Writer) {
+        let members: Vec<u32> = self.members.iter().map(|n| n.0).collect();
+        w.put_u32_run(&members);
+    }
+
+    /// Reconstructs a set from [`Self::write_snapshot_raw`] bytes with the
+    /// same bound/duplicate validation as [`Self::read_snapshot`].
+    pub fn read_snapshot_raw(r: &mut codec::Reader<'_>, bound: usize) -> codec::Result<Self> {
+        let members = r.get_u32_run()?;
+        let mut set = EpochSet::new();
+        for &raw in &members {
+            let node = NodeId(raw);
+            if node.index() >= bound {
+                return Err(codec::CodecError::Invalid(
+                    "EpochSet member outside node bound",
+                ));
+            }
+            if !set.insert(node) {
+                return Err(codec::CodecError::Invalid("duplicate EpochSet member"));
+            }
+        }
+        Ok(set)
+    }
 }
 
 #[cfg(test)]

@@ -102,6 +102,26 @@ impl IndexedSet {
         }
         Ok(set)
     }
+
+    /// Serializes the member slab as one raw `u32` word run, position
+    /// order verbatim (positions are part of the snapshot contract).
+    pub fn write_snapshot_slab(&self, w: &mut codec::Writer) {
+        let items: Vec<u32> = self.items.iter().map(|n| n.0).collect();
+        w.put_u32_run(&items);
+    }
+
+    /// Reconstructs a set from [`Self::write_snapshot_slab`] bytes,
+    /// rebuilding the position map. Duplicates are rejected as corruption.
+    pub fn read_snapshot_slab(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let items = r.get_u32_run()?;
+        let mut set = IndexedSet::new();
+        for &raw in &items {
+            if !set.insert(NodeId(raw)) {
+                return Err(codec::CodecError::Invalid("duplicate IndexedSet member"));
+            }
+        }
+        Ok(set)
+    }
 }
 
 #[cfg(test)]

@@ -210,6 +210,24 @@ impl ScratchPool {
             })
             .sum()
     }
+
+    /// Drops every pooled arena back to the allocator (the memory-budget
+    /// shedding hook). Scratch holds no logical state, so the only cost is
+    /// re-warming buffers on the next checkout; results are unaffected.
+    /// Returns the approximate bytes released.
+    pub fn release_memory(&self) -> usize {
+        let mut freed = 0;
+        for s in &self.slots {
+            let mut guard = match s.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if let Some(arena) = guard.take() {
+                freed += arena.approx_bytes();
+            }
+        }
+        freed
+    }
 }
 
 /// The set of nodes covered (reached) by a seed set; wraps a dense
@@ -288,6 +306,19 @@ impl CoverSet {
             }
         }
         Ok(CoverSet { bits })
+    }
+
+    /// Serializes the cover as one raw `u64` word run straight from the
+    /// backing bitset — the zero-copy sectioned-save path.
+    pub fn write_snapshot_words(&self, w: &mut codec::Writer) {
+        self.bits.write_snapshot_words(w);
+    }
+
+    /// Reconstructs a cover from [`Self::write_snapshot_words`] bytes.
+    pub fn read_snapshot_words(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        Ok(CoverSet {
+            bits: NodeBitSet::read_snapshot_words(r)?,
+        })
     }
 }
 
@@ -845,6 +876,9 @@ struct SpreadStatsInner {
     cache_misses: AtomicU64,
     patched_batches: AtomicU64,
     rebuilt_batches: AtomicU64,
+    shed_memo: AtomicU64,
+    shed_arena: AtomicU64,
+    shed_fallback: AtomicU64,
 }
 
 /// A plain-value copy of [`SpreadStats`] at one instant (what experiments
@@ -868,6 +902,13 @@ pub struct SpreadStatsSnapshot {
     pub patched_batches: u64,
     /// Batches where the cost model chose a full rebuild (dirty-dominated).
     pub rebuilt_batches: u64,
+    /// Budget-shedding level 1 events: memo caches dropped.
+    pub shed_memo: u64,
+    /// Budget-shedding level 2 events: recycled arena capacity released.
+    pub shed_arena: u64,
+    /// Budget-shedding level 3 events: fell back from incremental to
+    /// full-recompute spread maintenance.
+    pub shed_fallback: u64,
 }
 
 impl SpreadStats {
@@ -916,6 +957,17 @@ impl SpreadStats {
         }
     }
 
+    /// Records a budget-shedding event at the given level (1 = memo
+    /// caches, 2 = arena capacity, 3 = incremental→full fallback).
+    pub fn note_shed(&self, level: u8) {
+        let counter = match level {
+            1 => &self.0.shed_memo,
+            2 => &self.0.shed_arena,
+            _ => &self.0.shed_fallback,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads the current tallies.
     pub fn snapshot(&self) -> SpreadStatsSnapshot {
         SpreadStatsSnapshot {
@@ -927,6 +979,9 @@ impl SpreadStats {
             cache_misses: self.0.cache_misses.load(Ordering::Relaxed),
             patched_batches: self.0.patched_batches.load(Ordering::Relaxed),
             rebuilt_batches: self.0.rebuilt_batches.load(Ordering::Relaxed),
+            shed_memo: self.0.shed_memo.load(Ordering::Relaxed),
+            shed_arena: self.0.shed_arena.load(Ordering::Relaxed),
+            shed_fallback: self.0.shed_fallback.load(Ordering::Relaxed),
         }
     }
 
@@ -951,6 +1006,11 @@ impl SpreadStats {
         self.0
             .rebuilt_batches
             .store(s.rebuilt_batches, Ordering::Relaxed);
+        self.0.shed_memo.store(s.shed_memo, Ordering::Relaxed);
+        self.0.shed_arena.store(s.shed_arena, Ordering::Relaxed);
+        self.0
+            .shed_fallback
+            .store(s.shed_fallback, Ordering::Relaxed);
     }
 }
 
@@ -982,7 +1042,27 @@ impl SpreadStatsSnapshot {
             cache_misses: r.get_u64()?,
             patched_batches: r.get_u64()?,
             rebuilt_batches: r.get_u64()?,
+            ..Default::default()
         })
+    }
+
+    /// Serializes every tally, shed counters included — the sectioned
+    /// (format v3) layout. [`Self::write_snapshot`] keeps the original
+    /// eight-field layout so v2 checkpoints stay byte-identical.
+    pub fn write_snapshot_v3(&self, w: &mut codec::Writer) {
+        self.write_snapshot(w);
+        w.put_u64(self.shed_memo);
+        w.put_u64(self.shed_arena);
+        w.put_u64(self.shed_fallback);
+    }
+
+    /// Reconstructs tallies from [`Self::write_snapshot_v3`] bytes.
+    pub fn read_snapshot_v3(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        let mut s = Self::read_snapshot(r)?;
+        s.shed_memo = r.get_u64()?;
+        s.shed_arena = r.get_u64()?;
+        s.shed_fallback = r.get_u64()?;
+        Ok(s)
     }
 }
 
@@ -1283,6 +1363,27 @@ impl SpreadMemo {
         self.delta.clear();
     }
 
+    /// Forgets every stored value **and** returns the backing allocations
+    /// to the allocator — the memory-budget shedding hook. The next
+    /// [`Self::begin_batch`] regrows empty arrays, so this is equivalent to
+    /// a fresh memo (correctness-preserving: served values are always
+    /// recomputed exactly on miss). The probe-gate counters survive, so
+    /// probe decisions stay a deterministic function of the stream.
+    /// Returns the approximate bytes released.
+    pub fn release_memory(&mut self) -> usize {
+        let before = self.approx_bytes();
+        self.value = Vec::new();
+        self.valid = Vec::new();
+        self.delta_count = Vec::new();
+        self.dirty = EpochSet::new();
+        self.delta = EpochSet::new();
+        self.bmark = EpochSet::new();
+        self.queue = Vec::new();
+        self.abuf = Vec::new();
+        self.bbuf = Vec::new();
+        before.saturating_sub(self.approx_bytes())
+    }
+
     /// Approximate heap footprint in bytes (counted by the owners'
     /// `approx_bytes`, so memoisation cannot hide from memory accounting).
     pub fn approx_bytes(&self) -> usize {
@@ -1333,6 +1434,87 @@ impl SpreadMemo {
         for i in 0..n {
             if r.get_bool()? {
                 let v = r.get_u64()?;
+                if v == 0 || v > bound as u64 {
+                    return Err(codec::CodecError::Invalid(
+                        "SpreadMemo stored spread outside [1, node bound]",
+                    ));
+                }
+                memo.value[i] = v;
+                memo.valid[i] = true;
+            }
+        }
+        memo.probes_run = r.get_u64()?;
+        memo.probes_hit = r.get_u64()?;
+        memo.probe_skips = r.get_u64()?;
+        if memo.probes_hit > memo.probes_run {
+            return Err(codec::CodecError::Invalid(
+                "SpreadMemo probe hits exceed probes run",
+            ));
+        }
+        Ok(memo)
+    }
+
+    /// Serializes the memo as raw word runs — validity bitmap (one bit per
+    /// slot, packed LE into `u64` words), then the valid values
+    /// concatenated in index order, then the probe-gate counters. The
+    /// mmap-friendly sectioned-save alternative to the element-wise
+    /// [`Self::write_snapshot`].
+    pub fn write_snapshot_raw(&self, w: &mut codec::Writer) {
+        w.put_len(self.value.len());
+        let mut bitmap = vec![0u64; self.value.len().div_ceil(64)];
+        let mut values: Vec<u64> = Vec::new();
+        for (i, &valid) in self.valid.iter().enumerate() {
+            if valid {
+                bitmap[i >> 6] |= 1u64 << (i & 63);
+                values.push(self.value[i]);
+            }
+        }
+        w.put_u64_run(&bitmap);
+        w.put_u64_run(&values);
+        w.put_u64(self.probes_run);
+        w.put_u64(self.probes_hit);
+        w.put_u64(self.probe_skips);
+    }
+
+    /// Reconstructs a memo from [`Self::write_snapshot_raw`] bytes with the
+    /// same validation as [`Self::read_snapshot`].
+    pub fn read_snapshot_raw(r: &mut codec::Reader<'_>, bound: usize) -> codec::Result<Self> {
+        // Slots are bitmap-packed (1 bit each), so `get_len`'s byte-per-
+        // element guard would reject valid payloads; the bound check below
+        // caps the allocation instead.
+        let n = r.get_u64()? as usize;
+        if n > bound {
+            return Err(codec::CodecError::Invalid(
+                "SpreadMemo larger than the graph's node bound",
+            ));
+        }
+        let bitmap = r.get_u64_run()?;
+        if bitmap.len() != n.div_ceil(64) {
+            return Err(codec::CodecError::Invalid(
+                "SpreadMemo validity bitmap has the wrong word count",
+            ));
+        }
+        if !n.is_multiple_of(64) && bitmap.last().is_some_and(|&w| w >> (n % 64) != 0) {
+            return Err(codec::CodecError::Invalid(
+                "SpreadMemo validity bitmap marks slots past the end",
+            ));
+        }
+        let values = r.get_u64_run()?;
+        let total: usize = bitmap.iter().map(|w| w.count_ones() as usize).sum();
+        if values.len() != total {
+            return Err(codec::CodecError::Invalid(
+                "SpreadMemo value run disagrees with validity bitmap",
+            ));
+        }
+        let mut memo = SpreadMemo::new();
+        memo.value = vec![0; n];
+        memo.valid = vec![false; n];
+        memo.delta_count = vec![0; n];
+        let mut next = 0usize;
+        for i in 0..n {
+            if bitmap[i >> 6] >> (i & 63) & 1 != 0 {
+                let v = values[next];
+                next += 1;
                 if v == 0 || v > bound as u64 {
                     return Err(codec::CodecError::Invalid(
                         "SpreadMemo stored spread outside [1, node bound]",
@@ -1862,5 +2044,103 @@ mod tests {
                 "spread {bad}"
             );
         }
+    }
+
+    #[test]
+    fn spread_memo_raw_snapshot_matches_element_wise() {
+        let mut memo = SpreadMemo::new();
+        memo.begin_batch(130); // spans three bitmap words
+        memo.store(NodeId(0), 3);
+        memo.store(NodeId(64), 1);
+        memo.store(NodeId(129), 100);
+        memo.note_probe(true);
+        memo.note_probe(false);
+        let mut w = codec::Writer::new();
+        memo.write_snapshot_raw(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        let mut back = SpreadMemo::read_snapshot_raw(&mut r, 130).expect("round trip");
+        r.finish().expect("fully consumed");
+        back.begin_batch(130);
+        assert_eq!(back.lookup(NodeId(0)), Some(3));
+        assert_eq!(back.lookup(NodeId(64)), Some(1));
+        assert_eq!(back.lookup(NodeId(129)), Some(100));
+        assert_eq!(back.lookup(NodeId(1)), None);
+        assert_eq!(back.probes_run, 2);
+        assert_eq!(back.probes_hit, 1);
+        // Bound and truncation validation as on the element-wise path.
+        let mut r = codec::Reader::new(&bytes);
+        assert!(SpreadMemo::read_snapshot_raw(&mut r, 129).is_err());
+        for cut in 0..bytes.len() {
+            let mut r = codec::Reader::new(&bytes[..cut]);
+            let res = SpreadMemo::read_snapshot_raw(&mut r, 130).and_then(|_| r.finish());
+            assert!(res.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn memo_release_memory_returns_billed_bytes() {
+        let mut memo = SpreadMemo::new();
+        memo.begin_batch(1000);
+        for i in 0..1000 {
+            memo.store(NodeId(i), 1);
+        }
+        memo.mark_dirty(NodeId(3));
+        let before = memo.approx_bytes();
+        assert!(before >= 1000 * std::mem::size_of::<u64>());
+        let released = memo.release_memory();
+        // Accounting identity: what release reports is exactly the drop in
+        // what approx_bytes bills — no hidden allocations either way.
+        assert_eq!(before - memo.approx_bytes(), released);
+        assert!(released >= 1000 * std::mem::size_of::<u64>());
+        // The memo remains usable and exact: values are simply gone.
+        memo.begin_batch(1000);
+        assert_eq!(memo.lookup(NodeId(5)), None);
+        memo.store(NodeId(5), 7);
+        assert_eq!(memo.lookup(NodeId(5)), Some(7));
+    }
+
+    #[test]
+    fn cover_word_snapshot_matches_element_wise() {
+        let cover: CoverSet = [3u32, 64, 700].into_iter().map(NodeId).collect();
+        let mut w = codec::Writer::new();
+        cover.write_snapshot_words(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        let back = CoverSet::read_snapshot_words(&mut r).expect("round trip");
+        r.finish().expect("fully consumed");
+        assert_eq!(back.len(), 3);
+        assert!(back.contains(NodeId(700)) && back.contains(NodeId(3)));
+        let a: Vec<NodeId> = cover.iter().collect();
+        let b: Vec<NodeId> = back.iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shed_counters_tally_and_survive_v3_round_trip() {
+        let stats = SpreadStats::new();
+        stats.note_shed(1);
+        stats.note_shed(2);
+        stats.note_shed(2);
+        stats.note_shed(3);
+        let snap = stats.snapshot();
+        assert_eq!(
+            (snap.shed_memo, snap.shed_arena, snap.shed_fallback),
+            (1, 2, 1)
+        );
+        let mut w = codec::Writer::new();
+        snap.write_snapshot_v3(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        assert_eq!(SpreadStatsSnapshot::read_snapshot_v3(&mut r).unwrap(), snap);
+        r.finish().unwrap();
+        // The v2 writer stays at eight words: shed counters must not leak
+        // into old-format bytes.
+        let mut w = codec::Writer::new();
+        snap.write_snapshot(&mut w);
+        assert_eq!(w.into_vec().len(), 8 * 8);
+        let mut r = codec::Reader::new(&bytes);
+        let v2 = SpreadStatsSnapshot::read_snapshot(&mut r).unwrap();
+        assert_eq!(v2.shed_memo, 0, "v2 read leaves shed counters zeroed");
     }
 }

@@ -65,8 +65,89 @@ impl AdjSide {
         }
     }
 
+    /// Counts entry `n` dead (lazy removal). The dead counter is
+    /// serialized with the chunk, so this is a content change for
+    /// dirty-tracking purposes even though the entry bytes are untouched.
+    fn kill(&mut self, n: usize) {
+        self.dead[n] += 1;
+        self.pool.mark_dirty(n);
+    }
+
     fn approx_bytes(&self) -> usize {
         self.pool.approx_bytes() + self.dead.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Serializes snapshot chunk `chunk` as raw word runs: list lengths,
+    /// dead counters, then all entries split into a target run and an
+    /// expiry run (structure-of-arrays keeps both runs zero-copy).
+    fn write_chunk(&self, chunk: usize, w: &mut codec::Writer) {
+        let lo = chunk * crate::arena::SNAPSHOT_CHUNK;
+        let hi = (lo + crate::arena::SNAPSHOT_CHUNK).min(self.pool.node_bound());
+        debug_assert!(lo < hi, "chunk out of range");
+        let lens: Vec<u32> = (lo..hi).map(|n| self.pool.list_len(n) as u32).collect();
+        w.put_u32_run(&lens);
+        w.put_u32_run(&self.dead[lo..hi]);
+        let total: usize = lens.iter().map(|&l| l as usize).sum();
+        let mut targets: Vec<u32> = Vec::with_capacity(total);
+        let mut expiries: Vec<u64> = Vec::with_capacity(total);
+        for n in lo..hi {
+            for &(v, exp) in self.pool.as_slice(n) {
+                targets.push(v.0);
+                expiries.push(exp);
+            }
+        }
+        w.put_u32_run(&targets);
+        w.put_u64_run(&expiries);
+    }
+
+    /// Restores chunk `chunk` from [`Self::write_chunk`] bytes by bulk
+    /// copy. `expected_lists` comes from the enclosing snapshot's node
+    /// bound; any internal disagreement is typed corruption. Dead counters
+    /// are range-checked here and recounted exactly by the caller's
+    /// cross-validation.
+    fn read_chunk(
+        &mut self,
+        chunk: usize,
+        expected_lists: usize,
+        r: &mut codec::Reader<'_>,
+    ) -> codec::Result<()> {
+        let lens = r.get_u32_run()?;
+        let dead = r.get_u32_run()?;
+        if lens.len() != expected_lists || dead.len() != expected_lists {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph adjacency chunk holds the wrong number of lists",
+            ));
+        }
+        let targets = r.get_u32_run()?;
+        let expiries = r.get_u64_run()?;
+        let total: usize = lens.iter().map(|&l| l as usize).sum();
+        if targets.len() != total || expiries.len() != total {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph adjacency chunk lengths disagree with entry runs",
+            ));
+        }
+        let lo = chunk * crate::arena::SNAPSHOT_CHUNK;
+        self.ensure_node_bound(lo + expected_lists);
+        let mut off = 0usize;
+        let mut items: Vec<Entry> = Vec::new();
+        for (i, &len) in lens.iter().enumerate() {
+            if dead[i] > len {
+                return Err(codec::CodecError::Invalid(
+                    "TdnGraph dead counter exceeds adjacency length",
+                ));
+            }
+            items.clear();
+            items.extend(
+                targets[off..off + len as usize]
+                    .iter()
+                    .zip(&expiries[off..off + len as usize])
+                    .map(|(&t, &exp)| (NodeId(t), exp)),
+            );
+            self.pool.set_list(lo + i, &items);
+            self.dead[lo + i] = dead[i];
+            off += len as usize;
+        }
+        Ok(())
     }
 }
 
@@ -117,6 +198,38 @@ pub struct TdnGraph {
     /// Per-advance touched marks for the batched eviction sweep
     /// (transient scratch, never serialized).
     touched: EpochSet,
+    /// Monotone counter behind [`Self::bucket_range_gen`]; like the arena
+    /// generations this is process-local dirty-tracking state, never
+    /// serialized.
+    bucket_generation: u64,
+    /// Expiry-range watermarks: coarse range (`expiry >>`
+    /// [`BUCKET_RANGE_SHIFT`]) → generation of its last mutation (bucket
+    /// insert or drain). Sectioned saves skip ranges whose watermark has
+    /// not moved since the parent save. Ranges wholly below `now` are
+    /// pruned on advance, keeping the map bounded by live expiries.
+    bucket_range_gen: BTreeMap<u64, u64>,
+}
+
+/// Log2 width of a bucket-range watermark: expiry buckets are grouped into
+/// ranges of `1 << BUCKET_RANGE_SHIFT` time steps for dirty tracking, so a
+/// far-future range untouched between two saves costs a delta checkpoint
+/// nothing.
+pub const BUCKET_RANGE_SHIFT: u32 = 6;
+
+/// Decoded-but-unvalidated snapshot parts — the element-wise and sectioned
+/// restore paths both parse into this shape and hand it to
+/// [`TdnGraph::assemble`] for the shared cross-validation.
+struct TdnParts {
+    now: Time,
+    out: AdjSide,
+    inc: AdjSide,
+    degree: Vec<u32>,
+    buckets: BTreeMap<Time, Vec<(NodeId, NodeId)>>,
+    pair_count: FxHashMap<u64, u32>,
+    live_nodes: IndexedSet,
+    live_edges: u64,
+    dirty_enabled: bool,
+    dirty: EpochSet,
 }
 
 impl TdnGraph {
@@ -189,6 +302,7 @@ impl TdnGraph {
                 break;
             }
             let (_, edges) = self.buckets.pop_first().expect("bucket exists");
+            self.touch_bucket_range(exp);
             for (u, v) in edges {
                 self.evict(u, v);
                 touched.insert(u);
@@ -196,6 +310,8 @@ impl TdnGraph {
                 on_evict(u, v);
             }
         }
+        // Watermarks for ranges wholly in the past can never matter again.
+        self.bucket_range_gen = self.bucket_range_gen.split_off(&(t >> BUCKET_RANGE_SHIFT));
         // Compact once per touched list, after ALL buckets ≤ t are drained
         // (dead counters are exact only then).
         for &n in touched.members() {
@@ -251,8 +367,8 @@ impl TdnGraph {
                 self.pair_count.remove(&key);
             }
         }
-        self.out.dead[u.index()] += 1;
-        self.inc.dead[v.index()] += 1;
+        self.out.kill(u.index());
+        self.inc.kill(v.index());
         self.live_edges -= 1;
         for n in [u, v] {
             let d = &mut self.degree[n.index()];
@@ -292,6 +408,7 @@ impl TdnGraph {
         *self.pair_count.entry(pack_pair(u, v)).or_insert(0) += 1;
         if expiry != Time::MAX {
             self.buckets.entry(expiry).or_default().push((u, v));
+            self.touch_bucket_range(expiry);
         }
         self.live_edges += 1;
         for n in [u, v] {
@@ -453,11 +570,6 @@ impl TdnGraph {
             degree.push(r.get_u32()?);
         }
         let bound = out.pool.node_bound();
-        if bound != inc.pool.node_bound() || bound != degree.len() {
-            return Err(codec::CodecError::Invalid(
-                "TdnGraph per-node vectors disagree on node bound",
-            ));
-        }
         let n_buckets = r.get_len(16)?;
         let mut buckets: BTreeMap<Time, Vec<(NodeId, NodeId)>> = BTreeMap::new();
         for _ in 0..n_buckets {
@@ -495,17 +607,59 @@ impl TdnGraph {
         let live_edges = r.get_u64()?;
         let dirty_enabled = r.get_bool()?;
         let dirty = EpochSet::read_snapshot(r, bound)?;
+        Self::assemble(TdnParts {
+            now,
+            out,
+            inc,
+            degree,
+            buckets,
+            pair_count,
+            live_nodes,
+            live_edges,
+            dirty_enabled,
+            dirty,
+        })
+    }
+
+    /// Cross-validates decoded parts and assembles the graph — the shared
+    /// back half of both restore paths (element-wise and sectioned). The
+    /// checksum only proves the file round-tripped the *bytes*; it does
+    /// not prove the structures agree with each other, and future mutation
+    /// code (eviction, compaction) indexes and decrements based on exactly
+    /// these invariants. Any disagreement is a typed error here, not a
+    /// panic later.
+    fn assemble(parts: TdnParts) -> codec::Result<Self> {
+        let TdnParts {
+            now,
+            out,
+            inc,
+            degree,
+            buckets,
+            pair_count,
+            live_nodes,
+            live_edges,
+            dirty_enabled,
+            dirty,
+        } = parts;
+        let bound = out.pool.node_bound();
+        if bound != inc.pool.node_bound() || bound != degree.len() {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph per-node vectors disagree on node bound",
+            ));
+        }
         if !dirty_enabled && !dirty.is_empty() {
             return Err(codec::CodecError::Invalid(
                 "TdnGraph dirty set present with tracking disabled",
             ));
         }
-        // Full cross-validation of the redundant bookkeeping. The checksum
-        // only proves the file round-tripped the *bytes*; it does not prove
-        // the structures agree with each other, and future mutation code
-        // (eviction, compaction) indexes and decrements based on exactly
-        // these invariants. Any disagreement is a typed error here, not a
-        // panic later.
+        if buckets
+            .first_key_value()
+            .is_some_and(|(&exp, _)| exp <= now)
+        {
+            return Err(codec::CodecError::Invalid(
+                "TdnGraph expiry bucket at or before the snapshot clock",
+            ));
+        }
         let mut live_out = vec![0u32; bound];
         let mut live_in = vec![0u32; bound];
         let mut live_pairs: FxHashMap<u64, u32> = FxHashMap::default();
@@ -628,7 +782,7 @@ impl TdnGraph {
                 "TdnGraph finite-lifetime entry missing from its expiry bucket",
             ));
         }
-        Ok(TdnGraph {
+        let mut g = TdnGraph {
             now,
             out,
             inc,
@@ -640,7 +794,204 @@ impl TdnGraph {
             dirty,
             dirty_enabled,
             touched: EpochSet::new(),
-        })
+            bucket_generation: 0,
+            bucket_range_gen: BTreeMap::new(),
+        };
+        // Fresh watermarks for every live range: the restored graph is a
+        // new save lineage, so its first save is a base anyway; all that
+        // matters is that subsequent mutations move the marks.
+        let live_exps: Vec<Time> = g.buckets.keys().copied().collect();
+        for exp in live_exps {
+            g.touch_bucket_range(exp);
+        }
+        Ok(g)
+    }
+
+    /// Moves the watermark of `exp`'s coarse range to a fresh generation.
+    fn touch_bucket_range(&mut self, exp: Time) {
+        self.bucket_generation += 1;
+        self.bucket_range_gen
+            .insert(exp >> BUCKET_RANGE_SHIFT, self.bucket_generation);
+    }
+
+    /// Emits the graph as named sections under `prefix` — the delta-aware
+    /// alternative to [`Self::write_snapshot`]. Layout:
+    ///
+    /// - `{prefix}core`: clock, degrees, pair multiplicities (canonical
+    ///   sorted runs), live-node slab, edge count, dirty state, and the
+    ///   directory of live bucket ranges. Always fresh (it is small and
+    ///   changes every step).
+    /// - `{prefix}adj.{out,inc}.<c>`: adjacency chunk `c` of each side
+    ///   ([`crate::arena::SNAPSHOT_CHUNK`] lists), skipped via arena chunk
+    ///   generations when untouched since the parent save.
+    /// - `{prefix}buckets.<r>`: expiry buckets of coarse range `r`,
+    ///   skipped via bucket-range watermarks.
+    pub fn write_sections(&self, sink: &mut codec::SectionSink, prefix: &str) {
+        let bound = self.out.pool.node_bound();
+        let mut w = codec::Writer::new();
+        w.put_u64(self.now);
+        w.put_len(bound);
+        w.put_u32_run(&self.degree);
+        // Canonical (sorted) order: the map is only ever queried by key.
+        let mut pairs: Vec<(u64, u32)> = self.pair_count.iter().map(|(&k, &c)| (k, c)).collect();
+        pairs.sort_unstable();
+        let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        let counts: Vec<u32> = pairs.iter().map(|&(_, c)| c).collect();
+        w.put_u64_run(&keys);
+        w.put_u32_run(&counts);
+        self.live_nodes.write_snapshot_slab(&mut w);
+        w.put_u64(self.live_edges);
+        w.put_bool(self.dirty_enabled);
+        self.dirty.write_snapshot_raw(&mut w);
+        let mut ranges: Vec<u64> = Vec::new();
+        for &exp in self.buckets.keys() {
+            let rk = exp >> BUCKET_RANGE_SHIFT;
+            if ranges.last() != Some(&rk) {
+                ranges.push(rk);
+            }
+        }
+        w.put_u64_run(&ranges);
+        sink.put(&format!("{prefix}core"), w.into_vec());
+        for c in 0..bound.div_ceil(crate::arena::SNAPSHOT_CHUNK) {
+            for (side, dir) in [(&self.out, "out"), (&self.inc, "inc")] {
+                sink.put_with_gen(
+                    &format!("{prefix}adj.{dir}.{c}"),
+                    side.pool.chunk_generation(c),
+                    || {
+                        let mut w = codec::Writer::new();
+                        side.write_chunk(c, &mut w);
+                        w.into_vec()
+                    },
+                );
+            }
+        }
+        for &rk in &ranges {
+            let generation = self.bucket_range_gen.get(&rk).copied().unwrap_or(0);
+            sink.put_with_gen(&format!("{prefix}buckets.{rk}"), generation, || {
+                self.write_bucket_range(rk)
+            });
+        }
+    }
+
+    /// Serializes one coarse expiry range as four raw runs: bucket keys,
+    /// per-bucket edge counts, then sources and targets concatenated in
+    /// bucket order (the order [`Self::edges_with_remaining_in`] replays).
+    fn write_bucket_range(&self, rk: u64) -> Vec<u8> {
+        let mut exps: Vec<u64> = Vec::new();
+        let mut lens: Vec<u32> = Vec::new();
+        let mut us: Vec<u32> = Vec::new();
+        let mut vs: Vec<u32> = Vec::new();
+        for (&exp, edges) in self.buckets.range(rk << BUCKET_RANGE_SHIFT..) {
+            if exp >> BUCKET_RANGE_SHIFT != rk {
+                break;
+            }
+            exps.push(exp);
+            lens.push(edges.len() as u32);
+            for &(u, v) in edges {
+                us.push(u.0);
+                vs.push(v.0);
+            }
+        }
+        let mut w = codec::Writer::new();
+        w.put_u64_run(&exps);
+        w.put_u32_run(&lens);
+        w.put_u32_run(&us);
+        w.put_u32_run(&vs);
+        w.into_vec()
+    }
+
+    /// Reconstructs a graph from the sections [`Self::write_sections`]
+    /// emitted under `prefix`, with the same full cross-validation as
+    /// [`Self::read_snapshot`].
+    pub fn read_sections(
+        map: &codec::SectionMap,
+        prefix: &str,
+    ) -> Result<Self, codec::SectionError> {
+        let invalid =
+            |msg: &'static str| codec::SectionError::Codec(codec::CodecError::Invalid(msg));
+        let mut r = map.reader(&format!("{prefix}core"))?;
+        let now = r.get_u64()?;
+        let bound = r.get_len(4)?;
+        let degree = r.get_u32_run()?;
+        if degree.len() != bound {
+            return Err(invalid("TdnGraph degree run disagrees with node bound"));
+        }
+        let keys = r.get_u64_run()?;
+        let counts = r.get_u32_run()?;
+        if keys.len() != counts.len() {
+            return Err(invalid("TdnGraph pair runs disagree in length"));
+        }
+        let mut pair_count = FxHashMap::default();
+        for (i, (&k, &c)) in keys.iter().zip(&counts).enumerate() {
+            if (i > 0 && keys[i - 1] >= k) || c == 0 {
+                return Err(invalid(
+                    "TdnGraph pair multiplicities out of order, duplicated, or zero",
+                ));
+            }
+            pair_count.insert(k, c);
+        }
+        let live_nodes = IndexedSet::read_snapshot_slab(&mut r)?;
+        let live_edges = r.get_u64()?;
+        let dirty_enabled = r.get_bool()?;
+        let dirty = EpochSet::read_snapshot_raw(&mut r, bound)?;
+        let ranges = r.get_u64_run()?;
+        r.finish()?;
+        let mut out = AdjSide::default();
+        let mut inc = AdjSide::default();
+        out.ensure_node_bound(bound);
+        inc.ensure_node_bound(bound);
+        for c in 0..bound.div_ceil(crate::arena::SNAPSHOT_CHUNK) {
+            let lists =
+                (bound - c * crate::arena::SNAPSHOT_CHUNK).min(crate::arena::SNAPSHOT_CHUNK);
+            for (side, dir) in [(&mut out, "out"), (&mut inc, "inc")] {
+                let mut r = map.reader(&format!("{prefix}adj.{dir}.{c}"))?;
+                side.read_chunk(c, lists, &mut r)?;
+                r.finish()?;
+            }
+        }
+        let mut buckets: BTreeMap<Time, Vec<(NodeId, NodeId)>> = BTreeMap::new();
+        for (i, &rk) in ranges.iter().enumerate() {
+            if i > 0 && ranges[i - 1] >= rk {
+                return Err(invalid("TdnGraph bucket ranges out of order"));
+            }
+            let mut r = map.reader(&format!("{prefix}buckets.{rk}"))?;
+            let exps = r.get_u64_run()?;
+            let lens = r.get_u32_run()?;
+            let us = r.get_u32_run()?;
+            let vs = r.get_u32_run()?;
+            r.finish()?;
+            let total: usize = lens.iter().map(|&l| l as usize).sum();
+            if exps.len() != lens.len() || us.len() != vs.len() || total != us.len() {
+                return Err(invalid("TdnGraph bucket range runs disagree"));
+            }
+            let mut off = 0usize;
+            for (j, (&exp, &len)) in exps.iter().zip(&lens).enumerate() {
+                if exp >> BUCKET_RANGE_SHIFT != rk || (j > 0 && exps[j - 1] >= exp) || len == 0 {
+                    return Err(invalid(
+                        "TdnGraph bucket outside its range, out of order, or empty",
+                    ));
+                }
+                let edges: Vec<(NodeId, NodeId)> = us[off..off + len as usize]
+                    .iter()
+                    .zip(&vs[off..off + len as usize])
+                    .map(|(&u, &v)| (NodeId(u), NodeId(v)))
+                    .collect();
+                buckets.insert(exp, edges);
+                off += len as usize;
+            }
+        }
+        Ok(Self::assemble(TdnParts {
+            now,
+            out,
+            inc,
+            degree,
+            buckets,
+            pair_count,
+            live_nodes,
+            live_edges,
+            dirty_enabled,
+            dirty,
+        })?)
     }
 
     /// Approximate heap footprint in bytes.
@@ -657,6 +1008,14 @@ impl TdnGraph {
             + self.degree.capacity() * 4
             + self.dirty.approx_bytes()
             + self.touched.approx_bytes()
+    }
+
+    /// Releases recycled adjacency-arena tail blocks back to the allocator
+    /// — the memory-budget shedding hook. Pure layout change (snapshots
+    /// and traversal order are unaffected); returns approximate bytes
+    /// released.
+    pub fn release_recycled_memory(&mut self) -> usize {
+        self.out.pool.release_free_tail() + self.inc.pool.release_free_tail()
     }
 
     /// Combined adjacency-arena occupancy: `(buffer_slots,
@@ -1106,6 +1465,86 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.node_count(), 0);
         g.check_invariants();
+    }
+
+    #[test]
+    fn sectioned_snapshot_round_trip_matches_element_wise() {
+        // Same shape as the element-wise round-trip test: pending
+        // expirations, partially-dead lists, multi-edges, undrained dirty
+        // set — the sectioned path must restore an identically-evolving
+        // graph.
+        let mut g = TdnGraph::new();
+        g.set_dirty_tracking(true);
+        for i in 1..=10u32 {
+            g.add_edge(NodeId(0), NodeId(i), i);
+        }
+        g.add_edge(NodeId(0), NodeId(3), 9);
+        g.add_edge(NodeId(7), NodeId(0), 20);
+        // An edge far in the future, in its own bucket range.
+        g.add_edge(NodeId(2), NodeId(9), 500);
+        g.advance_to(4);
+        let mut sink = codec::SectionSink::new(codec::ParentIndex::new());
+        g.write_sections(&mut sink, "g.");
+        let (blob, _) = sink.finish();
+        let map = codec::SectionMap::from_single(&blob).expect("resolve");
+        let mut h = TdnGraph::read_sections(&map, "g.").expect("sectioned restore");
+        h.check_invariants();
+        assert!(h.dirty_tracking());
+        assert_eq!(g.dirty_nodes(), h.dirty_nodes());
+        let range = |g: &TdnGraph| -> Vec<LiveEdge> { g.edges_with_remaining_in(1, 600).collect() };
+        assert_eq!(range(&g), range(&h));
+        for t in [6u64, 9, 12] {
+            g.advance_to(t);
+            h.advance_to(t);
+            g.add_edge(NodeId(5), NodeId(t as u32), 3);
+            h.add_edge(NodeId(5), NodeId(t as u32), 3);
+            assert_eq!(g.edge_count(), h.edge_count(), "t={t}");
+            assert_eq!(g.live_nodes().as_slice(), h.live_nodes().as_slice());
+            assert_eq!(range(&g), range(&h), "t={t}");
+            assert_eq!(g.take_dirty(), h.take_dirty(), "t={t}");
+            h.check_invariants();
+        }
+    }
+
+    #[test]
+    fn sectioned_delta_skips_stable_chunks_and_ranges() {
+        let mut g = TdnGraph::new();
+        // Chunk 0 and chunk 1 both populated; one far-future bucket range.
+        g.add_edge(NodeId(0), NodeId(1), 10);
+        g.add_edge(
+            NodeId(crate::arena::SNAPSHOT_CHUNK as u32 + 3),
+            NodeId(2),
+            (1u32 << BUCKET_RANGE_SHIFT) * 4,
+        );
+        let mut sink = codec::SectionSink::new(codec::ParentIndex::new());
+        g.write_sections(&mut sink, "g.");
+        let (base, parent) = sink.finish();
+        // Mutate only chunk 0 and a near bucket range.
+        g.advance_to(1);
+        g.add_edge(NodeId(0), NodeId(3), 5);
+        let mut sink = codec::SectionSink::new(parent);
+        g.write_sections(&mut sink, "g.");
+        let (fresh, refs) = sink.counts();
+        assert!(
+            refs >= 3,
+            "chunk-1 sides and the far range must ref (got {refs})"
+        );
+        assert!(fresh >= 2, "core and chunk 0 must be fresh (got {fresh})");
+        let (delta, _) = sink.finish();
+        assert!(delta.len() < base.len());
+        // The chain restores to a graph identical to a direct restore.
+        let map = codec::SectionMap::resolve(&[&delta, &base]).expect("chain");
+        let h = TdnGraph::read_sections(&map, "g.").expect("chain restore");
+        h.check_invariants();
+        assert_eq!(g.edge_count(), h.edge_count());
+        assert_eq!(g.live_nodes().as_slice(), h.live_nodes().as_slice());
+        let range = |g: &TdnGraph| -> Vec<LiveEdge> {
+            g.edges_with_remaining_in(1, Lifetime::MAX).collect()
+        };
+        assert_eq!(range(&g), range(&h));
+        // A lone delta cannot restore (dangling refs are typed errors).
+        let lone = codec::SectionMap::from_single(&delta);
+        assert!(matches!(lone, Err(codec::SectionError::Unresolved { .. })));
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //!
 //! Every failure mode of the persistence layer — I/O, a foreign or
 //! truncated file, a version from the future, a checkpoint taken under a
-//! different tracker configuration — surfaces as a [`PersistError`]
-//! variant. Restoring **never panics** on bad input: the acceptance test
-//! for the subsystem is that a corrupt or mismatched file degrades into an
-//! error the operator can act on.
+//! different tracker configuration, a delta whose base snapshot is gone —
+//! surfaces as a [`PersistError`] variant. Restoring **never panics** on
+//! bad input: the acceptance test for the subsystem is that a corrupt or
+//! mismatched file degrades into an error the operator can act on.
 
 use crate::manifest::TrackerKind;
 use std::fmt;
@@ -19,8 +19,8 @@ pub enum PersistError {
     /// or the header itself is truncated).
     BadMagic,
     /// The file's format version is newer than this build understands.
-    /// (Older versions are migrated when the format evolves; version 1 is
-    /// current, so any other value is unsupported.)
+    /// (Older versions are migrated when the format evolves; versions 2 and
+    /// 3 are readable, version 3 is written.)
     UnsupportedVersion {
         /// Version found in the file.
         found: u32,
@@ -44,9 +44,34 @@ pub enum PersistError {
         /// Fingerprint recorded in the manifest.
         found: u64,
     },
-    /// The payload bytes do not hash to the stored checksum (bit rot or a
+    /// Stored bytes do not hash to their recorded checksum (bit rot or a
     /// partially overwritten file).
-    ChecksumMismatch,
+    ChecksumMismatch {
+        /// Which section inside the sectioned payload failed, when the
+        /// corruption could be localized; `None` means the whole-payload
+        /// envelope checksum failed before any section was examined.
+        section: Option<String>,
+    },
+    /// A section required for restore is absent from the container (or,
+    /// after resolving a delta chain, was never materialized by any link).
+    MissingSection {
+        /// Name of the absent or unresolved section.
+        section: String,
+    },
+    /// A delta checkpoint references a base or intermediate snapshot that
+    /// could not be found (deleted, renamed, or never copied alongside the
+    /// delta).
+    MissingBase {
+        /// Snapshot id the dangling delta expected as its parent.
+        snapshot_id: u64,
+    },
+    /// Resolving a delta chain revisited a snapshot id — the parent links
+    /// form a loop instead of terminating at a base (only possible with
+    /// corrupt or hand-crafted files; ids are content-derived).
+    ChainCycle {
+        /// First snapshot id encountered twice.
+        snapshot_id: u64,
+    },
     /// The payload failed to decode (truncation, implausible lengths,
     /// out-of-domain values, trailing bytes).
     Corrupt(codec::CodecError),
@@ -72,9 +97,30 @@ impl fmt::Display for PersistError {
                 "checkpoint was taken under a different tracker config \
                  (hash {found:#018x}, expected {expected:#018x})"
             ),
-            PersistError::ChecksumMismatch => {
+            PersistError::ChecksumMismatch { section: None } => {
                 write!(f, "checkpoint payload checksum mismatch (corrupt file)")
             }
+            PersistError::ChecksumMismatch {
+                section: Some(section),
+            } => write!(
+                f,
+                "checkpoint section {section:?} failed its checksum (corrupt file)"
+            ),
+            PersistError::MissingSection { section } => write!(
+                f,
+                "checkpoint is missing required section {section:?} \
+                 (truncated container or incomplete delta chain)"
+            ),
+            PersistError::MissingBase { snapshot_id } => write!(
+                f,
+                "delta checkpoint needs parent snapshot {snapshot_id:#018x}, \
+                 which was not found"
+            ),
+            PersistError::ChainCycle { snapshot_id } => write!(
+                f,
+                "delta chain loops back to snapshot {snapshot_id:#018x} \
+                 instead of reaching a base"
+            ),
             PersistError::Corrupt(e) => write!(f, "checkpoint payload is corrupt: {e}"),
         }
     }
@@ -99,5 +145,23 @@ impl From<std::io::Error> for PersistError {
 impl From<codec::CodecError> for PersistError {
     fn from(e: codec::CodecError) -> Self {
         PersistError::Corrupt(e)
+    }
+}
+
+impl From<codec::SectionError> for PersistError {
+    fn from(e: codec::SectionError) -> Self {
+        match e {
+            codec::SectionError::Codec(c) => PersistError::Corrupt(c),
+            codec::SectionError::Missing { section }
+            | codec::SectionError::Unresolved { section } => {
+                PersistError::MissingSection { section }
+            }
+            codec::SectionError::ChecksumMismatch { section } => PersistError::ChecksumMismatch {
+                section: Some(section),
+            },
+            codec::SectionError::Duplicate { .. } => PersistError::Corrupt(
+                codec::CodecError::Invalid("duplicate section name in container"),
+            ),
+        }
     }
 }

@@ -70,8 +70,9 @@
 //! * [`tdn_submodular`] — SieveStreaming, CELF, threshold ladders;
 //! * [`tdn_core`] — SIEVEADN / BASICREDUCTION / HISTAPPROX + baselines;
 //! * [`tdn_baselines`] — IC-model RIS baselines (DIM, IMM, TIM+);
-//! * [`persist`] — checkpoint/restore: versioned binary snapshots of full
-//!   tracker state with a bit-identical warm-restart guarantee;
+//! * [`persist`] — checkpoint/restore: versioned, sectioned binary
+//!   snapshots of full tracker state (base + delta chains, per-section
+//!   checksums) with a bit-identical warm-restart guarantee;
 //! * [`parallel`] — the execution engine fanning instance/threshold work
 //!   across cores (`TDN_THREADS`, deterministic at any thread count).
 //!
@@ -103,8 +104,9 @@ pub mod prelude {
     };
     pub use tdn_graph::{condense, Lifetime, NodeId, NodeInterner, TdnGraph, Time};
     pub use tdn_persist::{
-        checkpoint_to_vec, load_checkpoint, read_manifest, restore_from_slice, save_checkpoint,
-        Persist, PersistError, TrackerKind,
+        checkpoint_base_to_vec, checkpoint_delta_to_vec, checkpoint_to_vec, load_checkpoint,
+        read_manifest, restore_from_chain, restore_from_slice, save_checkpoint, CheckpointChain,
+        CompactionPolicy, Persist, PersistError, SaveReceipt, SnapshotKind, TrackerKind,
     };
     pub use tdn_streams::{
         read_interactions, write_interactions, ConstantLifetime, Dataset, GeometricLifetime,

@@ -1,0 +1,363 @@
+//! Delta-chain acceptance suite for the format-3 sectioned checkpoints.
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **Bit-identical chain restore.** Restoring from a base + delta +
+//!    delta chain must equal both a direct (single base) save/restore and
+//!    an uninterrupted run — per-step solutions *and* oracle-call tallies
+//!    — across `SpreadMode` × `TraversalKind` × `TDN_THREADS` ∈ {1, 4},
+//!    on randomized schedules and cut points.
+//! 2. **Actionable corruption reports.** A bit flip inside any section of
+//!    a sectioned payload surfaces as
+//!    `PersistError::ChecksumMismatch { section: Some(name) }` naming that
+//!    exact section, for every section kind the SIEVEADN tracker writes
+//!    (tracker meta, instance meta, graph chunks, sieve, memo). Ref
+//!    sections in a delta verify the *resolved* parent payload against
+//!    their recorded contract. Truncations of any link are errors, never
+//!    panics.
+//! 3. **Format-2 files stay restorable.** The committed golden fixtures
+//!    parse as implicit base snapshots (full restore coverage lives in
+//!    `golden_checkpoint.rs`; this suite pins the manifest view).
+
+use proptest::prelude::*;
+use tdn::algorithms::TraversalKind;
+use tdn::prelude::*;
+
+/// One scheduled edge: (step, src, dst, lifetime).
+type Ev = (u8, u8, u8, u8);
+
+fn schedule() -> impl Strategy<Value = Vec<Ev>> {
+    prop::collection::vec((0u8..16, 0u8..12, 0u8..12, 1u8..10), 1..70)
+}
+
+fn batch_at(evs: &[Ev], t: Time) -> Vec<TimedEdge> {
+    evs.iter()
+        .filter(|e| e.0 as Time == t && e.1 != e.2)
+        .map(|e| TimedEdge::new(e.1 as u32, e.2 as u32, e.3 as Lifetime))
+        .collect()
+}
+
+fn horizon(evs: &[Ev]) -> Time {
+    evs.iter().map(|e| e.0).max().unwrap_or(0) as Time
+}
+
+fn cfg() -> TrackerConfig {
+    TrackerConfig::new(3, 0.2, 8)
+}
+
+fn make_tracker(mode: SpreadMode, traversal: TraversalKind) -> SieveAdnTracker {
+    SieveAdnTracker::new(&cfg())
+        .with_spread_mode(mode)
+        .with_traversal(traversal)
+}
+
+/// Uninterrupted reference run: per-step solutions and final tally.
+fn run_straight(mut tracker: SieveAdnTracker, evs: &[Ev]) -> (Vec<Solution>, u64) {
+    let mut sols = Vec::new();
+    for t in 0..=horizon(evs) {
+        sols.push(tracker.step(t, &batch_at(evs, t)));
+    }
+    let calls = tracker.oracle_calls();
+    (sols, calls)
+}
+
+/// Runs to `cut3` saving a base at `cut1` and deltas at `cut2`/`cut3`,
+/// then restores from the three-link chain and finishes the stream.
+fn run_chained(
+    mut tracker: SieveAdnTracker,
+    evs: &[Ev],
+    cuts: (Time, Time, Time),
+) -> Result<(Vec<Solution>, u64), TestCaseError> {
+    let (cut1, cut2, cut3) = cuts;
+    let mut sols = Vec::new();
+    for t in 0..cut1 {
+        sols.push(tracker.step(t, &batch_at(evs, t)));
+    }
+    let (base, idx, base_id) = checkpoint_base_to_vec(&tracker, &cfg(), cut1);
+    for t in cut1..cut2 {
+        sols.push(tracker.step(t, &batch_at(evs, t)));
+    }
+    let (d1, idx, d1_id) = checkpoint_delta_to_vec(&tracker, &cfg(), cut2, &idx, base_id);
+    for t in cut2..cut3 {
+        sols.push(tracker.step(t, &batch_at(evs, t)));
+    }
+    let (d2, _, _) = checkpoint_delta_to_vec(&tracker, &cfg(), cut3, &idx, d1_id);
+    drop(tracker);
+    let (resume, mut warm): (u64, SieveAdnTracker) =
+        match restore_from_chain(&[&d2, &d1, &base], &cfg()) {
+            Ok(ok) => ok,
+            Err(e) => return Err(TestCaseError::fail(format!("chain restore failed: {e}"))),
+        };
+    prop_assert_eq!(resume, cut3, "chain tip stream position drifted");
+    for t in cut3..=horizon(evs) {
+        sols.push(warm.step(t, &batch_at(evs, t)));
+    }
+    let calls = warm.oracle_calls();
+    Ok((sols, calls))
+}
+
+/// Runs to `cut`, saves one self-contained base, restores it directly,
+/// and finishes the stream.
+fn run_direct(
+    mut tracker: SieveAdnTracker,
+    evs: &[Ev],
+    cut: Time,
+) -> Result<(Vec<Solution>, u64), TestCaseError> {
+    let mut sols = Vec::new();
+    for t in 0..cut {
+        sols.push(tracker.step(t, &batch_at(evs, t)));
+    }
+    let bytes = checkpoint_to_vec(&tracker, &cfg(), cut);
+    drop(tracker);
+    let (resume, mut warm): (u64, SieveAdnTracker) = match restore_from_slice(&bytes, &cfg()) {
+        Ok(ok) => ok,
+        Err(e) => return Err(TestCaseError::fail(format!("direct restore failed: {e}"))),
+    };
+    prop_assert_eq!(resume, cut);
+    for t in cut..=horizon(evs) {
+        sols.push(warm.step(t, &batch_at(evs, t)));
+    }
+    let calls = warm.oracle_calls();
+    Ok((sols, calls))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Chain restore ≡ direct restore ≡ uninterrupted run, across the
+    /// engine's full configuration matrix.
+    #[test]
+    fn chain_restore_is_bit_identical_across_mode_traversal_threads(
+        evs in schedule(), a in 0u64..17, b in 0u64..17, c in 0u64..17
+    ) {
+        let mut cuts = [a, b, c];
+        cuts.sort_unstable();
+        let h = horizon(&evs) + 1;
+        let cuts = (cuts[0].min(h), cuts[1].min(h), cuts[2].min(h));
+        for mode in [SpreadMode::Incremental, SpreadMode::FullRecompute] {
+            for traversal in [TraversalKind::Scalar, TraversalKind::Batch64] {
+                for threads in [1usize, 4] {
+                    let (reference, chained, direct) = exec::with_threads(threads, || {
+                        let reference = run_straight(make_tracker(mode, traversal), &evs);
+                        let chained = run_chained(make_tracker(mode, traversal), &evs, cuts);
+                        let direct = run_direct(make_tracker(mode, traversal), &evs, cuts.2);
+                        (reference, chained, direct)
+                    });
+                    let chained = chained?;
+                    let direct = direct?;
+                    prop_assert_eq!(
+                        &chained.0, &reference.0,
+                        "chain diverged: mode {:?}, traversal {:?}, {} threads, cuts {:?}",
+                        mode, traversal, threads, cuts
+                    );
+                    prop_assert_eq!(
+                        chained.1, reference.1,
+                        "chain oracle tally diverged: mode {:?}, traversal {:?}, {} threads",
+                        mode, traversal, threads
+                    );
+                    prop_assert_eq!(&direct.0, &reference.0);
+                    prop_assert_eq!(direct.1, reference.1);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption sweeps
+// ---------------------------------------------------------------------------
+
+/// A small but non-trivial SIEVEADN state: enough edges that every section
+/// kind (graph chunks in both directions, sieve ladder, memo) is present
+/// and non-empty.
+fn seeded_tracker() -> SieveAdnTracker {
+    let mut t = SieveAdnTracker::new(&cfg());
+    for step in 0u64..6 {
+        let batch: Vec<TimedEdge> = (0..8)
+            .map(|i| {
+                TimedEdge::new(
+                    ((step * 3 + i) % 11) as u32,
+                    ((step * 5 + i * 7 + 1) % 11) as u32,
+                    (1 + (step + i) % 7) as Lifetime,
+                )
+            })
+            .filter(|e| e.src != e.dst)
+            .collect();
+        t.step(step, &batch);
+    }
+    t
+}
+
+/// Payload byte offset of the format-3 header (see `tdn_persist::manifest`).
+const V3_PAYLOAD_OFFSET: usize = 64;
+
+/// Rewrites the trailing envelope checksum so targeted *payload*
+/// corruption reaches the per-section verification instead of being
+/// caught by the whole-file checksum first.
+fn fix_envelope_checksum(bytes: &mut [u8]) {
+    let len = bytes.len();
+    let sum = codec::fnv1a64(&bytes[..len - 8]);
+    bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn sectioned_payload(bytes: &[u8]) -> &[u8] {
+    let m = tdn_persist::peek_manifest(bytes).expect("manifest parses");
+    assert_eq!(m.format_version, 3);
+    &bytes[V3_PAYLOAD_OFFSET..V3_PAYLOAD_OFFSET + m.payload_len as usize]
+}
+
+/// Every inline section kind the SIEVEADN tracker writes reports *its own
+/// name* when its payload is corrupted.
+#[test]
+fn section_bit_flips_name_the_failing_section() {
+    let tracker = seeded_tracker();
+    let bytes = checkpoint_to_vec(&tracker, &cfg(), 6);
+    let toc = codec::SectionReader::parse(sectioned_payload(&bytes))
+        .expect("container parses")
+        .toc()
+        .clone();
+    let names: Vec<String> = toc.entries().iter().map(|e| e.name.clone()).collect();
+    // Guard against renames silently shrinking this sweep: the tracker
+    // must emit its meta, the instance meta, at least one graph chunk per
+    // direction, the sieve, and the memo.
+    for expected in [
+        "meta",
+        "adn.meta",
+        "adn.graph.out.0",
+        "adn.graph.inc.0",
+        "adn.sieve",
+        "adn.memo",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "section {expected:?} missing from a SIEVEADN base checkpoint: {names:?}"
+        );
+    }
+    for entry in toc.entries() {
+        assert!(!entry.is_ref, "base checkpoints are self-contained");
+        if entry.len == 0 {
+            continue;
+        }
+        let mut corrupt = bytes.clone();
+        let at = V3_PAYLOAD_OFFSET + entry.offset as usize + (entry.len as usize) / 2;
+        corrupt[at] ^= 0x5A;
+        fix_envelope_checksum(&mut corrupt);
+        match restore_from_slice::<SieveAdnTracker>(&corrupt, &cfg()) {
+            Err(PersistError::ChecksumMismatch {
+                section: Some(name),
+            }) => {
+                assert_eq!(name, entry.name, "wrong section blamed");
+            }
+            Err(e) => panic!(
+                "section {:?}: expected a named ChecksumMismatch, got {e}",
+                entry.name
+            ),
+            Ok(_) => panic!("section {:?}: corrupt payload restored", entry.name),
+        }
+    }
+}
+
+/// A delta's ref sections demand the parent's payload hash to their
+/// recorded contract: corrupting the *base* (with its own envelope
+/// checksum fixed up) fails the chain restore with a named section.
+#[test]
+fn ref_sections_verify_resolved_parent_payloads() {
+    let mut tracker = seeded_tracker();
+    let (base, idx, base_id) = checkpoint_base_to_vec(&tracker, &cfg(), 6);
+    tracker.step(6, &[TimedEdge::new(0u32, 7u32, 3)]);
+    let (delta, _, _) = checkpoint_delta_to_vec(&tracker, &cfg(), 7, &idx, base_id);
+
+    // The delta must actually contain refs for this to test anything.
+    let delta_toc = codec::SectionReader::parse(sectioned_payload(&delta))
+        .expect("delta container parses")
+        .toc()
+        .clone();
+    let ref_names: Vec<&str> = delta_toc
+        .entries()
+        .iter()
+        .filter(|e| e.is_ref)
+        .map(|e| e.name.as_str())
+        .collect();
+    assert!(
+        !ref_names.is_empty(),
+        "a one-edge step should leave at least one section unchanged"
+    );
+
+    // Corrupt each referenced section's payload inside the base.
+    let base_toc = codec::SectionReader::parse(sectioned_payload(&base))
+        .expect("base container parses")
+        .toc()
+        .clone();
+    for name in ref_names {
+        let entry = base_toc.entry(name).expect("ref names a base section");
+        if entry.len == 0 {
+            continue;
+        }
+        let mut bad_base = base.clone();
+        let at = V3_PAYLOAD_OFFSET + entry.offset as usize + (entry.len as usize) / 2;
+        bad_base[at] ^= 0x5A;
+        fix_envelope_checksum(&mut bad_base);
+        match restore_from_chain::<SieveAdnTracker>(&[&delta, &bad_base], &cfg()) {
+            Err(PersistError::ChecksumMismatch { section: Some(n) }) => {
+                assert_eq!(n, name, "wrong section blamed through the chain");
+            }
+            Err(e) => panic!("ref {name:?}: expected a named ChecksumMismatch, got {e}"),
+            Ok(_) => panic!("ref {name:?}: corrupt parent payload resolved"),
+        }
+    }
+}
+
+/// Every truncation of every link — the base and a delta — is a typed
+/// error, never a panic, whether restored alone or through the chain.
+#[test]
+fn truncating_any_link_is_an_error() {
+    let mut tracker = seeded_tracker();
+    let (base, idx, base_id) = checkpoint_base_to_vec(&tracker, &cfg(), 6);
+    tracker.step(6, &[TimedEdge::new(0u32, 7u32, 3)]);
+    let (delta, _, _) = checkpoint_delta_to_vec(&tracker, &cfg(), 7, &idx, base_id);
+
+    for cut in (0..base.len()).step_by(7) {
+        assert!(
+            restore_from_chain::<SieveAdnTracker>(&[&delta, &base[..cut]], &cfg()).is_err(),
+            "truncated base ({cut} bytes) resolved"
+        );
+    }
+    for cut in (0..delta.len()).step_by(7) {
+        assert!(
+            restore_from_chain::<SieveAdnTracker>(&[&delta[..cut], &base], &cfg()).is_err(),
+            "truncated delta ({cut} bytes) resolved"
+        );
+        assert!(
+            restore_from_slice::<SieveAdnTracker>(&delta[..cut], &cfg()).is_err(),
+            "truncated lone delta ({cut} bytes) restored"
+        );
+    }
+    // The intact chain still restores (the sweep above would pass
+    // vacuously if the fixtures themselves were broken).
+    assert!(restore_from_chain::<SieveAdnTracker>(&[&delta, &base], &cfg()).is_ok());
+}
+
+/// The committed format-2 golden fixtures parse as implicit base
+/// snapshots with zeroed lineage ids (their full restore-and-continue
+/// coverage lives in `golden_checkpoint.rs`).
+#[test]
+fn golden_v2_fixtures_parse_as_implicit_bases() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("golden fixture dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tdnc") {
+            continue;
+        }
+        let m = read_manifest(&path).expect("fixture manifest parses");
+        assert_eq!(
+            m.format_version, 2,
+            "{path:?} regenerated to v3 — forbidden"
+        );
+        assert_eq!(m.snapshot_kind, SnapshotKind::Base);
+        assert_eq!(m.snapshot_id, 0);
+        assert_eq!(m.parent_id, 0);
+        seen += 1;
+    }
+    assert_eq!(seen, 4, "expected the four committed fixtures");
+}

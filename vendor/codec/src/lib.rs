@@ -20,6 +20,13 @@
 
 #![warn(missing_docs)]
 
+mod section;
+
+pub use section::{
+    ParentIndex, SectionError, SectionMap, SectionReader, SectionSink, SectionToc, SectionWriter,
+    TocEntry, SECTION_MAGIC, SECTION_VERSION,
+};
+
 use std::fmt;
 
 /// A decoding failure. All variants are recoverable errors; the reader
@@ -161,6 +168,64 @@ impl Writer {
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
     }
+
+    /// Zero-pads the buffer so its length becomes a multiple of `align`
+    /// (a power of two). Raw word runs are padded so that, when the
+    /// enclosing payload lands at an aligned file offset, the words
+    /// themselves are alignment-friendly for zero-copy `mmap` readers.
+    pub fn pad_to(&mut self, align: usize) {
+        debug_assert!(align.is_power_of_two());
+        while self.buf.len() & (align - 1) != 0 {
+            self.buf.push(0);
+        }
+    }
+
+    /// Writes a contiguous run of `u32` words: a length prefix, padding to
+    /// 8-byte alignment, then the words as one little-endian block copy —
+    /// the raw-word fast path for arena-backed structures, instead of
+    /// element-by-element encoding.
+    pub fn put_u32_run(&mut self, words: &[u32]) {
+        self.put_len(words.len());
+        self.pad_to(8);
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: reinterpreting initialized `u32`s as bytes is always
+            // valid; on little-endian hosts the byte order already matches
+            // the on-disk format.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    words.as_ptr().cast::<u8>(),
+                    std::mem::size_of_val(words),
+                )
+            };
+            self.buf.extend_from_slice(bytes);
+        }
+        #[cfg(target_endian = "big")]
+        for &v in words {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Writes a contiguous run of `u64` words (see [`Self::put_u32_run`]).
+    pub fn put_u64_run(&mut self, words: &[u64]) {
+        self.put_len(words.len());
+        self.pad_to(8);
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: as in `put_u32_run`.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    words.as_ptr().cast::<u8>(),
+                    std::mem::size_of_val(words),
+                )
+            };
+            self.buf.extend_from_slice(bytes);
+        }
+        #[cfg(target_endian = "big")]
+        for &v in words {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
 }
 
 /// Panic-free binary reader over a borrowed byte slice.
@@ -262,6 +327,41 @@ impl<'a> Reader<'a> {
     /// Reads a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<&'a str> {
         std::str::from_utf8(self.get_bytes()?).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Consumes zero padding up to `align`-byte alignment (the reader-side
+    /// mirror of [`Writer::pad_to`]). Non-zero pad bytes are rejected as
+    /// corruption.
+    fn skip_pad(&mut self, align: usize) -> Result<()> {
+        debug_assert!(align.is_power_of_two());
+        while self.pos & (align - 1) != 0 {
+            if self.take(1)?[0] != 0 {
+                return Err(CodecError::Invalid("non-zero alignment padding"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a run of `u32` words written by [`Writer::put_u32_run`].
+    pub fn get_u32_run(&mut self) -> Result<Vec<u32>> {
+        let len = self.get_len(4)?;
+        self.skip_pad(8)?;
+        let bytes = self.take(len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Reads a run of `u64` words written by [`Writer::put_u64_run`].
+    pub fn get_u64_run(&mut self) -> Result<Vec<u64>> {
+        let len = self.get_len(8)?;
+        self.skip_pad(8)?;
+        let bytes = self.take(len * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
     }
 
     /// Asserts that the entire buffer was consumed, catching writer/reader
