@@ -8,8 +8,9 @@ use rand::{Rng, SeedableRng};
 use tdn_baselines::sample_rr;
 use tdn_core::SieveAdn;
 use tdn_graph::{
-    marginal_gain, reach_count, reach_count_batch64, AdnGraph, CoverSet, NodeId, ReachScratch,
-    ScratchPool, TdnGraph, BATCH_LANES,
+    marginal_gain, reach_count, reach_count_batch64, reach_count_batch_wide, reverse_reach_batch64,
+    AdnGraph, CoverSet, NodeId, ReachScratch, ScratchPool, SweepDirection, TdnGraph, BATCH_LANES,
+    MAX_BATCH_LANES,
 };
 use tdn_streams::{Dataset, ZipfSampler};
 use tdn_submodular::OracleCounter;
@@ -150,6 +151,65 @@ fn bench_batch64(c: &mut Criterion) {
     });
 }
 
+/// The drain-compaction heuristic under adversarial re-entrant label
+/// growth: 64 lanes seeded at staggered depths of one long path, so every
+/// prefix node re-enters the worklist once per deeper lane whose label
+/// reaches it. The heuristic reclaims the drained queue prefix only once
+/// it dominates the queue, bounding memmove work at one entry per push;
+/// the unit test in `tdn-graph` pins that bound, this bench tracks the
+/// absolute cost of the worst case.
+fn bench_drain_compaction(c: &mut Criterion) {
+    let n = 4_096u32;
+    let mut g = AdnGraph::new();
+    for i in 0..n - 1 {
+        g.add_edge(NodeId(i), NodeId(i + 1));
+    }
+    let seeds: Vec<NodeId> = (0..64).map(|i| NodeId(n - 1 - i * 60)).collect();
+    let lanes: Vec<&[NodeId]> = seeds.iter().map(std::slice::from_ref).collect();
+    let mut scratch = ReachScratch::new();
+    c.bench_function("micro/drain_compaction_reentrant_path", |b| {
+        b.iter(|| {
+            let mut reached = 0u64;
+            reverse_reach_batch64(&g, &lanes, |_, _| 0, &mut scratch, |_, _| reached += 1);
+            reached
+        })
+    });
+}
+
+/// 256 singleton spreads: four 64-lane traversals versus one 256-lane
+/// `[u64; 4]` traversal — the word-width trade the adaptive `Wide` engine
+/// makes when a batch carries a full lane complement.
+fn bench_wide_lanes(c: &mut Criterion) {
+    let g = random_adn(2_000, 6_000, 7);
+    let sources: Vec<NodeId> = (0..MAX_BATCH_LANES as u32).map(NodeId).collect();
+    let mut scratch = ReachScratch::new();
+    let mut counts = vec![0u64; BATCH_LANES];
+    c.bench_function("micro/spreads_256_batch64_x4", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for chunk in sources.chunks(BATCH_LANES) {
+                reach_count_batch64(&g, chunk, &mut scratch, &mut counts[..chunk.len()]);
+                total += counts[..chunk.len()].iter().sum::<u64>();
+            }
+            total
+        })
+    });
+    let mut wide_counts = vec![0u64; MAX_BATCH_LANES];
+    c.bench_function("micro/spreads_256_wide256", |b| {
+        b.iter(|| {
+            reach_count_batch_wide(
+                &g,
+                &sources,
+                4,
+                SweepDirection::TopDown,
+                &mut scratch,
+                &mut wide_counts,
+            );
+            wide_counts.iter().sum::<u64>()
+        })
+    });
+}
+
 fn bench_generators(c: &mut Criterion) {
     c.bench_function("micro/generate_10k_interactions", |b| {
         b.iter_batched(
@@ -168,6 +228,8 @@ criterion_group!(
     bench_rr,
     bench_scratch_pool,
     bench_batch64,
+    bench_drain_compaction,
+    bench_wide_lanes,
     bench_generators
 );
 criterion_main!(benches);

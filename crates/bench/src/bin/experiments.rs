@@ -1,11 +1,18 @@
 //! Experiment CLI: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <target>... [--full] [--out DIR] [--checkpoint-every N]
+//! experiments <target>... [--full] [--out DIR] [--bench-out DIR]...
+//!             [--checkpoint-every N]
 //!   targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!            ablations throughput restore hotpath flatgraph scale all
+//!            ablations throughput restore hotpath flatgraph widetrav
+//!            scale all
 //!   --full               paper-scale sweeps (default: quick)
 //!   --out                output directory for CSVs (default: results)
+//!   --bench-out          extra directories the `BENCH_*.json` regression
+//!                        baselines are mirrored to after each target
+//!                        (repeatable; default: the repo root, so every
+//!                        bench run refreshes both `results/BENCH_*.json`
+//!                        and the committed `./BENCH_*.json` copies)
 //!   --checkpoint-every   steps between checkpoints for the `restore`
 //!                        target (default: an eighth of the stream)
 //! ```
@@ -18,19 +25,20 @@
 //! vacuously.
 
 use std::collections::BTreeSet;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tdn_bench::experiments::{
     ablations, fig11_12, fig13_14, fig7, fig8_10, flatgraph, hotpath, restore, scale as scale_exp,
-    table1, throughput,
+    table1, throughput, widetrav,
 };
 use tdn_bench::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <target>... [--full] [--out DIR] [--checkpoint-every N]\n\
+        "usage: experiments <target>... [--full] [--out DIR] [--bench-out DIR]... \
+         [--checkpoint-every N]\n\
          targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations \
-         throughput restore hotpath flatgraph scale all"
+         throughput restore hotpath flatgraph widetrav scale all"
     );
     ExitCode::FAILURE
 }
@@ -42,6 +50,7 @@ fn main() -> ExitCode {
     }
     let mut full = false;
     let mut out = PathBuf::from("results");
+    let mut bench_out: Vec<PathBuf> = Vec::new();
     let mut checkpoint_every: Option<usize> = None;
     let mut targets: BTreeSet<&str> = BTreeSet::new();
     let mut it = args.iter();
@@ -53,13 +62,17 @@ fn main() -> ExitCode {
                 Some(dir) => out = PathBuf::from(dir),
                 None => return usage(),
             },
+            "--bench-out" => match it.next() {
+                Some(dir) => bench_out.push(PathBuf::from(dir)),
+                None => return usage(),
+            },
             "--checkpoint-every" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => checkpoint_every = Some(n),
                 _ => return usage(),
             },
             t @ ("table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
             | "fig14" | "ablations" | "throughput" | "restore" | "hotpath" | "flatgraph"
-            | "scale") => {
+            | "widetrav" | "scale") => {
                 // Shared runners: figs 8-10 and 13-14 are joint.
                 targets.insert(match t {
                     "fig9" | "fig10" => "fig8",
@@ -80,6 +93,7 @@ fn main() -> ExitCode {
                     "restore",
                     "hotpath",
                     "flatgraph",
+                    "widetrav",
                     "scale",
                 ] {
                     targets.insert(t);
@@ -90,6 +104,9 @@ fn main() -> ExitCode {
     }
     if targets.is_empty() {
         return usage();
+    }
+    if bench_out.is_empty() {
+        bench_out.push(PathBuf::from("."));
     }
     let scale = if full { Scale::full() } else { Scale::quick() };
     println!(
@@ -112,10 +129,11 @@ fn main() -> ExitCode {
             "restore" => restore::run(&out, &scale, checkpoint_every),
             "hotpath" => hotpath::run(&out, &scale),
             "flatgraph" => flatgraph::run(&out, &scale),
+            "widetrav" => widetrav::run(&out, &scale),
             "scale" => scale_exp::run(&out, &scale),
             _ => unreachable!("validated above"),
         };
-        match res {
+        match res.and_then(|()| mirror_bench_json(t, &out, &bench_out)) {
             Ok(()) => println!("[{t}] done in {:.1}s", started.elapsed().as_secs_f64()),
             Err(e) => {
                 eprintln!("[{t}] failed: {e}");
@@ -124,4 +142,28 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Mirrors a target's `BENCH_<target>.json` regression baseline from the
+/// `--out` directory into every `--bench-out` directory (skipping exact
+/// self-copies), so the committed repo-root baselines refresh on every
+/// bench run without a manual copy step.
+fn mirror_bench_json(target: &str, out: &Path, bench_out: &[PathBuf]) -> std::io::Result<()> {
+    let name = format!("BENCH_{target}.json");
+    let src = out.join(&name);
+    if !src.is_file() {
+        return Ok(()); // Target writes no bench baseline.
+    }
+    for dir in bench_out {
+        let dst = dir.join(&name);
+        if let (Ok(a), Ok(b)) = (src.canonicalize(), dst.canonicalize()) {
+            if a == b {
+                continue;
+            }
+        }
+        std::fs::create_dir_all(dir)?;
+        std::fs::copy(&src, &dst)?;
+        println!("[{target}] mirrored {name} -> {}", dst.display());
+    }
+    Ok(())
 }

@@ -12,3 +12,4 @@ pub mod restore;
 pub mod scale;
 pub mod table1;
 pub mod throughput;
+pub mod widetrav;

@@ -1,0 +1,470 @@
+//! Wide-traversal experiment: the wide-lane direction-optimizing engine
+//! ([`TraversalKind::Wide`] — up to 256 lanes per traversal, automatic
+//! top-down/bottom-up sweeps, work-stealing lane scheduling) versus the
+//! 64-lane top-down [`TraversalKind::Batch64`] baseline it replaced as the
+//! default.
+//!
+//! Every workload replays the *identical* prepared stream through both
+//! engines; rebuild-heavy shapes (coarse batches → many marked sources per
+//! batch → full lane complements and wide frontiers) are the headline, and
+//! a sparse small-batch stream rides along as the honest control where
+//! wider labels and direction switching have nothing to amortize.
+//!
+//! The run **fails with a non-zero exit** unless:
+//!
+//! * the full pinned grid — lane widths {64, 128, 256} × sweep directions
+//!   {top-down, auto} ([`TraversalKind::Fixed`]) — and the adaptive `Wide`
+//!   engine produce per-step solution values and oracle tallies
+//!   bit-identical to the `Batch64` baseline, at 1 thread *and* 4 threads;
+//! * at least one `Auto`-direction cell actually exercised the bottom-up
+//!   path (observed via [`tdn_graph::bottom_up_sweeps`] — a switch that
+//!   never fires would make the direction grid vacuous);
+//! * the wide engine clears the acceptance bar (≥ 1.3× wall-clock over
+//!   `Batch64` on the best rebuild-heavy headline workload).
+//!
+//! Results land in `BENCH_widetrav.json` (see EXPERIMENTS.md for the
+//! schema); the control's speedup is reported unfiltered, whether or not
+//! it pays.
+
+use crate::checks::ensure;
+use crate::driver::PreparedStream;
+use crate::report::{f, percentile, print_table};
+use crate::scale::Scale;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+use tdn_core::{
+    HistApprox, InfluenceTracker, SieveAdnTracker, SpreadMode, SweepDirection, TrackerConfig,
+    TraversalKind,
+};
+use tdn_streams::Dataset;
+
+const EPS: f64 = 0.3;
+const P: f64 = 0.001;
+const K: usize = 10;
+
+/// The pinned identity grid: every lane width the label machinery supports
+/// crossed with both sweep policies.
+const GRID: [(usize, SweepDirection); 6] = [
+    (64, SweepDirection::TopDown),
+    (64, SweepDirection::Auto),
+    (128, SweepDirection::TopDown),
+    (128, SweepDirection::Auto),
+    (256, SweepDirection::TopDown),
+    (256, SweepDirection::Auto),
+];
+
+fn direction_name(d: SweepDirection) -> &'static str {
+    match d {
+        SweepDirection::TopDown => "top_down",
+        SweepDirection::Auto => "auto",
+    }
+}
+
+/// Which tracker a workload measures.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Tracker {
+    /// SIEVEADN over the addition-only view (phases 3–4 dominate).
+    SieveAdn,
+    /// HISTAPPROX end to end (adds the multi-instance stealing fan-out).
+    HistApprox,
+}
+
+impl Tracker {
+    fn name(self) -> &'static str {
+        match self {
+            Tracker::SieveAdn => "SieveADN",
+            Tracker::HistApprox => "HistApprox",
+        }
+    }
+}
+
+/// One grid point.
+struct Workload {
+    name: &'static str,
+    tracker: Tracker,
+    dataset: Dataset,
+    /// Ticks coalesced per arrival batch. Coarse batches mean many marked
+    /// sources and rebuild misses per batch — full 256-lane complements
+    /// and frontiers dense enough to trip the bottom-up switch.
+    batch_ticks: usize,
+    max_lifetime: u32,
+    steps_factor: u64,
+    /// Whether this workload counts toward the ≥ 1.3× acceptance bar.
+    headline: bool,
+    /// Whether the full pinned width × direction grid replays this stream
+    /// (expensive: 6 extra cells × 2 thread counts); non-grid workloads
+    /// still verify `Wide` against `Batch64` at both thread counts.
+    full_grid: bool,
+}
+
+/// The measured grid. Coarse cascade batches are the rebuild-heavy
+/// headline: each batch marks hundreds of sources, so lane complements
+/// fill all 256 lanes and rebuild sweeps touch most of the graph — wide
+/// words amortize queue traffic 4× and dense frontiers pull bottom-up.
+/// The sparse small-batch point is the control: a handful of lanes per
+/// batch fits one 64-bit word and frontiers stay narrow, so the wide
+/// engine must merely break even there.
+static WORKLOADS: [Workload; 3] = [
+    Workload {
+        name: "rebuild_wide_hk",
+        tracker: Tracker::SieveAdn,
+        dataset: Dataset::TwitterHk,
+        batch_ticks: 256,
+        max_lifetime: 10_000,
+        steps_factor: 48,
+        headline: true,
+        full_grid: true,
+    },
+    Workload {
+        name: "rebuild_hist_higgs",
+        tracker: Tracker::HistApprox,
+        dataset: Dataset::TwitterHiggs,
+        batch_ticks: 48,
+        max_lifetime: 10_000,
+        steps_factor: 6,
+        headline: true,
+        full_grid: false,
+    },
+    Workload {
+        name: "sparse_small_batch_control",
+        tracker: Tracker::SieveAdn,
+        dataset: Dataset::TwitterHk,
+        batch_ticks: 2,
+        max_lifetime: 10_000,
+        steps_factor: 3,
+        headline: false,
+        full_grid: true,
+    },
+];
+
+/// One configuration's measurements over a workload.
+struct CellLog {
+    values: Vec<u64>,
+    calls: Vec<u64>,
+    step_secs: Vec<f64>,
+    wall_secs: f64,
+}
+
+enum AnyTracker {
+    SieveAdn(SieveAdnTracker),
+    HistApprox(HistApprox),
+}
+
+impl AnyTracker {
+    fn build(sel: Tracker, cfg: &TrackerConfig, tr: TraversalKind) -> Self {
+        match sel {
+            Tracker::SieveAdn => AnyTracker::SieveAdn(
+                SieveAdnTracker::new(cfg)
+                    .with_spread_mode(SpreadMode::Incremental)
+                    .with_traversal(tr),
+            ),
+            Tracker::HistApprox => AnyTracker::HistApprox(
+                HistApprox::new(cfg)
+                    .with_spread_mode(SpreadMode::Incremental)
+                    .with_traversal(tr),
+            ),
+        }
+    }
+
+    fn step(&mut self, t: u64, batch: &[tdn_streams::TimedEdge]) -> u64 {
+        match self {
+            AnyTracker::SieveAdn(tr) => tr.step(t, batch).value,
+            AnyTracker::HistApprox(tr) => tr.step(t, batch).value,
+        }
+    }
+
+    fn calls(&self) -> u64 {
+        match self {
+            AnyTracker::SieveAdn(tr) => tr.oracle_calls(),
+            AnyTracker::HistApprox(tr) => tr.oracle_calls(),
+        }
+    }
+}
+
+fn run_cell(
+    sel: Tracker,
+    stream: &PreparedStream,
+    cfg: &TrackerConfig,
+    tr: TraversalKind,
+    threads: usize,
+) -> CellLog {
+    exec::with_threads(threads, || {
+        let mut tracker = AnyTracker::build(sel, cfg, tr);
+        let mut log = CellLog {
+            values: Vec::with_capacity(stream.len()),
+            calls: Vec::with_capacity(stream.len()),
+            step_secs: Vec::with_capacity(stream.len()),
+            wall_secs: 0.0,
+        };
+        let start = Instant::now();
+        for (t, batch) in &stream.steps {
+            let step_start = Instant::now();
+            let value = tracker.step(*t, batch);
+            log.step_secs.push(step_start.elapsed().as_secs_f64());
+            log.values.push(value);
+            log.calls.push(tracker.calls());
+        }
+        log.wall_secs = start.elapsed().as_secs_f64();
+        log
+    })
+}
+
+/// Timed repetitions per engine on headline workloads. The computation is
+/// deterministic, so the minimum-wall repetition is the least-perturbed
+/// measurement — single runs on a busy 1-core host can swing either side
+/// of the acceptance bar on scheduler noise alone. Repetitions interleave
+/// the two engines (b64, wide, b64, wide, …) so drifting host load hits
+/// both about equally and the per-engine minima come from comparable
+/// windows.
+const MEASURE_REPS: usize = 3;
+
+/// Keeps `best` pointing at the repetition with the smallest wall clock
+/// (values/calls are identical across repetitions of the same cell).
+fn keep_min(best: &mut Option<CellLog>, next: CellLog) {
+    if best.as_ref().is_none_or(|b| next.wall_secs < b.wall_secs) {
+        *best = Some(next);
+    }
+}
+
+/// One verified grid cell (identity only; pinned cells are not timed
+/// comparatively — their job is proving the whole grid bit-identical).
+struct GridCell {
+    lanes: usize,
+    direction: SweepDirection,
+    threads: usize,
+}
+
+/// One workload's paired measurements.
+struct GridPoint {
+    w: &'static Workload,
+    edges: u64,
+    steps: usize,
+    batch64: CellLog,
+    wide: CellLog,
+    grid: Vec<GridCell>,
+}
+
+impl GridPoint {
+    fn speedup_vs_batch64(&self) -> f64 {
+        self.batch64.wall_secs / self.wide.wall_secs.max(1e-9)
+    }
+}
+
+/// Runs the grid, enforces bit-identity, the bottom-up-switch witness, and
+/// the acceptance bar; writes `BENCH_widetrav.json`; prints the summary.
+pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    // Discarded warm-up (allocator/page-fault one-time costs).
+    {
+        let warm = PreparedStream::geometric(Dataset::TwitterHiggs, scale.seed, P, 10_000, 200)
+            .coalesce(8);
+        run_cell(
+            Tracker::SieveAdn,
+            &warm,
+            &TrackerConfig::new(K, EPS, 10_000),
+            TraversalKind::Wide,
+            1,
+        );
+    }
+    let sweeps_before = tdn_graph::bottom_up_sweeps();
+    let mut points = Vec::new();
+    for w in &WORKLOADS {
+        let stream = PreparedStream::geometric(
+            w.dataset,
+            scale.seed,
+            P,
+            w.max_lifetime,
+            scale.steps_main * w.steps_factor,
+        )
+        .coalesce(w.batch_ticks);
+        let cfg = TrackerConfig::new(K, EPS, w.max_lifetime);
+        let reps = if w.headline { MEASURE_REPS } else { 1 };
+        let (mut batch64, mut wide) = (None, None);
+        for _ in 0..reps {
+            keep_min(
+                &mut batch64,
+                run_cell(w.tracker, &stream, &cfg, TraversalKind::Batch64, 1),
+            );
+            keep_min(
+                &mut wide,
+                run_cell(w.tracker, &stream, &cfg, TraversalKind::Wide, 1),
+            );
+        }
+        let (batch64, wide) = (batch64.expect("reps >= 1"), wide.expect("reps >= 1"));
+        ensure(
+            wide.values == batch64.values && wide.calls == batch64.calls,
+            format!(
+                "[{}] wide engine diverged from the Batch64 baseline",
+                w.name
+            ),
+        )?;
+        // Thread-count invariance for both engines.
+        for (tag, tr, reference) in [
+            ("wide", TraversalKind::Wide, &wide),
+            ("batch64", TraversalKind::Batch64, &batch64),
+        ] {
+            let threaded = run_cell(w.tracker, &stream, &cfg, tr, 4);
+            ensure(
+                threaded.values == reference.values && threaded.calls == reference.calls,
+                format!("[{}] {tag} engine not thread-count invariant", w.name),
+            )?;
+        }
+        // The pinned width × direction grid, each cell against the same
+        // baseline log.
+        let mut grid = Vec::new();
+        if w.full_grid {
+            for &(lanes, direction) in &GRID {
+                for threads in [1usize, 4] {
+                    let tr = TraversalKind::Fixed { lanes, direction };
+                    let cell = run_cell(w.tracker, &stream, &cfg, tr, threads);
+                    ensure(
+                        cell.values == batch64.values && cell.calls == batch64.calls,
+                        format!(
+                            "[{}] grid cell lanes={lanes} direction={} threads={threads} \
+                             diverged from the Batch64 baseline",
+                            w.name,
+                            direction_name(direction),
+                        ),
+                    )?;
+                    grid.push(GridCell {
+                        lanes,
+                        direction,
+                        threads,
+                    });
+                }
+            }
+        }
+        points.push(GridPoint {
+            w,
+            edges: stream.edges,
+            steps: stream.len(),
+            batch64,
+            wide,
+            grid,
+        });
+    }
+    // The direction grid is only meaningful if Auto sweeps actually went
+    // bottom-up somewhere in the run.
+    let bottom_up_sweeps = tdn_graph::bottom_up_sweeps() - sweeps_before;
+    ensure(
+        bottom_up_sweeps > 0,
+        "no traversal ever switched to a bottom-up sweep; the direction grid is vacuous",
+    )?;
+    let headline_best = points
+        .iter()
+        .filter(|p| p.w.headline)
+        .map(GridPoint::speedup_vs_batch64)
+        .fold(f64::NAN, f64::max);
+    ensure(
+        headline_best >= 1.3,
+        format!(
+            "acceptance bar missed: best rebuild-heavy speedup vs the Batch64 \
+             baseline is {headline_best:.2}x (< 1.3x)"
+        ),
+    )?;
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_widetrav.json");
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"experiment\": \"widetrav\",")?;
+    writeln!(
+        out,
+        "  \"config\": {{\"k\": {K}, \"eps\": {EPS}, \"geo_p\": {P}, \"seed\": {}}},",
+        scale.seed
+    )?;
+    writeln!(out, "  \"host_cores\": {cores},")?;
+    writeln!(out, "  \"identical_grid\": true,")?;
+    writeln!(out, "  \"bottom_up_sweeps\": {bottom_up_sweeps},")?;
+    writeln!(out, "  \"best_speedup_vs_batch64\": {},", f(headline_best))?;
+    writeln!(out, "  \"workloads\": [")?;
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        writeln!(out, "    {{")?;
+        writeln!(
+            out,
+            "      \"name\": \"{}\", \"tracker\": \"{}\", \"dataset\": \"{}\", \
+             \"batch_ticks\": {}, \"max_lifetime\": {}, \"steps\": {}, \"edges\": {}, \
+             \"headline\": {},",
+            p.w.name,
+            p.w.tracker.name(),
+            p.w.dataset.slug(),
+            p.w.batch_ticks,
+            p.w.max_lifetime,
+            p.steps,
+            p.edges,
+            p.w.headline,
+        )?;
+        for (tag, log) in [("batch64", &p.batch64), ("wide", &p.wide)] {
+            writeln!(
+                out,
+                "      \"{tag}\": {{\"wall_secs\": {}, \"p50_step_ms\": {}, \
+                 \"p99_step_ms\": {}}},",
+                f(log.wall_secs),
+                f(percentile(&log.step_secs, 0.5) * 1e3),
+                f(percentile(&log.step_secs, 0.99) * 1e3),
+            )?;
+        }
+        writeln!(
+            out,
+            "      \"speedup_vs_batch64\": {}, \"identical\": true, \"oracle_calls\": {},",
+            f(p.speedup_vs_batch64()),
+            p.wide.calls.last().copied().unwrap_or(0),
+        )?;
+        writeln!(out, "      \"grid\": [")?;
+        for (j, c) in p.grid.iter().enumerate() {
+            let gsep = if j + 1 < p.grid.len() { "," } else { "" };
+            writeln!(
+                out,
+                "        {{\"lanes\": {}, \"direction\": \"{}\", \"threads\": {}, \
+                 \"identical\": true}}{gsep}",
+                c.lanes,
+                direction_name(c.direction),
+                c.threads,
+            )?;
+        }
+        writeln!(out, "      ]")?;
+        writeln!(out, "    }}{sep}")?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    out.flush()?;
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.w.name.to_string(),
+                p.w.tracker.name().to_string(),
+                p.w.batch_ticks.to_string(),
+                f(p.batch64.wall_secs),
+                f(p.wide.wall_secs),
+                format!("{:.2}x", p.speedup_vs_batch64()),
+                if p.grid.is_empty() {
+                    "wide=b64".to_string()
+                } else {
+                    format!("{} cells", p.grid.len())
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        "Wide-lane direction-optimizing engine vs Batch64 baseline (identical answers)",
+        &[
+            "workload",
+            "tracker",
+            "batch",
+            "batch64 s",
+            "wide s",
+            "speedup",
+            "grid",
+        ],
+        &rows,
+    );
+    println!(
+        "bottom-up sweeps observed: {bottom_up_sweeps}; wrote {}",
+        path.display()
+    );
+    Ok(())
+}

@@ -248,7 +248,9 @@ impl InfluenceTracker for BasicReduction {
         // instances are fully independent SIEVEADN states, so the feeds fan
         // out across the execution engine's workers; each instance consumes
         // its filtered batch in arrival order, exactly as the serial loop
-        // did, so results are bit-identical at any thread count.
+        // did, so results are bit-identical at any thread count. Batch
+        // sizes shrink with the lifetime index, so per-instance cost is
+        // skewed and the stealing scheduler rebalances the tail.
         let l_max = self.cfg.max_lifetime;
         let mut work: Vec<(Lifetime, &mut SieveAdn)> = self
             .instances
@@ -256,7 +258,7 @@ impl InfluenceTracker for BasicReduction {
             .enumerate()
             .map(|(idx, inst)| ((idx + 1) as Lifetime, inst))
             .collect();
-        exec::par_for_each_mut(&mut work, |(min_l, inst)| {
+        exec::par_for_each_mut_steal(&mut work, |(min_l, inst)| {
             let min_l = *min_l;
             inst.feed(
                 batch

@@ -252,12 +252,14 @@ impl HistApprox {
         // instances are independent SIEVEADN states, so the feeds fan out
         // across the execution engine's workers (each instance still sees
         // the edges in arrival order — bit-identical at any thread count).
+        // Per-instance feed cost is skewed — graphs grow with the index —
+        // so the stealing scheduler rebalances stragglers' tails.
         let mut affected: Vec<&mut SieveAdn> = self
             .instances
             .range_mut(..=deadline)
             .map(|(_, inst)| inst)
             .collect();
-        exec::par_for_each_mut(&mut affected, |inst| {
+        exec::par_for_each_mut_steal(&mut affected, |inst| {
             inst.feed(edges.iter().map(|e| (e.src, e.dst)));
         });
         self.reduce_redundancy(t);

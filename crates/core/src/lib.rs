@@ -62,4 +62,4 @@ pub use tracker::{InfluenceTracker, Solution};
 
 // Re-exported so spread-engine consumers (benches, tests) need not depend
 // on the graph crate directly.
-pub use tdn_graph::{SpreadStats, SpreadStatsSnapshot};
+pub use tdn_graph::{SpreadStats, SpreadStatsSnapshot, SweepDirection};

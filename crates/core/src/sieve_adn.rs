@@ -48,9 +48,10 @@ use crate::config::TrackerConfig;
 use crate::tracker::{InfluenceTracker, Solution};
 use std::collections::BTreeMap;
 use tdn_graph::{
-    marginal_gain, reach_count, reach_count_batch64, reverse_reach_batch64, reverse_reach_collect,
-    reverse_reach_union_ordered, AdnGraph, CoverSet, EdgeInsert, FxHashMap, FxHashSet, NodeId,
-    OutGraph, ScratchPool, SpreadMemo, SpreadStats, SpreadStatsSnapshot, Time, BATCH_LANES,
+    lane_chunks, lane_width_for, marginal_gain, reach_count, reach_count_batch_wide,
+    reverse_reach_batch_wide, reverse_reach_collect, reverse_reach_union_ordered, AdnGraph,
+    CoverSet, EdgeInsert, FxHashMap, FxHashSet, NodeId, OutGraph, ScratchPool, SpreadMemo,
+    SpreadStats, SpreadStatsSnapshot, SweepDirection, Time, BATCH_LANES, MAX_BATCH_LANES,
 };
 use tdn_streams::TimedEdge;
 use tdn_submodular::{OracleCounter, ThresholdLadder};
@@ -90,23 +91,85 @@ impl SpreadMode {
 
 /// Which traversal backend services the incremental engine's hot path
 /// (phase-3 dirty/delta marking, phase-3b old-sink patches, and phase-4a
-/// spread rebuilds). Both backends produce bit-identical solutions and
-/// oracle tallies; the knob exists so the `flatgraph` experiment can
-/// measure the 64-lane backend against the scalar one it replaced.
+/// spread rebuilds). Every backend produces bit-identical solutions and
+/// oracle tallies; the knob exists so the `flatgraph` and `widetrav`
+/// experiments can measure each backend against the one it replaced, and
+/// so differential tests can pin any point of the width × direction grid.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum TraversalKind {
-    /// 64-lane bit-parallel traversals over the flat graph core: one
-    /// shared ordered sweep builds `V̄_t`, dirty/delta marking runs as
-    /// label-propagation lanes, and spread rebuilds count up to 64 dirty
-    /// sources per traversal.
+    /// The wide-lane direction-optimizing engine: lane batches are sized
+    /// to the work (up to [`MAX_BATCH_LANES`] = 256 lanes per traversal,
+    /// word width chosen per chunk), and every sweep may switch between
+    /// top-down worklist rounds and prefetched bottom-up scans
+    /// ([`SweepDirection::Auto`]).
     #[default]
+    Wide,
+    /// The previous default, retained as the measured "before" of
+    /// `experiments widetrav`: 64-lane single-word batches, top-down
+    /// sweeps only.
     Batch64,
     /// The scalar backend retained from the engine's first release: one
     /// full reverse BFS per distinct source (marking piggybacked), two
     /// reverse BFSs per old sink, one forward BFS per rebuilt spread.
     /// The measured "before" of `experiments flatgraph`, and a
-    /// differential oracle for the batched backend.
+    /// differential oracle for the batched backends.
     Scalar,
+    /// A pinned point of the batched grid: exactly `lanes` lanes per
+    /// traversal (rounded to a label width of 1, 2 or 4 words) swept in
+    /// `direction`. Differential tests iterate this variant to prove the
+    /// whole grid bit-identical; [`Self::Wide`] picks the same code paths
+    /// adaptively.
+    Fixed {
+        /// Max multi-source lanes per traversal (1..=[`MAX_BATCH_LANES`]).
+        lanes: usize,
+        /// Sweep policy for every traversal this backend issues.
+        direction: SweepDirection,
+    },
+}
+
+/// Resolved batching parameters of a [`TraversalKind`] (`None` = scalar).
+#[derive(Copy, Clone)]
+struct BatchParams {
+    /// Max lanes per traversal; work is chunked to this.
+    max_lanes: usize,
+    /// Sweep policy handed to every batched traversal.
+    direction: SweepDirection,
+    /// Label width in words, or `None` to size per chunk
+    /// ([`lane_width_for`] of the chunk length).
+    pinned_width: Option<usize>,
+}
+
+impl BatchParams {
+    /// Label width in words for a chunk of `chunk_len` lanes.
+    fn width_for(&self, chunk_len: usize) -> usize {
+        self.pinned_width
+            .unwrap_or_else(|| lane_width_for(chunk_len))
+    }
+}
+
+impl TraversalKind {
+    /// The batching parameters this backend runs the lane-batched phases
+    /// with, or `None` for the scalar backend.
+    fn batch_params(self) -> Option<BatchParams> {
+        match self {
+            TraversalKind::Wide => Some(BatchParams {
+                max_lanes: MAX_BATCH_LANES,
+                direction: SweepDirection::Auto,
+                pinned_width: None,
+            }),
+            TraversalKind::Batch64 => Some(BatchParams {
+                max_lanes: BATCH_LANES,
+                direction: SweepDirection::TopDown,
+                pinned_width: Some(1),
+            }),
+            TraversalKind::Fixed { lanes, direction } => Some(BatchParams {
+                max_lanes: lanes,
+                direction,
+                pinned_width: Some(lane_width_for(lanes)),
+            }),
+            TraversalKind::Scalar => None,
+        }
+    }
 }
 
 /// Cost-model knob: max BFS expansions a redundancy probe may spend before
@@ -445,20 +508,25 @@ impl SieveAdn {
                 }
             }
         }
-        let use_batch = incremental && self.traversal == TraversalKind::Batch64;
+        let batch_params = if incremental {
+            self.traversal.batch_params()
+        } else {
+            None
+        };
         let mut vbar: Vec<NodeId> = Vec::new();
         let mut seen: FxHashSet<NodeId> = FxHashSet::default();
-        if use_batch {
+        if let Some(params) = batch_params {
             // One shared sweep: sources in order, each appending its
             // not-yet-seen ancestors in single-source BFS order — exactly
             // the merge order of the per-source paths below (see the
             // `reverse_reach_union_ordered` docs for the argument).
             scratch.with(|s| reverse_reach_union_ordered(graph, &sources, s, &mut vbar));
             // Marking sweep: one lane per source that needs it. Lane label
-            // words arrive per chunk (fanned out across workers); the
-            // merge applies dirty marks and exact deltas serially, so the
-            // sets and per-node counts the memo consults are identical to
-            // the scalar backend's (order within the EpochSets differs,
+            // words arrive per chunk (fanned out across workers on the
+            // stealing scheduler — chunk costs are skewed by cone size);
+            // the merge applies dirty marks and exact deltas serially, so
+            // the sets and per-node counts the memo consults are identical
+            // to the scalar backend's (order within the EpochSets differs,
             // which nothing observes).
             let mark: Vec<(NodeId, bool, u32)> = sources
                 .iter()
@@ -468,18 +536,20 @@ impl SieveAdn {
                     (novel || k > 0).then_some((u, novel, k))
                 })
                 .collect();
-            let chunks: Vec<&[(NodeId, bool, u32)]> = mark.chunks(BATCH_LANES).collect();
-            let labeled: Vec<Vec<(NodeId, u64)>> = exec::par_map(&chunks, |chunk| {
+            let chunks: Vec<&[(NodeId, bool, u32)]> =
+                lane_chunks(&mark, params.max_lanes).collect();
+            let labeled: Vec<Vec<(NodeId, [u64; 4])>> = exec::par_map_steal(&chunks, |chunk| {
                 scratch.with(|s| {
                     let lanes: Vec<&[NodeId]> = chunk
                         .iter()
                         .map(|(u, _, _)| std::slice::from_ref(u))
                         .collect();
                     let mut out = Vec::new();
-                    reverse_reach_batch64(
+                    reverse_reach_batch_wide(
                         graph,
                         &lanes,
-                        |_, _| 0,
+                        params.width_for(chunk.len()),
+                        params.direction,
                         s,
                         |n, mask| {
                             out.push((n, mask));
@@ -489,20 +559,25 @@ impl SieveAdn {
                 })
             });
             for (chunk, nodes) in chunks.iter().zip(&labeled) {
-                let novel_mask: u64 = chunk
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, (_, novel, _))| *novel)
-                    .fold(0, |acc, (i, _)| acc | 1u64 << i);
+                // Lane `i` of the chunk lives in bit `i % 64` of mask word
+                // `i / 64` (widths below 4 words leave the upper words 0).
+                let mut novel_mask = [0u64; 4];
+                for (i, (_, novel, _)) in chunk.iter().enumerate() {
+                    if *novel {
+                        novel_mask[i >> 6] |= 1u64 << (i & 63);
+                    }
+                }
                 for &(n, mask) in nodes {
-                    if mask & novel_mask != 0 {
+                    if mask.iter().zip(&novel_mask).any(|(m, nm)| m & nm != 0) {
                         memo.mark_dirty(n);
                     }
-                    let mut lanes_left = mask;
                     let mut k_total = 0u32;
-                    while lanes_left != 0 {
-                        k_total += chunk[lanes_left.trailing_zeros() as usize].2;
-                        lanes_left &= lanes_left - 1;
+                    for (w, &word) in mask.iter().enumerate() {
+                        let mut lanes_left = word;
+                        while lanes_left != 0 {
+                            k_total += chunk[(w << 6) + lanes_left.trailing_zeros() as usize].2;
+                            lanes_left &= lanes_left - 1;
+                        }
                     }
                     if k_total > 0 {
                         memo.add_delta_n(n, k_total);
@@ -616,12 +691,20 @@ impl SieveAdn {
                 // Phase 3b: the sink deltas phase 3 could not fuse —
                 // pre-existing sinks, whose `+1` applies only to nodes
                 // that could not already reach the sink through its old
-                // in-edges (`A ∖ B`: two lanes per sink batched 32 at a
-                // time, or two reverse BFSs per sink under the scalar
-                // backend — identical per-node deltas either way).
+                // in-edges (`A ∖ B`: two lanes per sink batched 32 lanes
+                // per label word, or two reverse BFSs per sink under the
+                // scalar backend — identical per-node deltas either way).
                 scratch.with(|s| {
-                    if use_batch {
-                        memo.apply_old_sink_deltas_batch64(graph, &old_sink_targets, s);
+                    if let Some(params) = batch_params {
+                        let words =
+                            params.width_for((old_sink_targets.len() * 2).min(MAX_BATCH_LANES));
+                        memo.apply_old_sink_deltas_wide(
+                            graph,
+                            &old_sink_targets,
+                            words,
+                            params.direction,
+                            s,
+                        );
                     } else {
                         for (v, sink_sources) in &old_sink_targets {
                             memo.apply_old_sink_delta(graph, *v, sink_sources, s);
@@ -630,13 +713,15 @@ impl SieveAdn {
                 });
             }
             let mut hits = 0u64;
-            let values = if use_batch {
-                // Evaluate the misses in 64-lane counting batches: dirty
+            let values = if let Some(params) = batch_params {
+                // Evaluate the misses in wide counting batches: dirty
                 // sources are ancestors of the same novel edges, so their
                 // downstream cones overlap heavily and one shared labeled
-                // traversal replaces up to 64 cone re-walks. Counts are
-                // exactly what per-node BFS returns, so the values — and
-                // the tally, charged per evaluation below — are unchanged.
+                // traversal replaces up to `max_lanes` cone re-walks.
+                // Counts are exactly what per-node BFS returns, so the
+                // values — and the tally, charged per evaluation below —
+                // are unchanged. Chunk costs are skewed (cone sizes vary
+                // wildly), hence the stealing fan-out.
                 let (values, h) = plan_compute_merge(memo, &vbar, rebuild, |need| {
                     if need.len() <= 1 {
                         scratch.with(|s| {
@@ -645,12 +730,19 @@ impl SieveAdn {
                                 .collect()
                         })
                     } else {
-                        let chunks: Vec<&[usize]> = need.chunks(BATCH_LANES).collect();
-                        exec::par_map(&chunks, |chunk| {
+                        let chunks: Vec<&[usize]> = lane_chunks(need, params.max_lanes).collect();
+                        exec::par_map_steal(&chunks, |chunk| {
                             scratch.with(|s| {
                                 let srcs: Vec<NodeId> = chunk.iter().map(|&j| vbar[j]).collect();
                                 let mut counts = vec![0u64; srcs.len()];
-                                reach_count_batch64(graph, &srcs, s, &mut counts);
+                                reach_count_batch_wide(
+                                    graph,
+                                    &srcs,
+                                    params.width_for(chunk.len()),
+                                    params.direction,
+                                    s,
+                                    &mut counts,
+                                );
                                 counts
                             })
                         })
@@ -1333,42 +1425,70 @@ mod tests {
         );
     }
 
-    /// The traversal backends are pure strategy: the 64-lane bit-parallel
-    /// backend and the retained scalar backend must agree bit for bit —
-    /// solutions, oracle tallies, and engine tallies — on random streams.
+    /// The traversal backends are pure strategy: every point of the
+    /// width × direction grid (and the adaptive default) must agree bit
+    /// for bit — solutions, oracle tallies, and engine tallies — with the
+    /// retained scalar backend on random streams.
     #[test]
     fn traversal_backends_are_bit_identical() {
+        let grid = [
+            TraversalKind::Wide,
+            TraversalKind::Batch64,
+            TraversalKind::Fixed {
+                lanes: 64,
+                direction: SweepDirection::Auto,
+            },
+            TraversalKind::Fixed {
+                lanes: 128,
+                direction: SweepDirection::TopDown,
+            },
+            TraversalKind::Fixed {
+                lanes: 256,
+                direction: SweepDirection::Auto,
+            },
+        ];
+        let scalar_counter = OracleCounter::new();
+        let mut scalar = SieveAdn::new(3, 0.15, true, scalar_counter.clone())
+            .with_traversal(TraversalKind::Scalar);
+        let mut batched: Vec<(SieveAdn, OracleCounter)> = grid
+            .iter()
+            .map(|&tr| {
+                let counter = OracleCounter::new();
+                let inst = SieveAdn::new(3, 0.15, true, counter.clone()).with_traversal(tr);
+                (inst, counter)
+            })
+            .collect();
+        assert_eq!(batched[0].0.traversal(), TraversalKind::Wide, "default");
         let mut state = 0xB17B_A7C4_u64;
         let mut rnd = move |m: u64| {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             (state >> 33) % m
         };
-        let batch_counter = OracleCounter::new();
-        let scalar_counter = OracleCounter::new();
-        let mut batched = SieveAdn::new(3, 0.15, true, batch_counter.clone());
-        let mut scalar = SieveAdn::new(3, 0.15, true, scalar_counter.clone())
-            .with_traversal(TraversalKind::Scalar);
-        assert_eq!(batched.traversal(), TraversalKind::Batch64);
-        assert_eq!(scalar.traversal(), TraversalKind::Scalar);
         for _ in 0..40 {
             let batch: Vec<(NodeId, NodeId)> = (0..1 + rnd(10))
                 .map(|_| (NodeId(rnd(70) as u32), NodeId(rnd(70) as u32)))
                 .collect();
-            batched.feed(batch.clone());
-            scalar.feed(batch);
-            assert_eq!(batched.query(), scalar.query());
-            assert_eq!(batched.best_value(), scalar.best_value());
+            scalar.feed(batch.clone());
+            for (inst, counter) in &mut batched {
+                inst.feed(batch.clone());
+                let tr = inst.traversal();
+                assert_eq!(inst.query(), scalar.query(), "{tr:?}");
+                assert_eq!(inst.best_value(), scalar.best_value(), "{tr:?}");
+                assert_eq!(
+                    counter.get(),
+                    scalar_counter.get(),
+                    "tallies diverged ({tr:?})"
+                );
+            }
+        }
+        for (inst, _) in &batched {
             assert_eq!(
-                batch_counter.get(),
-                scalar_counter.get(),
-                "tallies diverged"
+                inst.spread_stats(),
+                scalar.spread_stats(),
+                "engine tallies must not depend on the traversal backend ({:?})",
+                inst.traversal()
             );
         }
-        assert_eq!(
-            batched.spread_stats(),
-            scalar.spread_stats(),
-            "engine tallies must not depend on the traversal backend"
-        );
     }
 
     #[test]

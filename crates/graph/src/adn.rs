@@ -420,6 +420,16 @@ impl OutGraph for AdnGraph {
     fn contains_node(&self, u: NodeId) -> bool {
         self.nodes.contains(&u)
     }
+
+    #[inline]
+    fn live_node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn prefetch_out(&self, u: NodeId) {
+        self.out.prefetch(u.index());
+    }
 }
 
 impl InGraph for AdnGraph {
@@ -428,6 +438,11 @@ impl InGraph for AdnGraph {
         for &u in self.in_neighbors(v) {
             f(u);
         }
+    }
+
+    #[inline]
+    fn prefetch_in(&self, v: NodeId) {
+        self.inc.prefetch(v.index());
     }
 }
 

@@ -151,6 +151,27 @@ impl<T: Copy> AdjPool<T> {
         self.lists.get(n).map_or(0, |l| l.len as usize)
     }
 
+    /// Hints the CPU to pull the first cache line of node `n`'s block
+    /// toward L1. No observable effect — the bottom-up traversal loops
+    /// issue this a fixed distance ahead of their scan cursor so the
+    /// arena's scattered blocks arrive before they are walked.
+    #[inline]
+    pub fn prefetch(&self, n: usize) {
+        let Some(l) = self.lists.get(n) else { return };
+        if l.len == 0 {
+            return;
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `start` indexes a live block, so the address is within
+        // the buffer allocation; prefetch has no memory effects either way.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch(
+                self.buf.as_ptr().add(l.start) as *const i8,
+                std::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+
     /// Pops a recycled block of exactly `cap` slots, if one is available.
     fn pop_free(&mut self, cap: u32) -> Option<usize> {
         let class = cap.trailing_zeros() as usize;

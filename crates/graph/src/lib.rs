@@ -58,10 +58,12 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use indexed_set::IndexedSet;
 pub use node::{pack_pair, unpack_pair, Lifetime, NodeId, NodeInterner, Time};
 pub use reach::{
-    extend_cover, marginal_gain, reach_collect, reach_count, reach_count_batch64,
-    reverse_reach_batch64, reverse_reach_collect, reverse_reach_excluding,
-    reverse_reach_multi_collect, reverse_reach_union_ordered, reverse_reachable_within, CoverSet,
-    ReachScratch, ScratchPool, SpreadMemo, SpreadStats, SpreadStatsSnapshot, BATCH_LANES,
+    bottom_up_sweeps, extend_cover, lane_chunks, lane_width_for, marginal_gain, reach_collect,
+    reach_count, reach_count_batch, reach_count_batch64, reach_count_batch_wide,
+    reverse_reach_batch, reverse_reach_batch64, reverse_reach_batch_wide, reverse_reach_collect,
+    reverse_reach_excluding, reverse_reach_multi_collect, reverse_reach_union_ordered,
+    reverse_reachable_within, CoverSet, ReachScratch, ScratchPool, SpreadMemo, SpreadStats,
+    SpreadStatsSnapshot, SweepDirection, BATCH_LANES, MAX_BATCH_LANES,
 };
 pub use tdn::{LiveEdge, TdnGraph};
 pub use traits::{InGraph, OutGraph};

@@ -29,9 +29,10 @@ pub struct ReachScratch {
     visited: Vec<u32>,
     epoch: u32,
     queue: Vec<NodeId>,
-    /// Per-node lane masks for [`reverse_reach_batch64`] /
-    /// [`reach_count_batch64`]; a node's word is live only while its
-    /// `visited` stamp matches the current epoch.
+    /// Per-node lane masks for the bit-parallel traversals, stored as `W`
+    /// consecutive words per node (`W` = the traversal's lane width in
+    /// words); a node's words are live only while its `visited` stamp
+    /// matches the current epoch.
     labels: Vec<u64>,
     /// In-worklist stamps for the bit-parallel traversals (`0` = not
     /// queued; any other value is compared against `epoch2`).
@@ -41,6 +42,14 @@ pub struct ReachScratch {
     touched: Vec<NodeId>,
     /// Reusable gained-nodes buffer for [`extend_cover`].
     gained: Vec<NodeId>,
+    /// Worklist pushes of the current bit-parallel traversal.
+    batch_pushes: u64,
+    /// Drain compactions of the current bit-parallel traversal.
+    drain_compactions: u64,
+    /// Entries memmoved by drain compactions of the current traversal.
+    drain_moved: u64,
+    /// Bottom-up scan rounds of the current bit-parallel traversal.
+    bottom_up_rounds: u64,
 }
 
 impl Clone for ReachScratch {
@@ -81,13 +90,13 @@ impl ReachScratch {
         self.queue.clear();
     }
 
-    /// Starts a bit-parallel traversal: [`Self::begin`] plus label words
-    /// and worklist stamps for `bound` nodes. `epoch2` skips the `0`
-    /// sentinel, which marks "not currently queued".
-    fn begin_batch(&mut self, bound: usize) {
+    /// Starts a bit-parallel traversal: [`Self::begin`] plus `words` label
+    /// words per node and worklist stamps for `bound` nodes. `epoch2` skips
+    /// the `0` sentinel, which marks "not currently queued".
+    fn begin_batch(&mut self, bound: usize, words: usize) {
         self.begin(bound);
-        if self.labels.len() < bound {
-            self.labels.resize(bound, 0);
+        if self.labels.len() < bound * words {
+            self.labels.resize(bound * words, 0);
         }
         if self.stamp2.len() < bound {
             self.stamp2.resize(bound, 0);
@@ -98,6 +107,10 @@ impl ReachScratch {
             self.epoch2 = 1;
         }
         self.touched.clear();
+        self.batch_pushes = 0;
+        self.drain_compactions = 0;
+        self.drain_moved = 0;
+        self.bottom_up_rounds = 0;
     }
 
     /// Forces the epoch counters close to their wrap point — test hook for
@@ -106,6 +119,24 @@ impl ReachScratch {
     pub fn force_epochs_near_wrap(&mut self) {
         self.epoch = u32::MAX - 1;
         self.epoch2 = u32::MAX - 1;
+    }
+
+    /// Worklist tallies of the most recent bit-parallel traversal:
+    /// `(pushes, drain compactions, entries moved by compaction)`. The
+    /// compaction heuristic is linear by construction — a drain fires only
+    /// when the live tail is at most as long as the reclaimed prefix, so
+    /// `moved ≤ pushes` over any traversal — and the drain-compaction unit
+    /// test pins exactly that bound on adversarial re-entrant growth.
+    #[doc(hidden)]
+    pub fn drain_stats(&self) -> (u64, u64, u64) {
+        (self.batch_pushes, self.drain_compactions, self.drain_moved)
+    }
+
+    /// Bottom-up scan rounds the most recent bit-parallel traversal ran
+    /// (0 = it stayed top-down throughout).
+    #[doc(hidden)]
+    pub fn bottom_up_rounds(&self) -> u64 {
+        self.bottom_up_rounds
     }
 }
 
@@ -612,8 +643,103 @@ pub fn reverse_reach_multi_collect<G: OutGraph + InGraph>(
     out.extend_from_slice(queue);
 }
 
-/// Maximum number of lanes per bit-parallel traversal (`u64` label words).
+/// Lanes per label **word** of a bit-parallel traversal. The historical
+/// single-word lane count; wide traversals ship multiples of it (see
+/// [`MAX_BATCH_LANES`]).
 pub const BATCH_LANES: usize = 64;
+
+/// Maximum lanes per bit-parallel traversal at the widest shipped label
+/// width (`[u64; 4]` → 256 lanes).
+pub const MAX_BATCH_LANES: usize = 256;
+
+/// The label width in `u64` words that [`lane_width_for`] auto-selects for
+/// a batch of `lanes` sources: the narrowest shipped width (1, 2 or 4
+/// words) that fits, so small batches keep the cheap 64-bit path.
+///
+/// # Panics
+/// Panics if `lanes` exceeds [`MAX_BATCH_LANES`].
+#[inline]
+pub fn lane_width_for(lanes: usize) -> usize {
+    assert!(
+        lanes <= MAX_BATCH_LANES,
+        "at most {MAX_BATCH_LANES} lanes per traversal"
+    );
+    match lanes {
+        0..=64 => 1,
+        65..=128 => 2,
+        _ => 4,
+    }
+}
+
+/// Splits `items` into per-traversal lane chunks of at most `max_lanes`
+/// entries — the single home of the lane-chunking logic the trackers'
+/// batched phases share. Pair each chunk with [`lane_width_for`] on its
+/// length to pick that traversal's label width: only the final (short)
+/// chunk of an auto-width batch drops to a narrower, cheaper path.
+///
+/// # Panics
+/// Panics if `max_lanes` is zero or exceeds [`MAX_BATCH_LANES`].
+#[inline]
+pub fn lane_chunks<T>(items: &[T], max_lanes: usize) -> std::slice::Chunks<'_, T> {
+    assert!(
+        (1..=MAX_BATCH_LANES).contains(&max_lanes),
+        "lane chunk size must be in [1, {MAX_BATCH_LANES}]"
+    );
+    items.chunks(max_lanes)
+}
+
+/// Sweep-direction policy of the bit-parallel traversals.
+///
+/// Both policies reach the same least fixpoint of the (monotone) label
+/// propagation, so final label words — and everything derived from them —
+/// are bit-identical; only the order work is discovered in differs, which
+/// the `visit` contract already declares arbitrary.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SweepDirection {
+    /// Push-based worklist only: pop a node, push its label across its
+    /// (reverse) edges. Optimal while frontiers are narrow.
+    #[default]
+    TopDown,
+    /// Direction-optimizing: start top-down, and when the pending frontier
+    /// exceeds `1/8` of the live nodes switch to bottom-up rounds that
+    /// scan every node index and *pull* from its neighbors (with software
+    /// prefetch ahead of the scan cursor), dropping back to top-down once
+    /// the per-round change set narrows again.
+    Auto,
+}
+
+/// Frontier fraction (denominator) that triggers the top-down → bottom-up
+/// switch under [`SweepDirection::Auto`]: pending ≥ live/8.
+const BOTTOM_UP_DEN: usize = 8;
+/// Minimum pending frontier before bottom-up is ever considered. Combined
+/// with the `live/8` fraction this also implies `live ≥ 4096`: a bottom-up
+/// round scans every node index, which on small graphs costs more than the
+/// narrow top-down queue it replaces ever would.
+const BOTTOM_UP_MIN_FRONTIER: usize = 512;
+/// Scan distance (in node indices) the bottom-up rounds prefetch ahead.
+const PREFETCH_DIST: usize = 8;
+/// Queue-head threshold before a drain compaction is considered.
+const DRAIN_MIN_HEAD: usize = 1024;
+
+/// Process-wide count of traversals that entered a bottom-up round — a
+/// test hook so conformance suites can assert the direction switch
+/// actually fired on a dense stream.
+static BOTTOM_UP_SWEEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of bit-parallel traversals that ran at least one
+/// bottom-up round since program start.
+#[doc(hidden)]
+pub fn bottom_up_sweeps() -> u64 {
+    BOTTOM_UP_SWEEPS.load(Ordering::Relaxed)
+}
+
+/// Loads node `idx`'s `W`-word label from the stride-`W` label array.
+#[inline(always)]
+fn load_label<const W: usize>(labels: &[u64], idx: usize) -> [u64; W] {
+    let mut out = [0u64; W];
+    out.copy_from_slice(&labels[idx * W..idx * W + W]);
+    out
+}
 
 /// Collects the union of the reverse reachability sets of `sources` into
 /// `out` (cleared first), **in the exact order the per-source V̄ merge
@@ -669,21 +795,218 @@ pub fn reverse_reach_union_ordered<G: OutGraph + InGraph>(
     out.extend_from_slice(queue);
 }
 
-/// 64-lane bit-parallel multi-source **reverse** reachability.
+/// Wide-lane bit-parallel multi-source **reverse** reachability, generic
+/// over the label width `W` in `u64` words (`W · 64` lanes; shipped widths
+/// are 1, 2 and 4 — see [`lane_width_for`]).
 ///
 /// Lane `i` computes the union of the reverse reachability sets of
 /// `lanes[i]` (every node that reaches any of its sources, sources
 /// included). All lanes run in one label-propagation traversal: each node
-/// carries a `u64` word whose bit `i` means "this node is in lane `i`'s
-/// set", and a worklist re-expands a node whenever its word grows. `visit`
-/// is called exactly once per reached node with its final word, in
-/// first-touch order (deterministic, but callers must treat it as
-/// arbitrary).
+/// carries a `[u64; W]` label whose bit `i` (bit `i % 64` of word
+/// `i / 64`) means "this node is in lane `i`'s set". `visit` is called
+/// exactly once per reached node with its final label, in first-touch
+/// order (deterministic, but callers must treat it as arbitrary — the
+/// sweep direction changes it).
 ///
 /// `skip(v, u)` returns a mask of lanes that must **not** propagate across
-/// the reverse hop `v ← u`; pass `|_, _| 0` for plain reachability. The
-/// incremental spread engine uses it to exclude a sink's fresh direct
-/// in-edges from the old-ancestor side of the `A ∖ B` patch.
+/// the reverse hop `v ← u`; pass `|_, _| [0; W]` for plain reachability.
+/// It must be a pure function of the edge: under
+/// [`SweepDirection::Auto`] the same hop can be consulted again in either
+/// direction and any round.
+///
+/// Both directions converge to the unique least fixpoint of the monotone
+/// propagation rule `label(u) ⊇ label(v) ∖ skip(v, u)` for every live edge
+/// `u → v` (plus the seeds), so final labels — and the visited set — are
+/// bit-identical whichever path computed them; see DESIGN.md § Flat graph
+/// core.
+///
+/// # Panics
+/// Panics if more than `W * 64` lanes are given.
+pub fn reverse_reach_batch<const W: usize, G: OutGraph + InGraph>(
+    g: &G,
+    lanes: &[&[NodeId]],
+    mut skip: impl FnMut(NodeId, NodeId) -> [u64; W],
+    direction: SweepDirection,
+    scratch: &mut ReachScratch,
+    mut visit: impl FnMut(NodeId, &[u64; W]),
+) {
+    assert!(
+        lanes.len() <= W * 64,
+        "at most {} lanes per {W}-word traversal",
+        W * 64
+    );
+    let max_start = lanes
+        .iter()
+        .flat_map(|l| l.iter())
+        .map(|s| s.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let bound = g.node_index_bound().max(max_start);
+    let live = g.live_node_count().max(1);
+    scratch.begin_batch(bound, W);
+    let ReachScratch {
+        visited,
+        epoch,
+        queue,
+        labels,
+        stamp2,
+        epoch2,
+        touched,
+        batch_pushes,
+        drain_compactions,
+        drain_moved,
+        bottom_up_rounds,
+        ..
+    } = scratch;
+    for (i, lane) in lanes.iter().enumerate() {
+        let (wi, bit) = (i >> 6, 1u64 << (i & 63));
+        for &s in *lane {
+            let idx = s.index();
+            if visited[idx] != *epoch {
+                visited[idx] = *epoch;
+                labels[idx * W..idx * W + W].fill(0);
+                touched.push(s);
+            }
+            labels[idx * W + wi] |= bit;
+            if stamp2[idx] != *epoch2 {
+                stamp2[idx] = *epoch2;
+                queue.push(s);
+                *batch_pushes += 1;
+            }
+        }
+    }
+    let mut head = 0;
+    let mut switched = false;
+    'sweep: loop {
+        // --- Top-down: pop a node, push its label to its in-neighbors. ---
+        while head < queue.len() {
+            if direction == SweepDirection::Auto {
+                let pending = queue.len() - head;
+                if pending >= BOTTOM_UP_MIN_FRONTIER && pending * BOTTOM_UP_DEN >= live {
+                    break;
+                }
+            }
+            let v = queue[head];
+            head += 1;
+            stamp2[v.index()] = 0;
+            let lv = load_label::<W>(labels, v.index());
+            g.for_each_in(v, |u| {
+                let sk = skip(v, u);
+                let mut prop = [0u64; W];
+                let mut any = 0u64;
+                for w in 0..W {
+                    prop[w] = lv[w] & !sk[w];
+                    any |= prop[w];
+                }
+                if any == 0 {
+                    return;
+                }
+                let idx = u.index();
+                if visited[idx] != *epoch {
+                    visited[idx] = *epoch;
+                    labels[idx * W..idx * W + W].fill(0);
+                    touched.push(u);
+                }
+                let mut grew = false;
+                for w in 0..W {
+                    let word = &mut labels[idx * W + w];
+                    let grown = *word | prop[w];
+                    if grown != *word {
+                        *word = grown;
+                        grew = true;
+                    }
+                }
+                if grew && stamp2[idx] != *epoch2 {
+                    stamp2[idx] = *epoch2;
+                    queue.push(u);
+                    *batch_pushes += 1;
+                }
+            });
+            // A node can re-enter the worklist when its label grows again,
+            // so the drained prefix is reclaimed once it dominates the
+            // queue — the tail moved is then at most the prefix freed,
+            // keeping total compaction work linear in total pushes.
+            if head >= DRAIN_MIN_HEAD && head * 2 >= queue.len() {
+                *drain_compactions += 1;
+                *drain_moved += (queue.len() - head) as u64;
+                queue.drain(..head);
+                head = 0;
+            }
+        }
+        if head >= queue.len() {
+            break;
+        }
+        // --- Bottom-up: the frontier got wide; scan every node index and
+        // pull from its out-neighbors instead. Pending worklist entries
+        // are subsumed by the full scan, so their in-queue marks clear and
+        // the queue is reused as the per-round change set. ---
+        for &v in &queue[head..] {
+            stamp2[v.index()] = 0;
+        }
+        queue.clear();
+        head = 0;
+        if !switched {
+            switched = true;
+            BOTTOM_UP_SWEEPS.fetch_add(1, Ordering::Relaxed);
+        }
+        loop {
+            *bottom_up_rounds += 1;
+            queue.clear();
+            for idx in 0..bound {
+                if idx + PREFETCH_DIST < bound {
+                    g.prefetch_out(NodeId((idx + PREFETCH_DIST) as u32));
+                }
+                let u = NodeId(idx as u32);
+                let first = visited[idx] != *epoch;
+                let orig = if first {
+                    [0u64; W]
+                } else {
+                    load_label::<W>(labels, idx)
+                };
+                let mut acc = orig;
+                g.for_each_out(u, |v| {
+                    let vi = v.index();
+                    if visited[vi] != *epoch {
+                        return;
+                    }
+                    let lvv = load_label::<W>(labels, vi);
+                    let sk = skip(v, u);
+                    for w in 0..W {
+                        acc[w] |= lvv[w] & !sk[w];
+                    }
+                });
+                if acc != orig {
+                    if first {
+                        visited[idx] = *epoch;
+                        touched.push(u);
+                    }
+                    labels[idx * W..idx * W + W].copy_from_slice(&acc);
+                    queue.push(u);
+                }
+            }
+            if queue.is_empty() {
+                break 'sweep;
+            }
+            if queue.len() * BOTTOM_UP_DEN < live {
+                // The change set narrowed below the switch threshold:
+                // resume top-down from exactly the nodes whose labels the
+                // last round grew.
+                for &u in queue.iter() {
+                    stamp2[u.index()] = *epoch2;
+                }
+                *batch_pushes += queue.len() as u64;
+                continue 'sweep;
+            }
+        }
+    }
+    for &n in touched.iter() {
+        visit(n, &load_label::<W>(labels, n.index()));
+    }
+}
+
+/// 64-lane bit-parallel multi-source **reverse** reachability — the
+/// single-word, top-down configuration of [`reverse_reach_batch`],
+/// retained as the measured PR 6 baseline and compatibility surface.
 ///
 /// # Panics
 /// Panics if more than [`BATCH_LANES`] lanes are given.
@@ -694,14 +1017,95 @@ pub fn reverse_reach_batch64<G: OutGraph + InGraph>(
     scratch: &mut ReachScratch,
     mut visit: impl FnMut(NodeId, u64),
 ) {
-    assert!(lanes.len() <= BATCH_LANES, "at most 64 lanes per traversal");
-    let max_start = lanes
-        .iter()
-        .flat_map(|l| l.iter())
-        .map(|s| s.index() + 1)
-        .max()
-        .unwrap_or(0);
-    scratch.begin_batch(g.node_index_bound().max(max_start));
+    reverse_reach_batch::<1, G>(
+        g,
+        lanes,
+        |v, u| [skip(v, u)],
+        SweepDirection::TopDown,
+        scratch,
+        |n, words| visit(n, words[0]),
+    );
+}
+
+/// Runs [`reverse_reach_batch`] (plain reachability, no skip mask) at a
+/// label width chosen at **runtime** — the monomorphization dispatcher the
+/// trackers' auto-width phases call with [`lane_width_for`]'s pick. Each
+/// visited label is widened to a fixed four-word mask so callers decode
+/// lane `i` uniformly as bit `i % 64` of word `i / 64`.
+///
+/// # Panics
+/// Panics if `words` is not a shipped width (1, 2 or 4) or `lanes` exceeds
+/// `words * 64`.
+pub fn reverse_reach_batch_wide<G: OutGraph + InGraph>(
+    g: &G,
+    lanes: &[&[NodeId]],
+    words: usize,
+    direction: SweepDirection,
+    scratch: &mut ReachScratch,
+    mut visit: impl FnMut(NodeId, [u64; 4]),
+) {
+    match words {
+        1 => reverse_reach_batch::<1, G>(
+            g,
+            lanes,
+            |_, _| [0; 1],
+            direction,
+            scratch,
+            |n, w| visit(n, [w[0], 0, 0, 0]),
+        ),
+        2 => reverse_reach_batch::<2, G>(
+            g,
+            lanes,
+            |_, _| [0; 2],
+            direction,
+            scratch,
+            |n, w| visit(n, [w[0], w[1], 0, 0]),
+        ),
+        4 => reverse_reach_batch::<4, G>(
+            g,
+            lanes,
+            |_, _| [0; 4],
+            direction,
+            scratch,
+            |n, w| visit(n, *w),
+        ),
+        other => panic!("unsupported label width: {other} words (shipped: 1, 2, 4)"),
+    }
+}
+
+/// Wide-lane bit-parallel **forward** reachability counting: writes
+/// `counts[i] = |reach(sources[i])|` (the singleton influence spread of
+/// Definition 3) for up to `W · 64` sources in one label-propagation
+/// traversal (lane `i` = bit `i % 64` of label word `i / 64`).
+///
+/// The values are exactly what [`reach_count`] returns per source: every
+/// lane bit is set on a node exactly once (propagation is monotone) and
+/// tallied at that moment, so the totals equal the final per-lane label
+/// popcounts — independent of sweep direction and discovery order. Under
+/// [`SweepDirection::Auto`] wide frontiers switch to bottom-up rounds that
+/// pull from **in**-neighbors (hence the [`InGraph`] bound), with software
+/// prefetch ahead of the scan.
+///
+/// # Panics
+/// Panics if `sources` and `counts` differ in length or exceed `W * 64`.
+pub fn reach_count_batch<const W: usize, G: OutGraph + InGraph>(
+    g: &G,
+    sources: &[NodeId],
+    direction: SweepDirection,
+    scratch: &mut ReachScratch,
+    counts: &mut [u64],
+) {
+    assert!(
+        sources.len() <= W * 64,
+        "at most {} lanes per {W}-word traversal",
+        W * 64
+    );
+    assert_eq!(sources.len(), counts.len());
+    counts.fill(0);
+    let max_start = sources.iter().map(|s| s.index() + 1).max().unwrap_or(0);
+    let bound = g.node_index_bound().max(max_start);
+    let live = g.live_node_count().max(1);
+    scratch.begin_batch(bound, W);
     let ReachScratch {
         visited,
         epoch,
@@ -709,150 +1113,181 @@ pub fn reverse_reach_batch64<G: OutGraph + InGraph>(
         labels,
         stamp2,
         epoch2,
-        touched,
+        batch_pushes,
+        drain_compactions,
+        drain_moved,
+        bottom_up_rounds,
         ..
     } = scratch;
-    for (i, lane) in lanes.iter().enumerate() {
-        let bit = 1u64 << i;
-        for &s in *lane {
-            let slot = &mut visited[s.index()];
-            if *slot != *epoch {
-                *slot = *epoch;
-                labels[s.index()] = 0;
-                touched.push(s);
-            }
-            labels[s.index()] |= bit;
-            if stamp2[s.index()] != *epoch2 {
-                stamp2[s.index()] = *epoch2;
-                queue.push(s);
-            }
+    let tally = |counts: &mut [u64], w: usize, mut added: u64| {
+        while added != 0 {
+            counts[(w << 6) + added.trailing_zeros() as usize] += 1;
+            added &= added - 1;
+        }
+    };
+    for (i, &s) in sources.iter().enumerate() {
+        let (wi, bit) = (i >> 6, 1u64 << (i & 63));
+        let idx = s.index();
+        if visited[idx] != *epoch {
+            visited[idx] = *epoch;
+            labels[idx * W..idx * W + W].fill(0);
+        }
+        let word = &mut labels[idx * W + wi];
+        if *word & bit == 0 {
+            *word |= bit;
+            tally(counts, wi, bit);
+        }
+        if stamp2[idx] != *epoch2 {
+            stamp2[idx] = *epoch2;
+            queue.push(s);
+            *batch_pushes += 1;
         }
     }
     let mut head = 0;
-    while head < queue.len() {
-        let v = queue[head];
-        head += 1;
-        stamp2[v.index()] = 0;
-        let lv = labels[v.index()];
-        g.for_each_in(v, |u| {
-            let prop = lv & !skip(v, u);
-            if prop == 0 {
-                return;
+    let mut switched = false;
+    'sweep: loop {
+        // --- Top-down: pop a node, push its label to its out-neighbors. ---
+        while head < queue.len() {
+            if direction == SweepDirection::Auto {
+                let pending = queue.len() - head;
+                if pending >= BOTTOM_UP_MIN_FRONTIER && pending * BOTTOM_UP_DEN >= live {
+                    break;
+                }
             }
-            let slot = &mut visited[u.index()];
-            if *slot != *epoch {
-                *slot = *epoch;
-                labels[u.index()] = 0;
-                touched.push(u);
+            let v = queue[head];
+            head += 1;
+            stamp2[v.index()] = 0;
+            let lv = load_label::<W>(labels, v.index());
+            g.for_each_out(v, |u| {
+                let idx = u.index();
+                if visited[idx] != *epoch {
+                    visited[idx] = *epoch;
+                    labels[idx * W..idx * W + W].fill(0);
+                }
+                let mut grew = false;
+                for w in 0..W {
+                    let word = &mut labels[idx * W + w];
+                    let added = lv[w] & !*word;
+                    if added != 0 {
+                        tally(counts, w, added);
+                        *word |= added;
+                        grew = true;
+                    }
+                }
+                if grew && stamp2[idx] != *epoch2 {
+                    stamp2[idx] = *epoch2;
+                    queue.push(u);
+                    *batch_pushes += 1;
+                }
+            });
+            if head >= DRAIN_MIN_HEAD && head * 2 >= queue.len() {
+                *drain_compactions += 1;
+                *drain_moved += (queue.len() - head) as u64;
+                queue.drain(..head);
+                head = 0;
             }
-            let word = &mut labels[u.index()];
-            let grown = *word | prop;
-            if grown != *word {
-                *word = grown;
-                if stamp2[u.index()] != *epoch2 {
-                    stamp2[u.index()] = *epoch2;
+        }
+        if head >= queue.len() {
+            break;
+        }
+        // --- Bottom-up: scan every node index and pull from in-neighbors. ---
+        for &v in &queue[head..] {
+            stamp2[v.index()] = 0;
+        }
+        queue.clear();
+        head = 0;
+        if !switched {
+            switched = true;
+            BOTTOM_UP_SWEEPS.fetch_add(1, Ordering::Relaxed);
+        }
+        loop {
+            *bottom_up_rounds += 1;
+            queue.clear();
+            for idx in 0..bound {
+                if idx + PREFETCH_DIST < bound {
+                    g.prefetch_in(NodeId((idx + PREFETCH_DIST) as u32));
+                }
+                let u = NodeId(idx as u32);
+                let first = visited[idx] != *epoch;
+                let orig = if first {
+                    [0u64; W]
+                } else {
+                    load_label::<W>(labels, idx)
+                };
+                let mut acc = orig;
+                g.for_each_in(u, |v| {
+                    let vi = v.index();
+                    if visited[vi] != *epoch {
+                        return;
+                    }
+                    let lvv = load_label::<W>(labels, vi);
+                    for w in 0..W {
+                        acc[w] |= lvv[w];
+                    }
+                });
+                if acc != orig {
+                    if first {
+                        visited[idx] = *epoch;
+                    }
+                    for w in 0..W {
+                        let added = acc[w] & !orig[w];
+                        if added != 0 {
+                            tally(counts, w, added);
+                        }
+                    }
+                    labels[idx * W..idx * W + W].copy_from_slice(&acc);
                     queue.push(u);
                 }
             }
-        });
-        // A node can re-enter the worklist when its word grows again, so
-        // the drained prefix is reclaimed once it dominates the queue.
-        if head >= 1024 && head * 2 >= queue.len() {
-            queue.drain(..head);
-            head = 0;
+            if queue.is_empty() {
+                break 'sweep;
+            }
+            if queue.len() * BOTTOM_UP_DEN < live {
+                for &u in queue.iter() {
+                    stamp2[u.index()] = *epoch2;
+                }
+                *batch_pushes += queue.len() as u64;
+                continue 'sweep;
+            }
         }
-    }
-    for &n in touched.iter() {
-        visit(n, labels[n.index()]);
     }
 }
 
-/// 64-lane bit-parallel **forward** reachability counting: writes
-/// `counts[i] = |reach(sources[i])|` (the singleton influence spread of
-/// Definition 3) for up to 64 sources in one label-propagation traversal.
-///
-/// The values are exactly what [`reach_count`] returns per source — counts
-/// are order-independent, so this is the drop-in batched backend for
-/// `SpreadMemo` rebuild sweeps, where consecutive dirty sources share most
-/// of their downstream cones and a per-source BFS re-walks the shared part
-/// over and over.
+/// 64-lane bit-parallel **forward** reachability counting — the
+/// single-word, top-down configuration of [`reach_count_batch`], retained
+/// as the measured PR 6 baseline and compatibility surface.
 ///
 /// # Panics
 /// Panics if `sources` and `counts` differ in length or exceed
 /// [`BATCH_LANES`].
-pub fn reach_count_batch64<G: OutGraph>(
+pub fn reach_count_batch64<G: OutGraph + InGraph>(
     g: &G,
     sources: &[NodeId],
     scratch: &mut ReachScratch,
     counts: &mut [u64],
 ) {
-    assert!(
-        sources.len() <= BATCH_LANES,
-        "at most 64 lanes per traversal"
-    );
-    assert_eq!(sources.len(), counts.len());
-    counts.fill(0);
-    let max_start = sources.iter().map(|s| s.index() + 1).max().unwrap_or(0);
-    scratch.begin_batch(g.node_index_bound().max(max_start));
-    let ReachScratch {
-        visited,
-        epoch,
-        queue,
-        labels,
-        stamp2,
-        epoch2,
-        ..
-    } = scratch;
-    let tally = |counts: &mut [u64], mut added: u64| {
-        while added != 0 {
-            counts[added.trailing_zeros() as usize] += 1;
-            added &= added - 1;
-        }
-    };
-    for (i, &s) in sources.iter().enumerate() {
-        let bit = 1u64 << i;
-        let slot = &mut visited[s.index()];
-        if *slot != *epoch {
-            *slot = *epoch;
-            labels[s.index()] = 0;
-        }
-        let word = &mut labels[s.index()];
-        if *word & bit == 0 {
-            *word |= bit;
-            tally(counts, bit);
-        }
-        if stamp2[s.index()] != *epoch2 {
-            stamp2[s.index()] = *epoch2;
-            queue.push(s);
-        }
-    }
-    let mut head = 0;
-    while head < queue.len() {
-        let v = queue[head];
-        head += 1;
-        stamp2[v.index()] = 0;
-        let lv = labels[v.index()];
-        g.for_each_out(v, |u| {
-            let slot = &mut visited[u.index()];
-            if *slot != *epoch {
-                *slot = *epoch;
-                labels[u.index()] = 0;
-            }
-            let word = &mut labels[u.index()];
-            let grown = *word | lv;
-            if grown != *word {
-                tally(counts, grown & !*word);
-                *word = grown;
-                if stamp2[u.index()] != *epoch2 {
-                    stamp2[u.index()] = *epoch2;
-                    queue.push(u);
-                }
-            }
-        });
-        if head >= 1024 && head * 2 >= queue.len() {
-            queue.drain(..head);
-            head = 0;
-        }
+    reach_count_batch::<1, G>(g, sources, SweepDirection::TopDown, scratch, counts);
+}
+
+/// Runs [`reach_count_batch`] at a label width chosen at **runtime** — the
+/// monomorphization dispatcher for auto-width rebuild sweeps.
+///
+/// # Panics
+/// Panics if `words` is not a shipped width (1, 2 or 4), or on any
+/// [`reach_count_batch`] panic.
+pub fn reach_count_batch_wide<G: OutGraph + InGraph>(
+    g: &G,
+    sources: &[NodeId],
+    words: usize,
+    direction: SweepDirection,
+    scratch: &mut ReachScratch,
+    counts: &mut [u64],
+) {
+    match words {
+        1 => reach_count_batch::<1, G>(g, sources, direction, scratch, counts),
+        2 => reach_count_batch::<2, G>(g, sources, direction, scratch, counts),
+        4 => reach_count_batch::<4, G>(g, sources, direction, scratch, counts),
+        other => panic!("unsupported label width: {other} words (shipped: 1, 2, 4)"),
     }
 }
 
@@ -1296,7 +1731,43 @@ impl SpreadMemo {
         sinks: &[(NodeId, Vec<NodeId>)],
         scratch: &mut ReachScratch,
     ) {
-        for chunk in sinks.chunks(BATCH_LANES / 2) {
+        self.apply_old_sink_deltas_batch::<1, G>(g, sinks, SweepDirection::TopDown, scratch);
+    }
+
+    /// [`Self::apply_old_sink_deltas_batch64`] at a label width chosen at
+    /// runtime (`words * 32` sinks per traversal) with an explicit sweep
+    /// direction — the auto-width phase-3b entry point. Per-node delta
+    /// totals are identical at every width and direction.
+    ///
+    /// # Panics
+    /// Panics if `words` is not a shipped width (1, 2 or 4).
+    pub fn apply_old_sink_deltas_wide<G: OutGraph + InGraph>(
+        &mut self,
+        g: &G,
+        sinks: &[(NodeId, Vec<NodeId>)],
+        words: usize,
+        direction: SweepDirection,
+        scratch: &mut ReachScratch,
+    ) {
+        match words {
+            1 => self.apply_old_sink_deltas_batch::<1, G>(g, sinks, direction, scratch),
+            2 => self.apply_old_sink_deltas_batch::<2, G>(g, sinks, direction, scratch),
+            4 => self.apply_old_sink_deltas_batch::<4, G>(g, sinks, direction, scratch),
+            other => panic!("unsupported label width: {other} words (shipped: 1, 2, 4)"),
+        }
+    }
+
+    /// The width-generic core of the batched old-sink patch: two lanes per
+    /// sink (`2i` = `A` side, `2i + 1` = `B` side; a pair never straddles a
+    /// word boundary because `2i` is even), `W * 32` sinks per traversal.
+    fn apply_old_sink_deltas_batch<const W: usize, G: OutGraph + InGraph>(
+        &mut self,
+        g: &G,
+        sinks: &[(NodeId, Vec<NodeId>)],
+        direction: SweepDirection,
+        scratch: &mut ReachScratch,
+    ) {
+        for chunk in sinks.chunks(W * BATCH_LANES / 2) {
             let mut lanes: Vec<&[NodeId]> = Vec::with_capacity(chunk.len() * 2);
             let mut sink_nodes: Vec<NodeId> = Vec::with_capacity(chunk.len());
             // O(1) pre-check so the overwhelmingly common non-sink node
@@ -1308,21 +1779,28 @@ impl SpreadMemo {
                 sink_nodes.push(*sink);
                 sink_bits.insert(*sink);
             }
-            let skip = |v: NodeId, u: NodeId| -> u64 {
+            let skip = |v: NodeId, u: NodeId| -> [u64; W] {
                 // Lane 2i+1 must not walk sink_i's fresh direct in-edges.
+                let mut mask = [0u64; W];
                 if !sink_bits.contains(v) {
-                    return 0;
+                    return mask;
                 }
-                match sink_nodes.iter().position(|&s| s == v) {
-                    Some(i) if chunk[i].1.contains(&u) => 1u64 << (2 * i + 1),
-                    _ => 0,
+                if let Some(i) = sink_nodes.iter().position(|&s| s == v) {
+                    if chunk[i].1.contains(&u) {
+                        let lane = 2 * i + 1;
+                        mask[lane >> 6] = 1u64 << (lane & 63);
+                    }
                 }
+                mask
             };
             let deltas = &mut *self;
-            reverse_reach_batch64(g, &lanes, skip, scratch, |n, word| {
-                // Bits 2i (A) without their 2i+1 (B) partner.
-                let gained = word & !(word >> 1) & 0x5555_5555_5555_5555;
-                let k = gained.count_ones();
+            reverse_reach_batch::<W, G>(g, &lanes, skip, direction, scratch, |n, label| {
+                // Bits 2i (A) without their 2i+1 (B) partner, per word.
+                let mut k = 0u32;
+                for &word in label {
+                    let gained = word & !(word >> 1) & 0x5555_5555_5555_5555;
+                    k += gained.count_ones();
+                }
                 if k > 0 {
                     deltas.add_delta_n(n, k);
                 }
@@ -1952,6 +2430,248 @@ mod tests {
             reverse_reach_union_ordered(&g, &[NodeId(4)], &mut s, &mut out);
             assert_eq!(out.len(), 5);
         }
+    }
+
+    #[test]
+    fn wide_reverse_matches_multi_collect_across_widths_and_directions() {
+        // Up to 256 single-source lanes: every shipped width × direction
+        // must produce exactly the per-lane reverse reachability sets.
+        for seed in 0..6u64 {
+            let g = random_graph(seed.wrapping_add(900), 120, 360);
+            let lane_sources: Vec<NodeId> = (0..MAX_BATCH_LANES)
+                .map(|i| NodeId(((seed * 13 + i as u64 * 7) % 120) as u32))
+                .collect();
+            let mut s = ReachScratch::new();
+            let mut expect_bits: Vec<[u64; 4]> = vec![[0; 4]; 120];
+            let mut one = Vec::new();
+            for (i, &src) in lane_sources.iter().enumerate() {
+                reverse_reach_collect(&g, src, &mut s, &mut one);
+                for &n in &one {
+                    expect_bits[n.index()][i >> 6] |= 1u64 << (i & 63);
+                }
+            }
+            for &(words, lanes_used) in &[(1usize, 64usize), (2, 128), (4, 256)] {
+                for dir in [SweepDirection::TopDown, SweepDirection::Auto] {
+                    let lanes: Vec<&[NodeId]> = lane_sources[..lanes_used]
+                        .iter()
+                        .map(std::slice::from_ref)
+                        .collect();
+                    let mut got: Vec<[u64; 4]> = vec![[0; 4]; 120];
+                    let mut visits = 0usize;
+                    reverse_reach_batch_wide(&g, &lanes, words, dir, &mut s, |n, mask| {
+                        got[n.index()] = mask;
+                        visits += 1;
+                    });
+                    for n in 0..120usize {
+                        let mut want = expect_bits[n];
+                        for (w, word) in want.iter_mut().enumerate() {
+                            // Mask expectation down to the lanes this width ran.
+                            if (w + 1) * 64 > lanes_used {
+                                *word &= if w * 64 >= lanes_used {
+                                    0
+                                } else {
+                                    u64::MAX >> (64 - (lanes_used - w * 64))
+                                };
+                            }
+                        }
+                        assert_eq!(
+                            got[n], want,
+                            "seed {seed} words {words} dir {dir:?} node {n}"
+                        );
+                    }
+                    let reached = expect_bits
+                        .iter()
+                        .enumerate()
+                        .filter(|(n, _)| {
+                            lane_sources[..lanes_used]
+                                .iter()
+                                .any(|&src| src.index() == *n)
+                                || got[*n] != [0; 4]
+                        })
+                        .count();
+                    assert_eq!(visits, reached, "visit fires once per reached node");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_counts_match_scalar_across_widths_and_directions() {
+        for seed in 0..6u64 {
+            let g = random_graph(seed.wrapping_add(1300), 150, 420);
+            // Duplicates occupy independent lanes with equal counts.
+            let sources: Vec<NodeId> = (0..MAX_BATCH_LANES)
+                .map(|i| NodeId(((seed * 11 + i as u64 * 5) % 150) as u32))
+                .collect();
+            let mut s = ReachScratch::new();
+            let expect: Vec<u64> = sources
+                .iter()
+                .map(|&src| reach_count(&g, src, &mut s))
+                .collect();
+            for &(words, lanes_used) in &[(1usize, 64usize), (2, 128), (4, 256)] {
+                for dir in [SweepDirection::TopDown, SweepDirection::Auto] {
+                    let mut counts = vec![0u64; lanes_used];
+                    reach_count_batch_wide(
+                        &g,
+                        &sources[..lanes_used],
+                        words,
+                        dir,
+                        &mut s,
+                        &mut counts,
+                    );
+                    assert_eq!(
+                        counts,
+                        expect[..lanes_used],
+                        "seed {seed} words {words} dir {dir:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_direction_runs_bottom_up_on_wide_frontiers_with_equal_labels() {
+        // A dense graph (large enough to clear the minimum-frontier floor)
+        // with 64 seed lanes makes the pending frontier exceed live/8, so
+        // Auto must take bottom-up rounds — and still produce bit-identical
+        // labels and counts.
+        let g = random_graph(77, 6000, 60_000);
+        let lane_sources: Vec<NodeId> = (0..64).map(|i| NodeId((i * 37) % 6000)).collect();
+        let lanes: Vec<&[NodeId]> = lane_sources.iter().map(std::slice::from_ref).collect();
+        let mut s = ReachScratch::new();
+        let mut top: Vec<u64> = vec![0; 6000];
+        reverse_reach_batch::<1, _>(
+            &g,
+            &lanes,
+            |_, _| [0],
+            SweepDirection::TopDown,
+            &mut s,
+            |n, w| top[n.index()] = w[0],
+        );
+        assert_eq!(s.bottom_up_rounds(), 0, "TopDown never scans bottom-up");
+        let mut auto: Vec<u64> = vec![0; 6000];
+        reverse_reach_batch::<1, _>(
+            &g,
+            &lanes,
+            |_, _| [0],
+            SweepDirection::Auto,
+            &mut s,
+            |n, w| auto[n.index()] = w[0],
+        );
+        assert!(
+            s.bottom_up_rounds() > 0,
+            "dense flash-crowd frontier must trigger the direction switch"
+        );
+        assert!(bottom_up_sweeps() > 0, "process-wide switch tally moved");
+        assert_eq!(auto, top, "direction changes labels never");
+        // Forward counting: same switch, same counts.
+        let mut counts_top = vec![0u64; 64];
+        reach_count_batch::<1, _>(
+            &g,
+            &lane_sources,
+            SweepDirection::TopDown,
+            &mut s,
+            &mut counts_top,
+        );
+        let mut counts_auto = vec![0u64; 64];
+        reach_count_batch::<1, _>(
+            &g,
+            &lane_sources,
+            SweepDirection::Auto,
+            &mut s,
+            &mut counts_auto,
+        );
+        assert!(s.bottom_up_rounds() > 0);
+        assert_eq!(counts_auto, counts_top);
+    }
+
+    #[test]
+    fn wide_old_sink_deltas_match_sequential_patch() {
+        for seed in 0..8u64 {
+            let mut g = random_graph(seed.wrapping_add(2100), 60, 140);
+            let mut state = seed.wrapping_add(3) | 1;
+            let mut rnd = move |m: u32| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as u32) % m
+            };
+            // Enough sinks to span multiple pair-lane words at width 1.
+            let mut sinks: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+            for i in 0..40 + rnd(30) {
+                let sink = NodeId(60 + i);
+                let fresh: Vec<NodeId> = (0..1 + rnd(3)).map(|_| NodeId(rnd(60))).collect();
+                for &f in &fresh {
+                    g.add_edge(f, sink);
+                }
+                sinks.push((sink, fresh));
+            }
+            let bound = g.node_index_bound();
+            let mut s = ReachScratch::new();
+            let mut seq = SpreadMemo::new();
+            seq.begin_batch(bound);
+            for (sink, fresh) in &sinks {
+                seq.apply_old_sink_delta(&g, *sink, fresh, &mut s);
+            }
+            for words in [1usize, 2, 4] {
+                for dir in [SweepDirection::TopDown, SweepDirection::Auto] {
+                    let mut wide = SpreadMemo::new();
+                    wide.begin_batch(bound);
+                    wide.apply_old_sink_deltas_wide(&g, &sinks, words, dir, &mut s);
+                    for n in 0..bound as u32 {
+                        assert_eq!(
+                            wide.delta_of(NodeId(n)),
+                            seq.delta_of(NodeId(n)),
+                            "seed {seed} words {words} dir {dir:?} node {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drain_compaction_work_stays_linear_on_reentrant_growth() {
+        // Adversarial re-entrant growth: 64 lanes seeded at staggered
+        // depths of one long path. Every prefix node's label grows once
+        // per deeper lane that reaches it, re-entering the worklist each
+        // time — the drain heuristic must still move at most one queue
+        // entry per push (no quadratic re-drain).
+        let n = 4096u32;
+        let g = line_graph(n);
+        let seeds: Vec<NodeId> = (0..64).map(|i| NodeId(n - 1 - i * 60)).collect();
+        let lanes: Vec<&[NodeId]> = seeds.iter().map(std::slice::from_ref).collect();
+        let mut s = ReachScratch::new();
+        let mut reached = 0u64;
+        reverse_reach_batch64(&g, &lanes, |_, _| 0, &mut s, |_, _| reached += 1);
+        assert_eq!(reached, n as u64, "every path node is some lane's ancestor");
+        let (pushes, compactions, moved) = s.drain_stats();
+        assert!(
+            compactions > 0,
+            "the adversarial queue must actually trigger compaction"
+        );
+        assert!(
+            moved <= pushes,
+            "compaction moved {moved} entries for {pushes} pushes — super-linear re-drain"
+        );
+    }
+
+    #[test]
+    fn lane_width_selection_and_chunking() {
+        assert_eq!(lane_width_for(0), 1);
+        assert_eq!(lane_width_for(1), 1);
+        assert_eq!(lane_width_for(BATCH_LANES), 1);
+        assert_eq!(lane_width_for(BATCH_LANES + 1), 2);
+        assert_eq!(lane_width_for(128), 2);
+        assert_eq!(lane_width_for(129), 4);
+        assert_eq!(lane_width_for(MAX_BATCH_LANES), 4);
+        let items: Vec<u32> = (0..300).collect();
+        let sizes: Vec<usize> = lane_chunks(&items, MAX_BATCH_LANES)
+            .map(<[u32]>::len)
+            .collect();
+        assert_eq!(sizes, vec![256, 44]);
+        assert_eq!(lane_width_for(sizes[1]), 1, "short tail drops to 64-bit");
+        let sizes64: Vec<usize> = lane_chunks(&items, BATCH_LANES).map(<[u32]>::len).collect();
+        assert_eq!(sizes64.len(), 5);
+        assert!(std::panic::catch_unwind(|| lane_width_for(MAX_BATCH_LANES + 1)).is_err());
     }
 
     #[test]

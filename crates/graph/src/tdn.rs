@@ -1086,6 +1086,16 @@ impl OutGraph for TdnGraph {
     fn contains_node(&self, u: NodeId) -> bool {
         self.live_nodes.contains(u)
     }
+
+    #[inline]
+    fn live_node_count(&self) -> usize {
+        self.live_nodes.len()
+    }
+
+    #[inline]
+    fn prefetch_out(&self, u: NodeId) {
+        self.out.pool.prefetch(u.index());
+    }
 }
 
 impl InGraph for TdnGraph {
@@ -1096,6 +1106,11 @@ impl InGraph for TdnGraph {
                 f(u);
             }
         }
+    }
+
+    #[inline]
+    fn prefetch_in(&self, v: NodeId) {
+        self.inc.pool.prefetch(v.index());
     }
 }
 

@@ -18,6 +18,23 @@ pub trait OutGraph {
     /// Whether `u` currently participates in the graph (has at least one
     /// live incident edge, or was explicitly added).
     fn contains_node(&self, u: NodeId) -> bool;
+
+    /// Number of nodes currently participating in the graph. Drives the
+    /// direction-optimizing traversals' frontier-vs-graph switch heuristic;
+    /// the default (the index bound) only makes bottom-up sweeps less
+    /// eager, never incorrect.
+    fn live_node_count(&self) -> usize {
+        self.node_index_bound()
+    }
+
+    /// Hints the CPU to pull `u`'s out-adjacency block toward the cache.
+    /// Purely an optimization hook for the bottom-up scan loops — the
+    /// default is a no-op and implementations must have no observable
+    /// effect.
+    #[inline]
+    fn prefetch_out(&self, u: NodeId) {
+        let _ = u;
+    }
 }
 
 /// Read access to reverse adjacency (who points *to* a node).
@@ -28,4 +45,12 @@ pub trait OutGraph {
 pub trait InGraph {
     /// Calls `f` once per live in-neighbor of `v` (duplicates possible).
     fn for_each_in(&self, v: NodeId, f: impl FnMut(NodeId));
+
+    /// Hints the CPU to pull `v`'s in-adjacency block toward the cache.
+    /// Optimization hook only (see [`OutGraph::prefetch_out`]); the default
+    /// is a no-op.
+    #[inline]
+    fn prefetch_in(&self, v: NodeId) {
+        let _ = v;
+    }
 }

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use tdn::graph::{reach_count, AdjPool, EpochSet, NodeId as GNodeId, ReachScratch, TdnGraph};
 use tdn::prelude::*;
-use tdn_core::TraversalKind;
+use tdn_core::{SweepDirection, TraversalKind};
 
 /// One scheduled edge: (step, src, dst, lifetime).
 type Ev = (u8, u8, u8, u8);
@@ -75,6 +75,30 @@ proptest! {
         }
     }
 
+    /// The wide-lane engine's full pinned grid — every shipped label width
+    /// crossed with both sweep policies, at 1 and 4 threads — must be
+    /// bit-identical to the scalar single-threaded oracle on the same
+    /// storm streams, and so must the adaptive `Wide` default.
+    #[test]
+    fn storm_streams_are_width_and_direction_invariant(evs in storm_schedule()) {
+        let reference = run_hist(&evs, SpreadMode::FullRecompute, TraversalKind::Scalar, 1);
+        let mut grid = vec![TraversalKind::Wide];
+        for lanes in [64usize, 128, 256] {
+            for direction in [SweepDirection::TopDown, SweepDirection::Auto] {
+                grid.push(TraversalKind::Fixed { lanes, direction });
+            }
+        }
+        for traversal in grid {
+            for threads in [1usize, 4] {
+                let got = run_hist(&evs, SpreadMode::Incremental, traversal, threads);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "traversal {:?} threads {}", traversal, threads
+                );
+            }
+        }
+    }
+
     /// Forced epoch wrap-around in `ReachScratch` (both the plain visited
     /// epoch and the bit-parallel worklist epoch) must not alias marks:
     /// traversals right after a wrap agree with a fresh scratch.
@@ -130,6 +154,51 @@ proptest! {
             prop_assert_eq!(got, expect, "insertion order survives clear cycles");
         }
     }
+}
+
+/// A flash-crowd shape — one hub fanning out to thousands of nodes in a
+/// single round — must actually trip the direction switch under
+/// [`SweepDirection::Auto`] (the frontier is ~all live nodes, far past the
+/// `≥ 512` floor and the `live/8` fraction), and the bottom-up rounds must
+/// leave the reach tallies exactly as top-down computes them.
+#[test]
+fn flash_crowd_frontier_takes_bottom_up_sweeps() {
+    let mut g = tdn::graph::AdnGraph::new();
+    const FAN: u32 = 5_000;
+    for i in 1..=FAN {
+        g.add_edge(GNodeId(0), GNodeId(i));
+        // A sparse second hop so the bottom-up rounds have real pulls to
+        // perform rather than immediately quiescing.
+        if i % 7 == 0 {
+            g.add_edge(GNodeId(i), GNodeId(FAN + 1 + i % 13));
+        }
+    }
+    let sources = [GNodeId(0)];
+    let mut scratch = ReachScratch::new();
+    let mut top_down = vec![0u64; 1];
+    tdn::graph::reach_count_batch_wide(
+        &g,
+        &sources,
+        1,
+        SweepDirection::TopDown,
+        &mut scratch,
+        &mut top_down,
+    );
+    let before = tdn::graph::bottom_up_sweeps();
+    let mut auto_counts = vec![0u64; 1];
+    tdn::graph::reach_count_batch_wide(
+        &g,
+        &sources,
+        1,
+        SweepDirection::Auto,
+        &mut scratch,
+        &mut auto_counts,
+    );
+    assert!(
+        tdn::graph::bottom_up_sweeps() > before,
+        "a {FAN}-wide frontier over ~{FAN} live nodes must switch to bottom-up"
+    );
+    assert_eq!(auto_counts, top_down, "bottom-up rounds changed the answer");
 }
 
 /// Same-bucket expiry storms must recycle arena blocks: after the first

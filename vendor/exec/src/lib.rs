@@ -233,6 +233,87 @@ fn chunk_width(len: usize, workers: usize) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Work stealing.
+// ---------------------------------------------------------------------------
+
+/// Chunks seeded per worker by the stealing operations: finer than the
+/// static one-chunk-per-worker split so a worker that drains its own run
+/// early finds tail work to steal instead of idling behind a straggler.
+const STEAL_CHUNKS_PER_WORKER: usize = 4;
+
+/// Per-worker chunk-index deques for one stealing batch. Workers pop their
+/// own deque from the front (preserving the seeded contiguous order, which
+/// keeps cache locality of neighboring chunks) and steal from other deques'
+/// backs on exhaustion — each chunk index is handed out exactly once.
+struct StealQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    /// Seeds `chunks` indices across `workers` deques as contiguous runs
+    /// (the same assignment the static split would make).
+    fn seed(chunks: usize, workers: usize) -> Self {
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for c in 0..chunks {
+            deques[c * workers / chunks].push_back(c);
+        }
+        StealQueues {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Claims the next chunk for worker `me`: own front first, then other
+    /// workers' backs round-robin. `None` once every deque is empty. A
+    /// deque poisoned by a panicking worker still hands out its remaining
+    /// indices (indices carry no invariant; the panic itself is already
+    /// being propagated by the latch).
+    fn next(&self, me: usize) -> Option<usize> {
+        let pop = |slot: &Mutex<VecDeque<usize>>, back: bool| {
+            let mut q = match slot.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if back {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        };
+        if let Some(c) = pop(&self.deques[me], false) {
+            return Some(c);
+        }
+        let n = self.deques.len();
+        (1..n).find_map(|k| pop(&self.deques[(me + k) % n], true))
+    }
+}
+
+/// Raw output-slot base pointer shared across stealing workers.
+///
+/// SAFETY: the scheduler hands each chunk index to exactly one worker, and
+/// chunks map to disjoint slot ranges, so no slot is ever written (or even
+/// aliased mutably) by two workers.
+struct SlotBase<R>(*mut R);
+impl<R> Clone for SlotBase<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R> Copy for SlotBase<R> {}
+unsafe impl<R: Send> Send for SlotBase<R> {}
+unsafe impl<R: Send> Sync for SlotBase<R> {}
+
+impl<R> SlotBase<R> {
+    /// Pointer to slot `i`. Taking `self` (not the field) keeps closures
+    /// capturing the whole Send wrapper rather than the raw pointer.
+    #[inline]
+    fn at(self, i: usize) -> *mut R {
+        // SAFETY: callers only pass indices inside the allocation the base
+        // pointer was taken from (chunk ranges are clamped to `len`).
+        unsafe { self.0.add(i) }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Public parallel operations.
 // ---------------------------------------------------------------------------
 
@@ -285,6 +366,89 @@ pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync) {
             Box::new(move || {
                 for item in chunk {
                     f(item);
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_scoped(jobs);
+}
+
+/// Work-stealing variant of [`par_map`] for batches with skewed per-item
+/// cost: items are split into `workers × STEAL_CHUNKS_PER_WORKER` chunks,
+/// each worker drains its own contiguous run front-to-back and steals from
+/// the back of other workers' runs once it is out of local work.
+///
+/// Determinism is positional, not temporal: no matter which worker ends up
+/// executing a chunk, its results land in the slots of the items that
+/// produced them, so the output is bit-identical to [`par_map`] and to the
+/// serial map at any thread count.
+pub fn par_map_steal<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let len = items.len();
+    let width = chunk_width(len, workers * STEAL_CHUNKS_PER_WORKER);
+    let queues = StealQueues::seed(len.div_ceil(width), workers);
+    let slots = SlotBase(out.as_mut_ptr());
+    {
+        let f = &f;
+        let queues = &queues;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
+            .map(|w| {
+                Box::new(move || {
+                    while let Some(c) = queues.next(w) {
+                        let lo = c * width;
+                        let hi = (lo + width).min(len);
+                        for (off, item) in items[lo..hi].iter().enumerate() {
+                            // SAFETY: chunk `c` was claimed by exactly one
+                            // worker (see `StealQueues`), and chunks map to
+                            // disjoint index ranges, so each slot has a
+                            // single writer and no concurrent reader.
+                            unsafe { *slots.at(lo + off) = Some(f(item)) };
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(jobs);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every chunk completed"))
+        .collect()
+}
+
+/// Work-stealing variant of [`par_for_each_mut`]: same exactly-once,
+/// exclusive-access contract, but stragglers shed their tail chunks to idle
+/// workers instead of serializing the batch behind the slowest run.
+pub fn par_for_each_mut_steal<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync) {
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let len = items.len();
+    let width = chunk_width(len, workers * STEAL_CHUNKS_PER_WORKER);
+    let queues = StealQueues::seed(len.div_ceil(width), workers);
+    let base = SlotBase(items.as_mut_ptr());
+    let f = &f;
+    let queues = &queues;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
+        .map(|w| {
+            Box::new(move || {
+                while let Some(c) = queues.next(w) {
+                    let lo = c * width;
+                    let hi = (lo + width).min(len);
+                    for i in lo..hi {
+                        // SAFETY: single claimant per chunk index (see
+                        // `StealQueues`) ⇒ `&mut` access to `items[i]` is
+                        // exclusive for the duration of the call.
+                        f(unsafe { &mut *base.at(i) });
+                    }
                 }
             }) as Box<dyn FnOnce() + Send + '_>
         })
@@ -422,5 +586,94 @@ mod tests {
     #[test]
     fn thread_cap_is_enforced() {
         with_threads(10_000, || assert_eq!(threads(), MAX_THREADS));
+    }
+
+    #[test]
+    fn steal_map_matches_serial_and_preserves_order() {
+        let items: Vec<u64> = (0..1213).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 7).collect();
+        for n in [1, 2, 3, 4, 7] {
+            let par = with_threads(n, || par_map_steal(&items, |&x| x * 3 + 7));
+            assert_eq!(par, serial, "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn steal_map_rebalances_skewed_work() {
+        // Front-loaded cost: the first chunk run is far heavier than the
+        // rest, so with a static split worker 0 would finish last by a wide
+        // margin. Correctness (order + completeness) must hold regardless;
+        // the skew exercises the steal path on the other workers.
+        let items: Vec<u64> = (0..257).collect();
+        let heavy = |&x: &u64| -> u64 {
+            let spin = if x < 16 { 40_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            // Deterministic in x alone, so the order check is exact; the
+            // black_box keeps the spin loop from being optimized away.
+            std::hint::black_box(acc);
+            x * 2
+        };
+        let serial: Vec<u64> = items.iter().map(heavy).collect();
+        let par = with_threads(4, || par_map_steal(&items, heavy));
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn steal_for_each_mut_touches_every_element_once() {
+        for n in [1, 2, 4, 9] {
+            let mut items: Vec<u32> = vec![0; 613];
+            with_threads(n, || par_for_each_mut_steal(&mut items, |x| *x += 1));
+            assert!(items.iter().all(|&x| x == 1), "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn steal_variants_handle_empty_and_singleton() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(with_threads(4, || par_map_steal(&empty, |&x| x)).is_empty());
+        let mut one = [9u8];
+        with_threads(4, || par_for_each_mut_steal(&mut one, |x| *x *= 3));
+        assert_eq!(one, [27]);
+    }
+
+    #[test]
+    fn steal_panics_propagate_and_pool_survives() {
+        let result = catch_unwind(|| {
+            with_threads(4, || {
+                let items: Vec<u32> = (0..128).collect();
+                let _ = par_map_steal(&items, |&x| {
+                    if x == 100 {
+                        panic!("steal boom at {x}");
+                    }
+                    x
+                });
+            })
+        });
+        assert!(
+            result.is_err(),
+            "stealing worker panic must reach the caller"
+        );
+        let ok = with_threads(4, || par_map_steal(&[5u32, 6, 7], |&x| x + 1));
+        assert_eq!(ok, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn steal_queues_hand_out_each_chunk_once() {
+        let q = StealQueues::seed(23, 3);
+        let mut seen = vec![0u32; 23];
+        // Interleave partial claims from each worker, then drain the rest —
+        // every chunk index must surface exactly once overall.
+        for (me, budget) in [(0, 4), (1, 4), (2, 4), (0, usize::MAX), (1, usize::MAX)] {
+            for _ in 0..budget {
+                match q.next(me) {
+                    Some(c) => seen[c] += 1,
+                    None => break,
+                }
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "claims: {seen:?}");
     }
 }
