@@ -29,6 +29,6 @@ pub use dim::DimTracker;
 pub use ic::diffusion_prob;
 pub use imm::{imm_select, ImmTracker};
 pub use max_cover::{max_cover, CoverResult};
-pub use rr::{extend_rr_on_insert, sample_rr, sample_rr_from, RrSet};
+pub use rr::{extend_rr_on_insert, hoeffding_pool_size, sample_rr, sample_rr_from, RrSet};
 pub use tim::{tim_select, TimTracker};
 pub use util::ln_binom;

@@ -7,10 +7,16 @@
 //! IC influence; greedy max-coverage over a pool of RR sets yields a
 //! near-optimal IC seed set.
 
+//! The deterministic-reachability analogue of this machinery — exact RR
+//! sets with reservoir roots, maintained under inserts *and* expiry — now
+//! lives in [`tdn_graph::sketch`] where the trackers can reach it; this
+//! module keeps the IC-model (coin-flipping) samplers the static baselines
+//! need, built on one shared traversal core (`grow_rr`).
+
 use crate::ic::diffusion_prob;
 use rand::rngs::StdRng;
 use rand::Rng;
-use tdn_graph::{FxHashSet, NodeId, TdnGraph};
+use tdn_graph::{FxHashSet, NodeId, SketchParams, TdnGraph};
 
 /// One sampled reverse-reachable set.
 #[derive(Clone, Debug)]
@@ -47,12 +53,28 @@ pub fn sample_rr(graph: &TdnGraph, rng: &mut StdRng) -> Option<RrSet> {
 /// Samples one RR set with a fixed root (used by DIM's sketch refresh).
 pub fn sample_rr_from(graph: &TdnGraph, root: NodeId, rng: &mut StdRng) -> RrSet {
     let mut member: FxHashSet<NodeId> = FxHashSet::default();
-    let mut queue: Vec<NodeId> = Vec::new();
+    let mut nodes: Vec<NodeId> = Vec::new();
     member.insert(root);
-    queue.push(root);
-    let mut head = 0;
-    while head < queue.len() {
-        let v = queue[head];
+    nodes.push(root);
+    grow_rr(graph, &mut member, &mut nodes, 0, rng);
+    RrSet { root, nodes }
+}
+
+/// Shared IC-model traversal core: processes `nodes[frontier..]` as a BFS
+/// queue over reverse edges, flipping one coin per distinct in-neighbor
+/// (success probability [`diffusion_prob`] of the pair multiplicity) and
+/// appending successes to `nodes`/`member`. Both the from-scratch sampler
+/// and the insert-time extension are this loop over different frontiers.
+fn grow_rr(
+    graph: &TdnGraph,
+    member: &mut FxHashSet<NodeId>,
+    nodes: &mut Vec<NodeId>,
+    frontier: usize,
+    rng: &mut StdRng,
+) {
+    let mut head = frontier;
+    while head < nodes.len() {
+        let v = nodes[head];
         head += 1;
         for (u, mult) in graph.in_neighbors_distinct(v) {
             if member.contains(&u) {
@@ -60,11 +82,19 @@ pub fn sample_rr_from(graph: &TdnGraph, root: NodeId, rng: &mut StdRng) -> RrSet
             }
             if rng.gen_bool(diffusion_prob(mult).clamp(0.0, 1.0)) {
                 member.insert(u);
-                queue.push(u);
+                nodes.push(u);
             }
         }
     }
-    RrSet { root, nodes: queue }
+}
+
+/// Pool size for a mean-type RR estimate with additive error `ε·n` at
+/// failure probability `δ` — the same Hoeffding bound
+/// [`tdn_graph::sketch::SketchParams::pool_size`] sizes the trackers'
+/// deterministic sketch pools with, re-exported here so the static and
+/// streaming estimators pre-register one formula.
+pub fn hoeffding_pool_size(epsilon: f64, delta: f64) -> usize {
+    SketchParams::new(epsilon, delta, 0).pool_size()
 }
 
 /// Extends an existing RR set after edge `(u, v)` was inserted: if `v` is a
@@ -89,24 +119,10 @@ pub fn extend_rr_on_insert(
         return false;
     }
     let mut member = member;
-    let mut queue = vec![u];
     member.insert(u);
     rr.nodes.push(u);
-    let mut head = 0;
-    while head < queue.len() {
-        let x = queue[head];
-        head += 1;
-        for (w, mult) in graph.in_neighbors_distinct(x) {
-            if member.contains(&w) {
-                continue;
-            }
-            if rng.gen_bool(diffusion_prob(mult).clamp(0.0, 1.0)) {
-                member.insert(w);
-                rr.nodes.push(w);
-                queue.push(w);
-            }
-        }
-    }
+    let frontier = rr.nodes.len() - 1;
+    grow_rr(graph, &mut member, &mut rr.nodes, frontier, rng);
     true
 }
 
@@ -123,6 +139,18 @@ mod tests {
             g.add_edge(NodeId(1), NodeId(2), 100);
         }
         g
+    }
+
+    #[test]
+    fn hoeffding_sizing_matches_the_sketch_pool() {
+        // One pre-registered formula across the static and streaming
+        // estimators: m = ceil(ln(2/delta) / (2 eps^2)).
+        assert_eq!(
+            hoeffding_pool_size(0.2, 0.1),
+            SketchParams::new(0.2, 0.1, 99).pool_size()
+        );
+        assert_eq!(hoeffding_pool_size(0.1, 0.1), 150);
+        assert!(hoeffding_pool_size(0.05, 0.1) > hoeffding_pool_size(0.1, 0.1));
     }
 
     #[test]

@@ -144,23 +144,25 @@ struct CellLog {
 }
 
 enum AnyTracker {
-    SieveAdn(SieveAdnTracker),
-    HistApprox(HistApprox),
+    // Both variants boxed: the trackers weigh hundreds of bytes each
+    // (clippy::large_enum_variant), and one is built per measured cell.
+    SieveAdn(Box<SieveAdnTracker>),
+    HistApprox(Box<HistApprox>),
 }
 
 impl AnyTracker {
     fn build(sel: Tracker, cfg: &TrackerConfig, mode: SpreadMode, tr: TraversalKind) -> Self {
         match sel {
-            Tracker::SieveAdn => AnyTracker::SieveAdn(
+            Tracker::SieveAdn => AnyTracker::SieveAdn(Box::new(
                 SieveAdnTracker::new(cfg)
                     .with_spread_mode(mode)
                     .with_traversal(tr),
-            ),
-            Tracker::HistApprox => AnyTracker::HistApprox(
+            )),
+            Tracker::HistApprox => AnyTracker::HistApprox(Box::new(
                 HistApprox::new(cfg)
                     .with_spread_mode(mode)
                     .with_traversal(tr),
-            ),
+            )),
         }
     }
 

@@ -106,6 +106,13 @@ impl BasicReduction {
         self.instances.len()
     }
 
+    /// Read access to the staggered instances in window order (`A_1`
+    /// first — the instance that answers the current step). Conformance
+    /// harnesses use this to probe per-instance sketch pools.
+    pub fn instances(&self) -> impl Iterator<Item = &SieveAdn> {
+        self.instances.iter()
+    }
+
     /// Approximate heap footprint across all instances (Theorem 5's `L`
     ///-fold state; compare with [`crate::HistApprox::approx_bytes`]).
     pub fn approx_bytes(&self) -> usize {
@@ -118,7 +125,7 @@ impl BasicReduction {
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
         self.cfg.write_snapshot(w);
         w.put_u64(self.counter.get());
-        w.put_u8(self.mode.tag());
+        self.mode.write_snapshot(w);
         self.spread_stats.snapshot().write_snapshot(w);
         w.put_bool(self.last_t.is_some());
         w.put_u64(self.last_t.unwrap_or(0));
@@ -135,8 +142,7 @@ impl BasicReduction {
     pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
         let cfg = TrackerConfig::read_snapshot(r)?;
         let calls = r.get_u64()?;
-        let mode = SpreadMode::from_tag(r.get_u8()?)
-            .ok_or(codec::CodecError::Invalid("unknown spread mode tag"))?;
+        let mode = SpreadMode::read_snapshot(r)?;
         let stats_snap = SpreadStatsSnapshot::read_snapshot(r)?;
         let has_last = r.get_bool()?;
         let last_raw = r.get_u64()?;

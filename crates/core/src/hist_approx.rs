@@ -125,6 +125,13 @@ impl HistApprox {
         &self.graph
     }
 
+    /// Read access to the histogram's instances keyed by deadline, in
+    /// ascending deadline order. Conformance harnesses use this to probe
+    /// per-instance sketch pools.
+    pub fn instances(&self) -> impl Iterator<Item = (Time, &SieveAdn)> {
+        self.instances.iter().map(|(&d, inst)| (d, inst))
+    }
+
     /// Approximate heap footprint: the compressed instance set plus the
     /// live TDN (Theorem 8's `O(k ε⁻² log² k)` state plus `G_t`).
     pub fn approx_bytes(&self) -> usize {
@@ -139,7 +146,7 @@ impl HistApprox {
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
         self.cfg.write_snapshot(w);
         w.put_u64(self.counter.get());
-        w.put_u8(self.mode.tag());
+        self.mode.write_snapshot(w);
         self.spread_stats.snapshot().write_snapshot(w);
         w.put_bool(self.refeed);
         w.put_bool(self.last_t.is_some());
@@ -158,8 +165,7 @@ impl HistApprox {
     pub fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
         let cfg = TrackerConfig::read_snapshot(r)?;
         let calls = r.get_u64()?;
-        let mode = SpreadMode::from_tag(r.get_u8()?)
-            .ok_or(codec::CodecError::Invalid("unknown spread mode tag"))?;
+        let mode = SpreadMode::read_snapshot(r)?;
         let stats_snap = SpreadStatsSnapshot::read_snapshot(r)?;
         let refeed = r.get_bool()?;
         let has_last = r.get_bool()?;

@@ -50,8 +50,9 @@ use std::collections::BTreeMap;
 use tdn_graph::{
     lane_chunks, lane_width_for, marginal_gain, reach_count, reach_count_batch_wide,
     reverse_reach_batch_wide, reverse_reach_collect, reverse_reach_union_ordered, AdnGraph,
-    CoverSet, EdgeInsert, FxHashMap, FxHashSet, NodeId, OutGraph, ScratchPool, SpreadMemo,
-    SpreadStats, SpreadStatsSnapshot, SweepDirection, Time, BATCH_LANES, MAX_BATCH_LANES,
+    CoverSet, EdgeInsert, FxHashMap, FxHashSet, NodeId, OutGraph, ScratchPool, SketchParams,
+    SketchPool, SpreadMemo, SpreadStats, SpreadStatsSnapshot, SweepDirection, Time, BATCH_LANES,
+    MAX_BATCH_LANES,
 };
 use tdn_streams::TimedEdge;
 use tdn_submodular::{OracleCounter, ThresholdLadder};
@@ -68,23 +69,38 @@ pub enum SpreadMode {
     /// batch. Retained verbatim as the differential-testing oracle (and as
     /// the baseline the `hotpath` experiment measures against).
     FullRecompute,
+    /// Bounded-error estimation: singleton spreads are served from a
+    /// [`SketchPool`] of reverse-reachable sets maintained under inserts,
+    /// within `ε·n` of the exact value w.p. ≥ 1 − δ per estimate (see
+    /// DESIGN.md § Sketch-based spread estimation). Covers — and therefore
+    /// reported solution *values* — stay exact; only the sieve's view of
+    /// `f({v})` is approximate. Deterministic at any thread count and
+    /// across checkpoint/restore (`tests/sketch_conformance.rs`).
+    Sketch(SketchParams),
 }
 
 impl SpreadMode {
-    /// Snapshot tag (part of the checkpoint payload format).
-    pub(crate) fn tag(self) -> u8 {
+    /// Serializes the mode (tag byte, plus the sketch params for
+    /// [`SpreadMode::Sketch`] — part of the checkpoint payload format;
+    /// tags 1 and 2 are byte-compatible with the pre-sketch format).
+    pub(crate) fn write_snapshot(self, w: &mut codec::Writer) {
         match self {
-            SpreadMode::Incremental => 1,
-            SpreadMode::FullRecompute => 2,
+            SpreadMode::Incremental => w.put_u8(1),
+            SpreadMode::FullRecompute => w.put_u8(2),
+            SpreadMode::Sketch(p) => {
+                w.put_u8(3);
+                p.write_snapshot(w);
+            }
         }
     }
 
-    /// Parses a snapshot tag.
-    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
-        match tag {
-            1 => Some(SpreadMode::Incremental),
-            2 => Some(SpreadMode::FullRecompute),
-            _ => None,
+    /// Parses a mode written by [`Self::write_snapshot`].
+    pub(crate) fn read_snapshot(r: &mut codec::Reader<'_>) -> codec::Result<Self> {
+        match r.get_u8()? {
+            1 => Ok(SpreadMode::Incremental),
+            2 => Ok(SpreadMode::FullRecompute),
+            3 => Ok(SpreadMode::Sketch(SketchParams::read_snapshot(r)?)),
+            _ => Err(codec::CodecError::Invalid("unknown spread mode tag")),
         }
     }
 }
@@ -244,6 +260,9 @@ pub struct SieveAdn {
     mode: SpreadMode,
     traversal: TraversalKind,
     memo: SpreadMemo,
+    /// Present iff `mode` is [`SpreadMode::Sketch`]: the reverse-reachable
+    /// sketch pool singleton spreads are served from.
+    sketch: Option<SketchPool>,
 }
 
 impl SieveAdn {
@@ -262,6 +281,7 @@ impl SieveAdn {
             mode: SpreadMode::default(),
             traversal: TraversalKind::default(),
             memo: SpreadMemo::new(),
+            sketch: None,
         }
     }
 
@@ -290,12 +310,24 @@ impl SieveAdn {
         self
     }
 
-    /// Sets the spread-maintenance mode. Switching modes forgets the memo:
-    /// a cache that stopped observing mutations can no longer be trusted.
+    /// Sets the spread-maintenance mode. Switching modes forgets the memo
+    /// (a cache that stopped observing mutations can no longer be trusted)
+    /// and re-derives the sketch pool: switching *to* [`SpreadMode::Sketch`]
+    /// seeds a pool from the accumulated graph (universe in ascending node
+    /// order — deterministic regardless of hash ordering); switching away
+    /// drops it.
     pub fn set_spread_mode(&mut self, mode: SpreadMode) {
         if self.mode != mode {
             self.mode = mode;
             self.memo.clear_cache();
+            self.sketch = match mode {
+                SpreadMode::Sketch(p) => Some(SketchPool::init_from_graph(
+                    p,
+                    &self.graph,
+                    self.graph.nodes().collect(),
+                )),
+                _ => None,
+            };
         }
     }
 
@@ -342,6 +374,12 @@ impl SieveAdn {
     /// The accumulated ADN.
     pub fn graph(&self) -> &AdnGraph {
         &self.graph
+    }
+
+    /// The reverse-reachable sketch pool, present iff the active mode is
+    /// [`SpreadMode::Sketch`] (read access for conformance harnesses).
+    pub fn sketch_pool(&self) -> Option<&SketchPool> {
+        self.sketch.as_ref()
     }
 
     /// Number of active thresholds.
@@ -465,6 +503,12 @@ impl SieveAdn {
             // New batch: grow the memo to the (possibly larger) node bound
             // and clear the previous batch's dirty and delta marks in O(1).
             self.memo.begin_batch(self.graph.node_index_bound());
+        }
+        // Sketch mode: fold the fresh edges into the pool before spreads
+        // are served from it. Serial — every RNG decision (reservoir root
+        // redraws) happens here, so pool state is thread-count invariant.
+        if let Some(pool) = &mut self.sketch {
+            pool.absorb_batch(&self.graph, &fresh);
         }
         let graph = &self.graph;
         let scratch = &self.scratch;
@@ -675,7 +719,14 @@ impl SieveAdn {
         // Either way the values — and the oracle tally, which charges one
         // call per singleton evaluation regardless of how it is serviced —
         // are bit-identical to full recomputation.
-        let singletons: Vec<u64> = if !incremental {
+        let singletons: Vec<u64> = if let Some(pool) = &self.sketch {
+            // Sketch mode: estimates instead of BFS answers. The pool is
+            // final for the batch (absorbed above), so this is a pure
+            // table read — deterministic and O(1) per node. The oracle
+            // tally still charges one call per singleton evaluation
+            // (below), keeping accounting comparable across modes.
+            vbar.iter().map(|&v| pool.estimate_rounded(v)).collect()
+        } else if !incremental {
             if exec::threads() <= 1 {
                 scratch.with(|s| vbar.iter().map(|&v| reach_count(graph, v, s)).collect())
             } else {
@@ -869,7 +920,12 @@ impl SieveAdn {
             .values()
             .map(|s| s.cover.approx_bytes() + s.seeds.capacity() * 4 + 64)
             .sum();
-        self.graph.approx_bytes() + slots + self.scratch.approx_bytes() + self.memo.approx_bytes()
+        let sketch = self.sketch.as_ref().map_or(0, |p| p.approx_bytes());
+        self.graph.approx_bytes()
+            + slots
+            + self.scratch.approx_bytes()
+            + self.memo.approx_bytes()
+            + sketch
     }
 
     /// Serializes the instance's full sieve state for checkpointing: the
@@ -884,7 +940,7 @@ impl SieveAdn {
     /// The shared [`SpreadStats`] tally is tracker-owned for the same
     /// reason.
     pub fn write_snapshot(&self, w: &mut codec::Writer) {
-        w.put_u8(self.mode.tag());
+        self.mode.write_snapshot(w);
         self.graph.write_snapshot(w);
         self.ladder.write_snapshot(w);
         w.put_len(self.slots.len());
@@ -899,14 +955,19 @@ impl SieveAdn {
         w.put_u64(self.k as u64);
         w.put_bool(self.singleton_prune);
         self.memo.write_snapshot(w);
+        // Sketch-mode payloads carry the pool after the memo; the other
+        // modes keep the pre-sketch byte format verbatim (committed golden
+        // checkpoints stay valid).
+        if let Some(pool) = &self.sketch {
+            pool.write_snapshot(w);
+        }
     }
 
     /// Reconstructs an instance from [`Self::write_snapshot`] bytes,
     /// billing future oracle calls to `counter`. Scratch arenas start cold
     /// (they hold no logical state); the spread memo is restored warm.
     pub fn read_snapshot(r: &mut codec::Reader<'_>, counter: OracleCounter) -> codec::Result<Self> {
-        let mode = SpreadMode::from_tag(r.get_u8()?)
-            .ok_or(codec::CodecError::Invalid("unknown spread mode tag"))?;
+        let mode = SpreadMode::read_snapshot(r)?;
         let graph = AdnGraph::read_snapshot(r)?;
         let ladder = ThresholdLadder::read_snapshot(r)?;
         let n_slots = r.get_len(8)?;
@@ -933,6 +994,17 @@ impl SieveAdn {
             return Err(codec::CodecError::Invalid("sieve slot exceeds budget k"));
         }
         let memo = SpreadMemo::read_snapshot(r, graph.node_index_bound())?;
+        let sketch = if let SpreadMode::Sketch(p) = mode {
+            let pool = SketchPool::read_snapshot(r)?;
+            if pool.params() != p {
+                return Err(codec::CodecError::Invalid(
+                    "sketch pool params disagree with the spread mode",
+                ));
+            }
+            Some(pool)
+        } else {
+            None
+        };
         Ok(SieveAdn {
             graph,
             ladder,
@@ -944,6 +1016,7 @@ impl SieveAdn {
             mode,
             traversal: TraversalKind::default(),
             memo,
+            sketch,
         })
     }
 
@@ -959,9 +1032,12 @@ impl SieveAdn {
     /// - `{prefix}sieve`: threshold ladder plus every slot's seeds and
     ///   cover (word runs). Always fresh: covers track every batch.
     /// - `{prefix}memo`: the spread memo as raw runs.
+    /// - `{prefix}sketch` (sketch mode only): the reverse-reachable pool —
+    ///   roots, per-sketch RNG states, member sets. Always fresh: the pool
+    ///   tracks every batch.
     pub fn write_sections(&self, sink: &mut codec::SectionSink, prefix: &str) {
         let mut w = codec::Writer::new();
-        w.put_u8(self.mode.tag());
+        self.mode.write_snapshot(&mut w);
         w.put_u64(self.k as u64);
         w.put_bool(self.singleton_prune);
         w.put_len(self.graph.node_bound());
@@ -999,6 +1075,11 @@ impl SieveAdn {
         let mut w = codec::Writer::new();
         self.memo.write_snapshot_raw(&mut w);
         sink.put(&format!("{prefix}memo"), w.into_vec());
+        if let Some(pool) = &self.sketch {
+            let mut w = codec::Writer::new();
+            pool.write_snapshot(&mut w);
+            sink.put(&format!("{prefix}sketch"), w.into_vec());
+        }
     }
 
     /// Reconstructs an instance from the sections [`Self::write_sections`]
@@ -1012,7 +1093,7 @@ impl SieveAdn {
         let invalid =
             |msg: &'static str| codec::SectionError::Codec(codec::CodecError::Invalid(msg));
         let mut r = map.reader(&format!("{prefix}meta"))?;
-        let mode = SpreadMode::from_tag(r.get_u8()?).ok_or(invalid("unknown spread mode tag"))?;
+        let mode = SpreadMode::read_snapshot(&mut r)?;
         let k = r.get_u64()?;
         if k == 0 || k > usize::MAX as u64 {
             return Err(invalid("sieve budget k out of range"));
@@ -1062,6 +1143,17 @@ impl SieveAdn {
         let mut r = map.reader(&format!("{prefix}memo"))?;
         let memo = SpreadMemo::read_snapshot_raw(&mut r, graph.node_index_bound())?;
         r.finish()?;
+        let sketch = if let SpreadMode::Sketch(p) = mode {
+            let mut r = map.reader(&format!("{prefix}sketch"))?;
+            let pool = SketchPool::read_snapshot(&mut r)?;
+            r.finish()?;
+            if pool.params() != p {
+                return Err(invalid("sketch pool params disagree with the spread mode"));
+            }
+            Some(pool)
+        } else {
+            None
+        };
         Ok(SieveAdn {
             graph,
             ladder,
@@ -1073,6 +1165,7 @@ impl SieveAdn {
             mode,
             traversal: TraversalKind::default(),
             memo,
+            sketch,
         })
     }
 
@@ -1383,6 +1476,42 @@ mod tests {
         assert_eq!(sol.value, 3);
         assert!(t.oracle_calls() > 0);
         assert_eq!(t.name(), "SieveADN");
+    }
+
+    #[test]
+    fn sketch_mode_maintains_a_pool_and_survives_mode_switches() {
+        let params = SketchParams::new(0.2, 0.1, 42);
+        let mut s = inst(2, 0.1).with_spread_mode(SpreadMode::Sketch(params));
+        let pool = s.sketch_pool().expect("sketch mode carries a pool");
+        assert_eq!(pool.len(), params.pool_size());
+        assert_eq!(pool.universe_len(), 0);
+        s.feed([
+            (NodeId(0), NodeId(1)),
+            (NodeId(0), NodeId(2)),
+            (NodeId(5), NodeId(6)),
+        ]);
+        let pool = s.sketch_pool().unwrap();
+        assert_eq!(pool.universe_len(), 5, "pool absorbed the batch");
+        // Covers stay exact in sketch mode, so values are true cover sizes.
+        let sol = s.query();
+        assert!(!sol.seeds.is_empty() && sol.value >= 2);
+        // Switching away drops the pool; switching back re-seeds it from
+        // the accumulated graph (mid-run adoption).
+        s.set_spread_mode(SpreadMode::Incremental);
+        assert!(s.sketch_pool().is_none());
+        s.set_spread_mode(SpreadMode::Sketch(params));
+        assert_eq!(s.sketch_pool().unwrap().universe_len(), 5);
+        // Snapshot round trip preserves the pool bit-for-bit.
+        let mut w = codec::Writer::new();
+        s.write_snapshot(&mut w);
+        let bytes = w.into_vec();
+        let mut r = codec::Reader::new(&bytes);
+        let back = SieveAdn::read_snapshot(&mut r, OracleCounter::new()).expect("round trip");
+        r.finish().expect("fully consumed");
+        assert_eq!(back.spread_mode(), SpreadMode::Sketch(params));
+        let mut w2 = codec::Writer::new();
+        back.write_snapshot(&mut w2);
+        assert_eq!(bytes, w2.into_vec());
     }
 
     /// The incremental engine's contract in miniature: identical solutions

@@ -21,6 +21,9 @@
 //!   for parallel callers), incremental cover sets, pruned marginal-gain
 //!   evaluation, and 64-lane bit-parallel multi-source traversals
 //!   ([`reach::reverse_reach_batch64`], [`reach::reach_count_batch64`]);
+//! * [`sketch`] — reverse-reachable sketch pool: a bounded-error spread
+//!   estimator with an explicit (ε, δ) budget, maintained deterministically
+//!   under both edge inserts and time-decay expiry;
 //! * [`hash`] — in-tree Fx hashing so hot maps avoid SipHash;
 //! * [`indexed_set::IndexedSet`] — O(1) sampleable live-node set;
 //! * [`analysis`] — offline SCC condensation + exact all-node spreads
@@ -46,6 +49,7 @@ pub mod hash;
 pub mod indexed_set;
 pub mod node;
 pub mod reach;
+pub mod sketch;
 pub mod tdn;
 pub mod traits;
 
@@ -65,5 +69,6 @@ pub use reach::{
     reverse_reachable_within, CoverSet, ReachScratch, ScratchPool, SpreadMemo, SpreadStats,
     SpreadStatsSnapshot, SweepDirection, BATCH_LANES, MAX_BATCH_LANES,
 };
+pub use sketch::{SketchParams, SketchPool};
 pub use tdn::{LiveEdge, TdnGraph};
 pub use traits::{InGraph, OutGraph};

@@ -102,7 +102,9 @@ pub mod prelude {
         BasicReduction, ChurnTracker, GreedyTracker, HistApprox, InfluenceTracker, RandomTracker,
         SieveAdn, SieveAdnTracker, Solution, SpreadMode, SpreadStatsSnapshot, TrackerConfig,
     };
-    pub use tdn_graph::{condense, Lifetime, NodeId, NodeInterner, TdnGraph, Time};
+    pub use tdn_graph::{
+        condense, Lifetime, NodeId, NodeInterner, SketchParams, SketchPool, TdnGraph, Time,
+    };
     pub use tdn_persist::{
         checkpoint_base_to_vec, checkpoint_delta_to_vec, checkpoint_to_vec, load_checkpoint,
         read_manifest, restore_from_chain, restore_from_slice, save_checkpoint, CheckpointChain,

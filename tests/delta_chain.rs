@@ -172,6 +172,20 @@ proptest! {
 /// and non-empty.
 fn seeded_tracker() -> SieveAdnTracker {
     let mut t = SieveAdnTracker::new(&cfg());
+    feed_six_steps(&mut t);
+    t
+}
+
+/// Same state, tracked in sketch mode — adds the `adn.sketch` section
+/// (the serialized RR-sketch pool) to the checkpoint.
+fn seeded_sketch_tracker() -> SieveAdnTracker {
+    let mut t = SieveAdnTracker::new(&cfg())
+        .with_spread_mode(SpreadMode::Sketch(SketchParams::new(0.2, 0.1, 0xDEC0)));
+    feed_six_steps(&mut t);
+    t
+}
+
+fn feed_six_steps(t: &mut SieveAdnTracker) {
     for step in 0u64..6 {
         let batch: Vec<TimedEdge> = (0..8)
             .map(|i| {
@@ -185,7 +199,6 @@ fn seeded_tracker() -> SieveAdnTracker {
             .collect();
         t.step(step, &batch);
     }
-    t
 }
 
 /// Payload byte offset of the format-3 header (see `tdn_persist::manifest`).
@@ -206,28 +219,17 @@ fn sectioned_payload(bytes: &[u8]) -> &[u8] {
     &bytes[V3_PAYLOAD_OFFSET..V3_PAYLOAD_OFFSET + m.payload_len as usize]
 }
 
-/// Every inline section kind the SIEVEADN tracker writes reports *its own
-/// name* when its payload is corrupted.
-#[test]
-fn section_bit_flips_name_the_failing_section() {
-    let tracker = seeded_tracker();
-    let bytes = checkpoint_to_vec(&tracker, &cfg(), 6);
-    let toc = codec::SectionReader::parse(sectioned_payload(&bytes))
+/// Flips one byte in the middle of every non-empty inline section and
+/// asserts each corruption surfaces as a `ChecksumMismatch` blaming that
+/// exact section. `required` guards against renames silently shrinking
+/// the sweep: every listed section must actually be present.
+fn sweep_section_bit_flips(bytes: &[u8], required: &[&str]) {
+    let toc = codec::SectionReader::parse(sectioned_payload(bytes))
         .expect("container parses")
         .toc()
         .clone();
     let names: Vec<String> = toc.entries().iter().map(|e| e.name.clone()).collect();
-    // Guard against renames silently shrinking this sweep: the tracker
-    // must emit its meta, the instance meta, at least one graph chunk per
-    // direction, the sieve, and the memo.
-    for expected in [
-        "meta",
-        "adn.meta",
-        "adn.graph.out.0",
-        "adn.graph.inc.0",
-        "adn.sieve",
-        "adn.memo",
-    ] {
+    for expected in required {
         assert!(
             names.iter().any(|n| n == expected),
             "section {expected:?} missing from a SIEVEADN base checkpoint: {names:?}"
@@ -238,7 +240,7 @@ fn section_bit_flips_name_the_failing_section() {
         if entry.len == 0 {
             continue;
         }
-        let mut corrupt = bytes.clone();
+        let mut corrupt = bytes.to_vec();
         let at = V3_PAYLOAD_OFFSET + entry.offset as usize + (entry.len as usize) / 2;
         corrupt[at] ^= 0x5A;
         fix_envelope_checksum(&mut corrupt);
@@ -255,6 +257,55 @@ fn section_bit_flips_name_the_failing_section() {
             Ok(_) => panic!("section {:?}: corrupt payload restored", entry.name),
         }
     }
+}
+
+/// Every inline section kind the SIEVEADN tracker writes reports *its own
+/// name* when its payload is corrupted.
+#[test]
+fn section_bit_flips_name_the_failing_section() {
+    let tracker = seeded_tracker();
+    let bytes = checkpoint_to_vec(&tracker, &cfg(), 6);
+    // The tracker must emit its meta, the instance meta, at least one
+    // graph chunk per direction, the sieve, and the memo.
+    sweep_section_bit_flips(
+        &bytes,
+        &[
+            "meta",
+            "adn.meta",
+            "adn.graph.out.0",
+            "adn.graph.inc.0",
+            "adn.sieve",
+            "adn.memo",
+        ],
+    );
+}
+
+/// Sketch-mode checkpoints add the serialized RR-sketch pool as its own
+/// section — a bit flip inside it must blame `adn.sketch` by name, same
+/// as every pre-existing section kind.
+#[test]
+fn sketch_pool_bit_flips_name_the_sketch_section() {
+    let tracker = seeded_sketch_tracker();
+    assert!(
+        tracker
+            .instance()
+            .sketch_pool()
+            .is_some_and(|p| p.universe_len() > 0),
+        "seed stream must leave a non-empty pool or the sweep is vacuous"
+    );
+    let bytes = checkpoint_to_vec(&tracker, &cfg(), 6);
+    sweep_section_bit_flips(
+        &bytes,
+        &[
+            "meta",
+            "adn.meta",
+            "adn.graph.out.0",
+            "adn.graph.inc.0",
+            "adn.sieve",
+            "adn.memo",
+            "adn.sketch",
+        ],
+    );
 }
 
 /// A delta's ref sections demand the parent's payload hash to their

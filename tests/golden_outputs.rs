@@ -160,6 +160,120 @@ fn tracker_solutions_match_golden() {
     assert_matches_golden("tracker_solutions.txt", &solutions_actual());
 }
 
+/// Sketch estimates on the Fig. 2 worked example (the paper's running
+/// TDN: two batches at t = 0 and t = 1, lifetimes 1–3), pinned for both
+/// maintenance paths of the RR-sketch pool:
+///
+/// * `[adn …]` — a sketch-mode SIEVEADN tracker (append-only instance
+///   graph, pool grown by `absorb_batch` only);
+/// * `[tdn …]` — a standalone pool riding the decaying `TdnGraph`
+///   through t = 0..=3, with dirty-node tracking driving `apply_expiry`
+///   (by t = 3 every edge has aged out and the pool must drain).
+///
+/// Each line pins a node's rounded estimate next to the exact reach
+/// count, so a fixture diff reads as "estimate for node v drifted from
+/// exact-by-n" rather than an opaque byte change.
+fn sketch_estimates_actual() -> String {
+    let params = SketchParams::new(0.25, 0.1, 66);
+    let batch_t0 = [
+        TimedEdge::new(1u32, 2u32, 1),
+        TimedEdge::new(1u32, 3u32, 1),
+        TimedEdge::new(1u32, 4u32, 2),
+        TimedEdge::new(5u32, 3u32, 3),
+        TimedEdge::new(6u32, 4u32, 1),
+        TimedEdge::new(6u32, 7u32, 1),
+    ];
+    let batch_t1 = [
+        TimedEdge::new(5u32, 2u32, 1),
+        TimedEdge::new(7u32, 4u32, 2),
+        TimedEdge::new(7u32, 6u32, 3),
+    ];
+    let mut out = format!(
+        "# sketch estimates on the Fig. 2 worked example\n\
+         # params: eps={} delta={} seed={} pool={}\n",
+        params.epsilon(),
+        params.delta(),
+        params.seed,
+        params.pool_size(),
+    );
+    let mut scratch = tdn::graph::ReachScratch::new();
+
+    // ADN path: sketch-mode SIEVEADN over the append-only graph.
+    let mut tracker = SieveAdnTracker::new(&TrackerConfig::new(2, 0.1, 100))
+        .with_spread_mode(SpreadMode::Sketch(params));
+    for (t, batch) in [(0u64, &batch_t0[..]), (1, &batch_t1[..])] {
+        let sol = tracker.step(t, batch);
+        let inst = tracker.instance();
+        let pool = inst.sketch_pool().expect("sketch mode carries a pool");
+        let _ = writeln!(
+            out,
+            "[adn t={t}] n={} value={} seeds={:?}",
+            pool.universe_len(),
+            sol.value,
+            sol.seeds.iter().map(|s| s.0).collect::<Vec<_>>(),
+        );
+        let mut nodes: Vec<_> = pool.universe().to_vec();
+        nodes.sort_unstable();
+        for v in nodes {
+            let exact = tdn::graph::reach_count(inst.graph(), v, &mut scratch);
+            let _ = writeln!(
+                out,
+                "v={} est={} exact={exact}",
+                v.0,
+                pool.estimate_rounded(v),
+            );
+        }
+    }
+
+    // TDN path: the decaying graph, expiry driving pool invalidation.
+    let mut g = tdn::graph::TdnGraph::new();
+    g.set_dirty_tracking(true);
+    let mut pool = SketchPool::new(params);
+    for t in 0..=3u64 {
+        g.advance_to(t);
+        let dirty = g.take_dirty();
+        pool.apply_expiry(&g, &dirty);
+        let batch: &[TimedEdge] = match t {
+            0 => &batch_t0,
+            1 => &batch_t1,
+            _ => &[],
+        };
+        let mut fresh = Vec::new();
+        for e in batch {
+            let before = g.edge_count();
+            g.add_edge(e.src, e.dst, e.lifetime);
+            if g.edge_count() > before {
+                fresh.push((e.src, e.dst));
+            }
+        }
+        g.take_dirty();
+        pool.absorb_batch(&g, &fresh);
+        let _ = writeln!(
+            out,
+            "[tdn t={t}] n={} live_edges={}",
+            pool.universe_len(),
+            g.edge_count(),
+        );
+        let mut nodes: Vec<_> = pool.universe().to_vec();
+        nodes.sort_unstable();
+        for v in nodes {
+            let exact = tdn::graph::reach_count(&g, v, &mut scratch);
+            let _ = writeln!(
+                out,
+                "v={} est={} exact={exact}",
+                v.0,
+                pool.estimate_rounded(v),
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn sketch_estimates_match_golden() {
+    assert_matches_golden("sketch_estimates.txt", &sketch_estimates_actual());
+}
+
 /// The fixtures were recorded on the full-recompute reference path's
 /// outputs (which the engine is contractually bound to reproduce), so the
 /// reference must match them too — this guards against regenerating the
