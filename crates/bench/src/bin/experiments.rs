@@ -5,7 +5,7 @@
 //!             [--checkpoint-every N]
 //!   targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //!            ablations throughput restore hotpath flatgraph widetrav
-//!            scale sketch all
+//!            scale sketch serve all
 //!   --full               paper-scale sweeps (default: quick)
 //!   --out                output directory for CSVs (default: results)
 //!   --bench-out          extra directories the `BENCH_*.json` regression
@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tdn_bench::experiments::{
     ablations, fig11_12, fig13_14, fig7, fig8_10, flatgraph, hotpath, restore, scale as scale_exp,
-    sketch, table1, throughput, widetrav,
+    serve, sketch, table1, throughput, widetrav,
 };
 use tdn_bench::Scale;
 
@@ -38,7 +38,7 @@ fn usage() -> ExitCode {
         "usage: experiments <target>... [--full] [--out DIR] [--bench-out DIR]... \
          [--checkpoint-every N]\n\
          targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations \
-         throughput restore hotpath flatgraph widetrav scale sketch all"
+         throughput restore hotpath flatgraph widetrav scale sketch serve all"
     );
     ExitCode::FAILURE
 }
@@ -72,7 +72,7 @@ fn main() -> ExitCode {
             },
             t @ ("table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
             | "fig14" | "ablations" | "throughput" | "restore" | "hotpath" | "flatgraph"
-            | "widetrav" | "scale" | "sketch") => {
+            | "widetrav" | "scale" | "sketch" | "serve") => {
                 // Shared runners: figs 8-10 and 13-14 are joint.
                 targets.insert(match t {
                     "fig9" | "fig10" => "fig8",
@@ -96,6 +96,7 @@ fn main() -> ExitCode {
                     "widetrav",
                     "scale",
                     "sketch",
+                    "serve",
                 ] {
                     targets.insert(t);
                 }
@@ -133,6 +134,7 @@ fn main() -> ExitCode {
             "widetrav" => widetrav::run(&out, &scale),
             "scale" => scale_exp::run(&out, &scale),
             "sketch" => sketch::run(&out, &scale),
+            "serve" => serve::run(&out, &scale),
             _ => unreachable!("validated above"),
         };
         match res.and_then(|()| mirror_bench_json(t, &out, &bench_out)) {

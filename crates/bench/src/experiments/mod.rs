@@ -10,6 +10,7 @@ pub mod flatgraph;
 pub mod hotpath;
 pub mod restore;
 pub mod scale;
+pub mod serve;
 pub mod sketch;
 pub mod table1;
 pub mod throughput;

@@ -1,0 +1,328 @@
+//! Serving-layer load experiment: a multi-tenant firehose through the
+//! sharded `tdn-serve` front-end, with crash-mid-stream failover.
+//!
+//! Four sections:
+//!
+//! 1. **Load run** — the full firehose (≥ 1M events at `--full` scale,
+//!    enforced by [`Scale::serve_min_events`]) ingested tick by tick,
+//!    sampling per-tick ingest flush latency and read-path query latency
+//!    *under load* (queries run between flushes against the published
+//!    snapshots).
+//! 2. **Saturation curve** — the same firehose prefix re-ingested at
+//!    increasing coalesce windows (flush every 1/4/16/64 ticks), showing
+//!    the throughput-vs-latency tradeoff of batching the front-end.
+//! 3. **Failover** — a second server with per-tenant delta-chain
+//!    checkpoints is crashed mid-stream (dropped, losing everything
+//!    after the last cadence save), recovered from the chain directory,
+//!    and fed the whole stream again; the idempotent replay guard drops
+//!    what was already applied. Final per-tenant solutions, watermarks,
+//!    and oracle tallies must be **bit-identical** to the uninterrupted
+//!    run.
+//! 4. **Schema gates** — latency percentiles must be finite, ordered
+//!    (p50 ≤ p99), and non-vacuous before `BENCH_serve.json` is written.
+//!
+//! Every gate goes through [`ensure`], so an identity break or a
+//! degenerate latency table exits non-zero and fails the CI smoke job.
+
+use crate::checks::ensure;
+use crate::report::{f, percentile, print_table};
+use crate::scale::Scale;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+use tdn_core::{SieveAdnTracker, Solution, TrackerConfig};
+use tdn_graph::Time;
+use tdn_serve::{ServeConfig, Server, TenantId};
+use tdn_streams::{TenantWorkload, TenantWorkloadConfig};
+
+const SHARDS: usize = 8;
+const K: usize = 10;
+const SIEVE_EPS: f64 = 0.2;
+/// Per-tenant node universe and lifetime cap of the synthetic firehose.
+const NODES: u32 = 400;
+const MAX_LIFETIME: u32 = 12;
+const TENANT_ZIPF: f64 = 0.9;
+/// Tenants probed for query latency after each flush.
+const QUERY_PROBES: u32 = 4;
+/// Coalesce windows (ticks per flush) for the saturation curve.
+const WINDOWS: [u64; 4] = [1, 4, 16, 64];
+/// The crash lands at this fraction of the stream.
+const CRASH_FRACTION: f64 = 0.6;
+
+fn workload(scale: &Scale) -> TenantWorkload {
+    TenantWorkload::new(TenantWorkloadConfig {
+        tenants: scale.serve_tenants,
+        ticks: scale.serve_ticks,
+        events_per_tick: scale.serve_events_per_tick,
+        tenant_zipf: TENANT_ZIPF,
+        nodes: NODES,
+        node_zipf: 1.0,
+        max_lifetime: MAX_LIFETIME,
+        seed: scale.seed ^ 0x5E22_7E00,
+    })
+}
+
+fn tracker_cfg() -> TrackerConfig {
+    TrackerConfig::new(K, SIEVE_EPS, MAX_LIFETIME)
+}
+
+/// Submits tick `t`'s batches (rotating tenant order, matching
+/// `TenantWorkload::interleaved`). Returns the events submitted.
+fn submit_tick(server: &mut Server<SieveAdnTracker>, w: &TenantWorkload, t: Time) -> u64 {
+    let tenants = w.config().tenants as u64;
+    let mut events = 0u64;
+    for slot in 0..tenants {
+        let tenant = ((slot + t) % tenants) as u32;
+        let edges = w.batch_at(tenant, t);
+        if !edges.is_empty() {
+            events += edges.len() as u64;
+            server.submit_batch(tenant as TenantId, t, edges);
+        }
+    }
+    events
+}
+
+/// Final observable state of every tenant, ascending by id.
+fn fingerprints(server: &Server<SieveAdnTracker>) -> Vec<(TenantId, Option<Time>, Solution, u64)> {
+    server
+        .tenants()
+        .into_iter()
+        .map(|tenant| {
+            let snap = server.query(tenant).expect("tenant provisioned");
+            (tenant, snap.t, snap.solution.clone(), snap.oracle_calls)
+        })
+        .collect()
+}
+
+/// Runs the serving-layer experiment and writes `BENCH_serve.json`.
+pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
+    let w = workload(scale);
+    let ticks = scale.serve_ticks;
+    let checkpoint_every = (ticks / 16).max(1);
+
+    // ---- 1. Load run: uninterrupted, latency-sampled -------------------
+    let mut server = Server::<SieveAdnTracker>::new(ServeConfig::new(SHARDS, tracker_cfg()))
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mut ingest_ms: Vec<f64> = Vec::with_capacity(ticks as usize);
+    let mut query_us: Vec<f64> = Vec::new();
+    let mut total_events = 0u64;
+    let mut total_steps = 0u64;
+    let wall = Instant::now();
+    for t in 0..ticks {
+        let tick_start = Instant::now();
+        total_events += submit_tick(&mut server, &w, t);
+        let report = server
+            .flush()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        ingest_ms.push(tick_start.elapsed().as_secs_f64() * 1e3);
+        total_steps += report.steps;
+        // Read path under load: probe the hottest tenants' published
+        // snapshots between flushes.
+        for tenant in 0..QUERY_PROBES.min(w.config().tenants) {
+            let q = Instant::now();
+            let snap = server.query(tenant as TenantId);
+            query_us.push(q.elapsed().as_secs_f64() * 1e6);
+            std::hint::black_box(&snap);
+        }
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let reference = fingerprints(&server);
+
+    ensure(
+        total_events >= scale.serve_min_events,
+        format!(
+            "firehose too small: {total_events} events < floor {}",
+            scale.serve_min_events
+        ),
+    )?;
+    ensure(
+        reference.len() == w.config().tenants as usize,
+        "not every tenant was provisioned",
+    )?;
+
+    // ---- 2. Saturation curve: coalesce windows -------------------------
+    // A prefix keeps the curve affordable; every window sees the same
+    // prefix, so rows are comparable.
+    let sat_ticks = (ticks / 2).max(1);
+    let mut saturation: Vec<(u64, f64, f64, u64)> = Vec::new();
+    for window in WINDOWS {
+        let mut s = Server::<SieveAdnTracker>::new(ServeConfig::new(SHARDS, tracker_cfg()))
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut flush_ms: Vec<f64> = Vec::new();
+        let mut events = 0u64;
+        let started = Instant::now();
+        let mut pending_since = 0u64;
+        for t in 0..sat_ticks {
+            events += submit_tick(&mut s, &w, t);
+            pending_since += 1;
+            if pending_since >= window || t + 1 == sat_ticks {
+                let fs = Instant::now();
+                s.flush()
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                flush_ms.push(fs.elapsed().as_secs_f64() * 1e3);
+                pending_since = 0;
+            }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let throughput = events as f64 / secs.max(1e-9);
+        saturation.push((window, throughput, percentile(&flush_ms, 0.99), events));
+    }
+
+    // ---- 3. Failover: crash mid-stream, recover, replay ----------------
+    let dir = out_dir.join("serve_chains");
+    let _ = std::fs::remove_dir_all(&dir);
+    let serve_cfg =
+        ServeConfig::new(SHARDS, tracker_cfg()).with_checkpoints(&dir, checkpoint_every);
+    let crash_tick = ((ticks as f64 * CRASH_FRACTION) as u64).clamp(1, ticks);
+    let mut checkpoints = 0u64;
+    {
+        let mut victim = Server::<SieveAdnTracker>::new(serve_cfg.clone())
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        for t in 0..crash_tick {
+            submit_tick(&mut victim, &w, t);
+            let report = victim
+                .flush()
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            checkpoints += report.checkpoints;
+        }
+        // Crash: drop the server. Everything after each tenant's last
+        // cadence save is lost and must come back through replay.
+    }
+    ensure(checkpoints > 0, "no cadence checkpoints before the crash")?;
+
+    let mut recovered = Server::<SieveAdnTracker>::recover(serve_cfg)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    ensure(
+        !recovered.tenants().is_empty(),
+        "recovery found no tenant chains",
+    )?;
+    let mut replay_skipped = 0u64;
+    for t in 0..ticks {
+        submit_tick(&mut recovered, &w, t);
+        let report = recovered
+            .flush()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        replay_skipped += report.skipped;
+    }
+    ensure(
+        replay_skipped > 0,
+        "replay never hit the idempotent guard (suspicious recovery)",
+    )?;
+    let replayed = fingerprints(&recovered);
+    ensure(
+        replayed == reference,
+        "FAILOVER IDENTITY VIOLATION: restore-and-replay diverged from the uninterrupted run",
+    )?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- 4. Latency schema gates ---------------------------------------
+    let ingest_p50 = percentile(&ingest_ms, 0.5);
+    let ingest_p99 = percentile(&ingest_ms, 0.99);
+    let query_p50 = percentile(&query_us, 0.5);
+    let query_p99 = percentile(&query_us, 0.99);
+    for (name, p50, p99) in [
+        ("ingest_ms", ingest_p50, ingest_p99),
+        ("query_us", query_p50, query_p99),
+    ] {
+        ensure(
+            p50.is_finite() && p99.is_finite() && p50 >= 0.0 && p50 <= p99,
+            format!("latency schema violation in {name}: p50={p50} p99={p99}"),
+        )?;
+    }
+    ensure(
+        !ingest_ms.is_empty() && !query_us.is_empty(),
+        "latency samples are empty",
+    )?;
+
+    // ---- Report ---------------------------------------------------------
+    let rows: Vec<Vec<String>> = saturation
+        .iter()
+        .map(|(win, tput, p99, events)| {
+            vec![win.to_string(), f(*tput), f(*p99), events.to_string()]
+        })
+        .collect();
+    print_table(
+        "serve saturation (coalesce window sweep)",
+        &["window_ticks", "events_per_sec", "p99_flush_ms", "events"],
+        &rows,
+    );
+    println!(
+        "serve load: {} tenants, {} ticks, {} events ({} steps) in {:.1}s \
+         ({:.0} ev/s); ingest p50/p99 {:.3}/{:.3} ms; query p50/p99 {:.1}/{:.1} us",
+        w.config().tenants,
+        ticks,
+        total_events,
+        total_steps,
+        wall_secs,
+        total_events as f64 / wall_secs.max(1e-9),
+        ingest_p50,
+        ingest_p99,
+        query_p50,
+        query_p99,
+    );
+    println!(
+        "serve failover: crash at tick {crash_tick}/{ticks}, {checkpoints} cadence checkpoints, \
+         {replay_skipped} replayed batches skipped, final state bit-identical"
+    );
+
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_serve.json");
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"experiment\": \"serve\",")?;
+    writeln!(
+        out,
+        "  \"workload\": {{\"tenants\": {}, \"ticks\": {}, \"events_per_tick\": {}, \
+         \"tenant_zipf\": {TENANT_ZIPF}, \"nodes\": {NODES}, \"max_lifetime\": {MAX_LIFETIME}, \
+         \"seed\": {}}},",
+        w.config().tenants,
+        ticks,
+        w.config().events_per_tick,
+        w.config().seed,
+    )?;
+    writeln!(
+        out,
+        "  \"config\": {{\"shards\": {SHARDS}, \"tracker\": \"SieveAdnTracker\", \"k\": {K}, \
+         \"eps\": {SIEVE_EPS}, \"checkpoint_every\": {checkpoint_every}}},",
+    )?;
+    writeln!(
+        out,
+        "  \"totals\": {{\"events\": {total_events}, \"steps\": {total_steps}, \
+         \"wall_secs\": {}, \"events_per_sec\": {}}},",
+        f(wall_secs),
+        f(total_events as f64 / wall_secs.max(1e-9)),
+    )?;
+    writeln!(
+        out,
+        "  \"ingest_latency_ms\": {{\"p50\": {}, \"p99\": {}}},",
+        f(ingest_p50),
+        f(ingest_p99),
+    )?;
+    writeln!(
+        out,
+        "  \"query_latency_us\": {{\"p50\": {}, \"p99\": {}}},",
+        f(query_p50),
+        f(query_p99),
+    )?;
+    writeln!(out, "  \"saturation\": [")?;
+    for (i, (win, tput, p99, events)) in saturation.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"window_ticks\": {win}, \"events_per_sec\": {}, \"p99_flush_ms\": {}, \
+             \"events\": {events}}}{}",
+            f(*tput),
+            f(*p99),
+            if i + 1 == saturation.len() { "" } else { "," },
+        )?;
+    }
+    writeln!(out, "  ],")?;
+    writeln!(
+        out,
+        "  \"recovery\": {{\"crash_tick\": {crash_tick}, \"checkpoints\": {checkpoints}, \
+         \"replay_skipped\": {replay_skipped}, \"identical\": true}}",
+    )?;
+    writeln!(out, "}}")?;
+    out.flush()?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

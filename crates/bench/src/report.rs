@@ -40,13 +40,20 @@ pub fn f(x: f64) -> String {
 }
 
 /// Nearest-rank percentile of `xs` (`q` in `[0, 1]`; `0.5` = median, `0.99`
-/// = p99). Returns 0 for an empty sample. Used for step-latency reporting.
+/// = p99). Returns 0 for an empty sample; input need not be sorted. A
+/// 1-element sample answers that element for every `q`; a 2-element sample
+/// answers the smaller element for `q ≤ 0.5` and the larger above — the
+/// standard nearest-rank rule `rank = ⌈q·n⌉` (1-based), which per-tenant
+/// serve latency tables hit constantly with tiny samples. Used for
+/// step-latency reporting.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // total_cmp: a stray NaN sample sorts last instead of panicking —
+    // a serving layer must not die because one timer misbehaved.
+    sorted.sort_by(f64::total_cmp);
     let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
         .saturating_sub(1)
         .min(sorted.len() - 1);
@@ -120,6 +127,41 @@ mod tests {
         assert_eq!(percentile(&[], 0.5), 0.0);
         // Unsorted input is handled (percentile sorts a copy).
         assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+    }
+
+    #[test]
+    fn percentile_one_element_answers_it_for_every_q() {
+        // Per-tenant serve latency tables routinely hold a single sample;
+        // every quantile of a singleton is that sample (nearest rank:
+        // ⌈q·1⌉ = 1 for q > 0, clamped to 1 for q = 0).
+        for q in [0.0, 0.001, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[7.5], q), 7.5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_two_elements_splits_at_the_median() {
+        // Nearest rank on n = 2: ⌈q·2⌉ = 1 for q ∈ (0, 0.5], = 2 above —
+        // so p50 is the *smaller* element and p99 the larger, including
+        // when the input arrives unsorted.
+        let xs = [9.0, 2.0]; // unsorted on purpose
+        assert_eq!(percentile(&xs, 0.0), 2.0);
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&xs, 0.50001), 9.0);
+        assert_eq!(percentile(&xs, 0.99), 9.0);
+        assert_eq!(percentile(&xs, 1.0), 9.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_matches_sorted() {
+        let unsorted = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for q in [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.99, 1.0] {
+            assert_eq!(percentile(&unsorted, q), percentile(&sorted, q), "q={q}");
+        }
+        // Out-of-range q clamps instead of indexing out of bounds.
+        assert_eq!(percentile(&unsorted, -3.0), 1.0);
+        assert_eq!(percentile(&unsorted, 17.0), 5.0);
     }
 
     #[test]

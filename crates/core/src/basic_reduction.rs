@@ -34,6 +34,13 @@ pub struct BasicReduction {
     /// Incremental-engine tally shared by all instances (like `counter`).
     spread_stats: SpreadStats,
     last_t: Option<Time>,
+    /// The last step's answer, kept because the answering instance `A_1`
+    /// is destroyed by the post-query shift. Serves the standing-query
+    /// read path ([`crate::TrackerEngine::query`]). Deliberately *not*
+    /// checkpointed — the snapshot format predates it and restored
+    /// servers republish from their first replayed step anyway; a
+    /// freshly restored tracker falls back to the window head.
+    last_solution: Option<Solution>,
 }
 
 impl BasicReduction {
@@ -62,6 +69,7 @@ impl BasicReduction {
             traversal: TraversalKind::default(),
             spread_stats,
             last_t: None,
+            last_solution: None,
         }
     }
 
@@ -111,6 +119,14 @@ impl BasicReduction {
     /// harnesses use this to probe per-instance sketch pools.
     pub fn instances(&self) -> impl Iterator<Item = &SieveAdn> {
         self.instances.iter()
+    }
+
+    /// The answer the last [`step`](InfluenceTracker::step) returned, if
+    /// any. `A_1` is destroyed by the post-query shift, so this cache is
+    /// the only way to re-read a step's answer; it is not checkpointed
+    /// (restored trackers return `None` until their first step).
+    pub fn last_solution(&self) -> Option<&Solution> {
+        self.last_solution.as_ref()
     }
 
     /// Approximate heap footprint across all instances (Theorem 5's `L`
@@ -175,6 +191,7 @@ impl BasicReduction {
             traversal: TraversalKind::default(),
             spread_stats,
             last_t: has_last.then_some(last_raw),
+            last_solution: None,
         })
     }
 
@@ -274,6 +291,7 @@ impl InfluenceTracker for BasicReduction {
             );
         });
         let sol = self.instances.front().expect("L ≥ 1 instances").query();
+        self.last_solution = Some(sol.clone());
         self.shift();
         // Enforced after the shift so the post-step footprint — including
         // the freshly appended `A_L` — is bounded by the ceiling whenever

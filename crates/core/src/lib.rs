@@ -42,6 +42,7 @@
 
 pub mod basic_reduction;
 pub mod config;
+pub mod engine;
 pub mod greedy;
 pub mod hist_approx;
 pub mod influence;
@@ -52,6 +53,7 @@ pub mod tracker;
 
 pub use basic_reduction::BasicReduction;
 pub use config::TrackerConfig;
+pub use engine::TrackerEngine;
 pub use greedy::GreedyTracker;
 pub use hist_approx::HistApprox;
 pub use influence::InfluenceObjective;

@@ -24,6 +24,8 @@
 //! * [`sketch`] — reverse-reachable sketch pool: a bounded-error spread
 //!   estimator with an explicit (ε, δ) budget, maintained deterministically
 //!   under both edge inserts and time-decay expiry;
+//! * [`publish`] — epoch-swapped `Arc` snapshot publication, the
+//!   never-blocks-ingest read path of the serving layer;
 //! * [`hash`] — in-tree Fx hashing so hot maps avoid SipHash;
 //! * [`indexed_set::IndexedSet`] — O(1) sampleable live-node set;
 //! * [`analysis`] — offline SCC condensation + exact all-node spreads
@@ -48,6 +50,7 @@ pub mod epoch;
 pub mod hash;
 pub mod indexed_set;
 pub mod node;
+pub mod publish;
 pub mod reach;
 pub mod sketch;
 pub mod tdn;
@@ -61,6 +64,7 @@ pub use epoch::EpochSet;
 pub use hash::{FxHashMap, FxHashSet};
 pub use indexed_set::IndexedSet;
 pub use node::{pack_pair, unpack_pair, Lifetime, NodeId, NodeInterner, Time};
+pub use publish::Published;
 pub use reach::{
     bottom_up_sweeps, extend_cover, lane_chunks, lane_width_for, marginal_gain, reach_collect,
     reach_count, reach_count_batch, reach_count_batch64, reach_count_batch_wide,

@@ -1,0 +1,122 @@
+//! Epoch-swapped snapshot publication: the read side of a serving layer.
+//!
+//! A shard worker that just finished a step wants to make its new
+//! solution visible to query threads without ever making a reader wait
+//! on ingest (or ingest wait on readers). [`Published`] is the smallest
+//! cell with that property: writers [`publish`](Published::publish) an
+//! immutable value behind an `Arc`, readers [`load`](Published::load) a
+//! clone of the current `Arc`. Both operations are O(1) with a critical
+//! section that only swaps/clones a pointer — no reader ever observes a
+//! torn value, holds up a writer for longer than the swap, or blocks a
+//! subsequent reader, and a reader keeping an old snapshot alive merely
+//! delays that one allocation's drop.
+//!
+//! An [`epoch`](Published::epoch) counter increments on every publish so
+//! pollers can cheaply detect staleness ("has anything changed since I
+//! last looked?") without loading and comparing payloads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An atomically swappable immutable snapshot slot. See the module docs.
+pub struct Published<T> {
+    slot: Mutex<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> Published<T> {
+    /// Creates the cell holding `initial` at epoch 0.
+    pub fn new(initial: T) -> Self {
+        Published {
+            slot: Mutex::new(Arc::new(initial)),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a new snapshot, replacing the current one and bumping
+    /// the epoch. Readers holding the previous `Arc` are unaffected.
+    pub fn publish(&self, value: T) {
+        let next = Arc::new(value);
+        {
+            let mut slot = self.slot.lock().expect("publish slot poisoned");
+            *slot = next;
+        }
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Returns the current snapshot. Never blocks on a writer for longer
+    /// than the pointer swap.
+    pub fn load(&self) -> Arc<T> {
+        self.slot.lock().expect("publish slot poisoned").clone()
+    }
+
+    /// Number of publishes so far (0 = still the initial value). Pairs
+    /// with [`load`](Self::load) for cheap change detection; the epoch is
+    /// bumped *after* the new value is visible, so observing epoch `e`
+    /// then loading yields a snapshot at least as new as publish `e`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+impl<T: Default> Default for Published<T> {
+    fn default() -> Self {
+        Published::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn publish_and_load_round_trip() {
+        let cell = Published::new(vec![1u32]);
+        assert_eq!(cell.epoch(), 0);
+        assert_eq!(*cell.load(), vec![1]);
+        cell.publish(vec![2, 3]);
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(*cell.load(), vec![2, 3]);
+    }
+
+    #[test]
+    fn old_readers_keep_their_snapshot() {
+        let cell = Published::new(String::from("a"));
+        let old = cell.load();
+        cell.publish(String::from("b"));
+        assert_eq!(*old, "a");
+        assert_eq!(*cell.load(), "b");
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_values() {
+        // Writer publishes (i, i) pairs; readers must only ever see
+        // matching components. A torn read or a blocked reader turns
+        // into a failed assertion / a hung test.
+        let cell = Arc::new(Published::new((0u64, 0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = cell.load();
+                    assert_eq!(snap.0, snap.1, "torn snapshot");
+                    assert!(snap.0 >= last, "snapshot went backwards");
+                    last = snap.0;
+                }
+            }));
+        }
+        for i in 1..=10_000u64 {
+            cell.publish((i, i));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        assert_eq!(cell.epoch(), 10_000);
+    }
+}

@@ -40,6 +40,20 @@
 //! truncation, bit rot, a missing base, or a cyclic chain. They never
 //! panic.
 //!
+//! ## Panic audit (serving-layer hardening)
+//!
+//! Every `unwrap`/`expect`/`panic!` in this crate lives in `#[cfg(test)]`
+//! code or doctests; none is reachable from the restore paths. The layers
+//! below uphold the same rule: `codec::Reader` is panic-free by contract
+//! (typed `CodecError` on truncation, length overflow, and domain
+//! violations), section resolution returns typed `SectionError`s, and
+//! every tracker decoder propagates those. The guarantee is *enforced*,
+//! not just asserted: `tests/corrupt_inputs.rs` sweeps exhaustive
+//! truncations and byte flips plus seeded multi-site damage, splices, and
+//! foreign blobs through [`restore_from_chain`] / [`restore_from_slice`]
+//! and requires a typed error — a panic anywhere in the stack fails the
+//! suite.
+//!
 //! ## Example
 //!
 //! ```

@@ -1,0 +1,57 @@
+//! Typed serving-layer errors.
+
+use std::fmt;
+use tdn_persist::PersistError;
+
+/// Everything that can go wrong inside the serving layer. Ingest-side
+/// data problems (stale ticks during replay) are *not* errors — they are
+/// counted in [`FlushReport`](crate::FlushReport) and skipped, because
+/// at-least-once redelivery is normal operation for a recovering server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configuration asked for zero shards.
+    NoShards,
+    /// A checkpoint or recovery operation needs `checkpoint_dir`, which
+    /// the configuration does not set.
+    NoCheckpointDir,
+    /// A tenant's checkpoint chain failed to save or restore.
+    Persist {
+        /// Tenant whose chain failed.
+        tenant: u64,
+        /// The underlying persistence error.
+        source: PersistError,
+    },
+    /// Filesystem trouble while scanning the checkpoint directory.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NoShards => write!(f, "server needs at least one shard"),
+            ServeError::NoCheckpointDir => {
+                write!(f, "operation requires ServeConfig::checkpoint_dir")
+            }
+            ServeError::Persist { tenant, source } => {
+                write!(f, "tenant {tenant:#x} checkpoint chain: {source}")
+            }
+            ServeError::Io(e) => write!(f, "checkpoint directory scan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Persist { source, .. } => Some(source),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

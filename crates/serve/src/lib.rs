@@ -1,0 +1,60 @@
+//! # tdn-serve
+//!
+//! Tracker-as-a-service: a long-running, sharded serving layer hosting
+//! hundreds-to-thousands of independent tracker instances (tenants)
+//! behind one ingestion front-end.
+//!
+//! ```text
+//!   interleaved (tenant, event) firehose
+//!        │ submit / submit_batch        readers (any thread)
+//!        ▼                                   ▲ Arc<TenantSnapshot>
+//!   per-shard pending queues            Published cells (epoch-swapped)
+//!        │ flush: shards drain in            ▲ publish after every tick
+//!        ▼ parallel on the exec pool         │
+//!   Shard 0 … Shard S-1  ── tenant engines ──┘
+//!        │ cadence / checkpoint_all
+//!        ▼
+//!   per-tenant persist delta chains (crash recovery, shard migration)
+//! ```
+//!
+//! ## Sharding & determinism
+//!
+//! A tenant lives on shard `splitmix64(tenant) % shards` — a pure
+//! function of the id and the configuration, never of arrival order or
+//! the worker schedule. [`Server::flush`] drains shards in parallel
+//! (work-stealing over the `exec` pool; per-shard load is Zipf-skewed),
+//! but each shard applies its tenants' batches serially in submission
+//! order. A tenant therefore sees exactly the `(t, batch)` sequence the
+//! front-end submitted, regardless of `TDN_THREADS` or the shard count,
+//! and each engine step is itself bit-identical at any thread count (the
+//! repo-wide determinism guarantee) — so served solutions and oracle
+//! tallies are bit-identical to a dedicated single-tenant run.
+//!
+//! ## Reads never block ingest
+//!
+//! Every processed tick publishes an immutable [`TenantSnapshot`] into
+//! the tenant's epoch-swapped [`Published`](tdn_graph::Published) cell.
+//! [`SnapshotReader`]s hold the cell by `Arc` and load the current
+//! snapshot with an O(1) pointer clone — no reader ever waits on a step,
+//! and a flush never waits on readers.
+//!
+//! ## Failover
+//!
+//! Tenants checkpoint through `tdn-persist` delta chains (cadence-driven
+//! or via [`Server::checkpoint_all`]). [`Server::recover`] scans the
+//! chain directory, restores every tenant from its newest link, and
+//! relies on *idempotent at-least-once ingestion* for the tail: the
+//! front-end replays its stream from anywhere at or before the crash,
+//! and the per-tenant watermark (`t ≤ last_t` ⇒ skip, counted in
+//! [`FlushReport::skipped`]) drops what was already applied. Restore +
+//! replay therefore converges on the uninterrupted run's state
+//! bit-identically (the persist layer's warm-restart guarantee), which
+//! the `serve` experiment asserts end-to-end.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod server;
+
+pub use error::ServeError;
+pub use server::{FlushReport, ServeConfig, Server, SnapshotReader, TenantId, TenantSnapshot};

@@ -1,0 +1,635 @@
+//! The sharded multi-tenant server. See the crate docs for the
+//! determinism and failover arguments.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tdn_core::{Solution, TrackerConfig, TrackerEngine};
+use tdn_graph::{Published, Time};
+use tdn_persist::{load_checkpoint, CheckpointChain, Persist};
+use tdn_streams::TimedEdge;
+
+use crate::error::ServeError;
+
+/// Tenant identity. External ids of any width hash-shard through
+/// [`Server::shard_of`]; the generator's `u32` ids widen losslessly.
+pub type TenantId = u64;
+
+/// Serving-layer configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of shards (per-shard worker pools; tenants hash onto them).
+    pub shards: usize,
+    /// Tracker configuration shared by every tenant's engine (including
+    /// any per-tenant memory budget).
+    pub tracker: TrackerConfig,
+    /// Checkpoint each tenant every this many *processed ticks*
+    /// (0 = no automatic checkpoints; [`Server::checkpoint_all`] still
+    /// works on demand).
+    pub checkpoint_every: u64,
+    /// Directory for per-tenant checkpoint chains. Required for any
+    /// checkpointing or recovery.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// A server with `shards` shards and no checkpointing.
+    pub fn new(shards: usize, tracker: TrackerConfig) -> Self {
+        ServeConfig {
+            shards,
+            tracker,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+        }
+    }
+
+    /// Enables checkpointing to `dir` every `every` processed ticks
+    /// (builder form).
+    pub fn with_checkpoints(mut self, dir: impl Into<PathBuf>, every: u64) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self.checkpoint_every = every;
+        self
+    }
+}
+
+/// The immutable per-tenant snapshot the read path serves. Published
+/// after every processed tick; readers get an `Arc` and never touch the
+/// live engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant the snapshot belongs to.
+    pub tenant: TenantId,
+    /// Tick of the last processed batch (`None` until the first step, or
+    /// right after recovery before any replay reaches this tenant).
+    pub t: Option<Time>,
+    /// The current top-k answer (Problem 1 at `t`).
+    pub solution: Solution,
+    /// Influence-oracle evaluations the tenant's engine has billed.
+    pub oracle_calls: u64,
+}
+
+/// A query handle for one tenant, detached from the server's borrow: it
+/// holds the tenant's publication cell, so reads proceed while the
+/// server is mid-`flush` (the "reads never block ingest" path).
+#[derive(Clone)]
+pub struct SnapshotReader {
+    cell: Arc<Published<TenantSnapshot>>,
+}
+
+impl SnapshotReader {
+    /// The current published snapshot.
+    pub fn load(&self) -> Arc<TenantSnapshot> {
+        self.cell.load()
+    }
+
+    /// Publication count (bumps once per processed tick).
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+}
+
+/// What one [`Server::flush`] processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Ticks stepped across all tenants.
+    pub steps: u64,
+    /// Edges fed across all stepped batches.
+    pub events: u64,
+    /// Batches dropped by the idempotent replay guard (`t ≤ last_t`).
+    pub skipped: u64,
+    /// Checkpoints written by the cadence policy during this flush.
+    pub checkpoints: u64,
+}
+
+impl FlushReport {
+    fn absorb(&mut self, other: FlushReport) {
+        self.steps += other.steps;
+        self.events += other.events;
+        self.skipped += other.skipped;
+        self.checkpoints += other.checkpoints;
+    }
+}
+
+/// One tenant's live state inside a shard.
+struct TenantState<T> {
+    engine: T,
+    last_t: Option<Time>,
+    published: Arc<Published<TenantSnapshot>>,
+    chain: Option<CheckpointChain>,
+    /// Ticks processed since the last checkpoint save.
+    ticks_since_save: u64,
+}
+
+impl<T: TrackerEngine + Persist> TenantState<T> {
+    fn fresh(tenant: TenantId, cfg: &ServeConfig) -> Self {
+        let engine = T::from_config(&cfg.tracker);
+        TenantState {
+            published: Arc::new(Published::new(TenantSnapshot {
+                tenant,
+                t: None,
+                solution: Solution::empty(),
+                oracle_calls: engine.oracle_calls(),
+            })),
+            engine,
+            last_t: None,
+            chain: cfg
+                .checkpoint_dir
+                .as_ref()
+                .map(|dir| CheckpointChain::new(dir, tenant_prefix(tenant))),
+            ticks_since_save: 0,
+        }
+    }
+}
+
+/// One shard: the tenants it owns plus its pending ingest queue.
+struct Shard<T> {
+    tenants: BTreeMap<TenantId, TenantState<T>>,
+    /// Coalesced per-tenant batches in arrival order. The front-end
+    /// appends; `drain` consumes.
+    pending: Vec<(TenantId, Time, Vec<TimedEdge>)>,
+    /// First checkpoint failure during a parallel drain (surfaced by
+    /// `flush` after the barrier).
+    error: Option<ServeError>,
+    report: FlushReport,
+}
+
+impl<T: TrackerEngine + Persist> Shard<T> {
+    fn new() -> Self {
+        Shard {
+            tenants: BTreeMap::new(),
+            pending: Vec::new(),
+            error: None,
+            report: FlushReport::default(),
+        }
+    }
+
+    /// Processes the pending queue in arrival order. Runs inside an
+    /// `exec` worker: everything here is intentionally serial — the
+    /// determinism argument needs each tenant to see its batches in
+    /// submission order, and nested `exec` calls inside tracker steps
+    /// degrade to serial anyway.
+    fn drain(&mut self, cfg: &ServeConfig) {
+        let pending = std::mem::take(&mut self.pending);
+        for (tenant, t, edges) in pending {
+            let state = self.tenants.get_mut(&tenant).expect("routed to owner");
+            // Idempotent at-least-once ingestion: a recovering front-end
+            // replays from before the crash, and trackers insist on
+            // strictly increasing ticks — anything at or before the
+            // tenant's watermark was already applied.
+            if state.last_t.is_some_and(|last| t <= last) {
+                self.report.skipped += 1;
+                continue;
+            }
+            self.report.events += edges.len() as u64;
+            self.report.steps += 1;
+            let solution = state.engine.step(t, &edges);
+            state.last_t = Some(t);
+            state.published.publish(TenantSnapshot {
+                tenant,
+                t: Some(t),
+                solution,
+                oracle_calls: state.engine.oracle_calls(),
+            });
+            state.ticks_since_save += 1;
+            if cfg.checkpoint_every > 0 && state.ticks_since_save >= cfg.checkpoint_every {
+                if let Err(e) = save_tenant(state, tenant, &cfg.tracker) {
+                    if self.error.is_none() {
+                        self.error = Some(e);
+                    }
+                } else {
+                    self.report.checkpoints += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Checkpoint-chain filename prefix for a tenant.
+fn tenant_prefix(tenant: TenantId) -> String {
+    format!("tenant-{tenant:016x}")
+}
+
+/// Parses the tenant id back out of a chain filename
+/// (`tenant-{id:016x}-{step:08}-{snapshot:016x}.tdnc`).
+fn tenant_of_filename(name: &str) -> Option<TenantId> {
+    let hex = name.strip_prefix("tenant-")?.get(..16)?;
+    TenantId::from_str_radix(hex, 16).ok()
+}
+
+fn save_tenant<T: TrackerEngine + Persist>(
+    state: &mut TenantState<T>,
+    tenant: TenantId,
+    tracker_cfg: &TrackerConfig,
+) -> Result<(), ServeError> {
+    let chain = state.chain.as_mut().ok_or(ServeError::NoCheckpointDir)?;
+    // Manifest `step` is the resume tick: everything strictly below it
+    // has been applied.
+    let step = state.last_t.map_or(0, |t| t + 1);
+    chain
+        .save(&state.engine, tracker_cfg, step)
+        .map_err(|source| ServeError::Persist { tenant, source })?;
+    state.ticks_since_save = 0;
+    Ok(())
+}
+
+/// SplitMix64 finalizer: the tenant→shard hash. Independent of shard
+/// *count* ordering concerns — routing is `mix(tenant) % shards`, a pure
+/// function of the id and the configuration.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The sharded multi-tenant server. Generic over the hosted engine
+/// family (one family per server; monomorphized, no dynamic dispatch on
+/// the hot path).
+pub struct Server<T> {
+    cfg: ServeConfig,
+    shards: Vec<Shard<T>>,
+}
+
+impl<T: TrackerEngine + Persist + Send> Server<T> {
+    /// Creates an empty server. Tenants are provisioned on first submit.
+    pub fn new(cfg: ServeConfig) -> Result<Self, ServeError> {
+        if cfg.shards == 0 {
+            return Err(ServeError::NoShards);
+        }
+        let shards = (0..cfg.shards).map(|_| Shard::new()).collect();
+        Ok(Server { cfg, shards })
+    }
+
+    /// The shard owning `tenant` (deterministic hash routing).
+    pub fn shard_of(&self, tenant: TenantId) -> usize {
+        (mix(tenant) % self.cfg.shards as u64) as usize
+    }
+
+    /// The configuration the server was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Enqueues one event. Consecutive submissions for the same
+    /// `(tenant, t)` coalesce into one batch, so an interleaved
+    /// event-at-a-time firehose and a pre-batched feed produce the same
+    /// steps. Nothing is processed until [`flush`](Self::flush).
+    pub fn submit(&mut self, tenant: TenantId, t: Time, edge: TimedEdge) {
+        let shard = self.shard_of(tenant);
+        let shard = &mut self.shards[shard];
+        match shard.pending.last_mut() {
+            Some((pt, ptt, edges)) if *pt == tenant && *ptt == t => edges.push(edge),
+            _ => shard.pending.push((tenant, t, vec![edge])),
+        }
+        shard
+            .tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantState::fresh(tenant, &self.cfg));
+    }
+
+    /// Enqueues a pre-coalesced batch (same contract as [`submit`]).
+    ///
+    /// [`submit`]: Self::submit
+    pub fn submit_batch(&mut self, tenant: TenantId, t: Time, edges: Vec<TimedEdge>) {
+        let shard = self.shard_of(tenant);
+        let shard = &mut self.shards[shard];
+        match shard.pending.last_mut() {
+            Some((pt, ptt, pending)) if *pt == tenant && *ptt == t => pending.extend(edges),
+            _ => shard.pending.push((tenant, t, edges)),
+        }
+        shard
+            .tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantState::fresh(tenant, &self.cfg));
+    }
+
+    /// Processes every pending batch: shards drain in parallel across
+    /// the `exec` pool (stealing — per-shard load is skewed by tenant
+    /// activity), each shard serially in arrival order. Bit-identical
+    /// results at any `TDN_THREADS`: shard contents and per-tenant batch
+    /// order are pure functions of the submission sequence and the
+    /// routing hash, never of the worker schedule.
+    pub fn flush(&mut self) -> Result<FlushReport, ServeError> {
+        let cfg = &self.cfg;
+        exec::par_for_each_mut_steal(&mut self.shards, |shard| shard.drain(cfg));
+        let mut report = FlushReport::default();
+        for shard in &mut self.shards {
+            if let Some(e) = shard.error.take() {
+                return Err(e);
+            }
+            report.absorb(std::mem::take(&mut shard.report));
+        }
+        Ok(report)
+    }
+
+    /// The tenant's current published snapshot (top-k answer), or `None`
+    /// for a tenant the server has never seen.
+    pub fn query(&self, tenant: TenantId) -> Option<Arc<TenantSnapshot>> {
+        self.shards[self.shard_of(tenant)]
+            .tenants
+            .get(&tenant)
+            .map(|s| s.published.load())
+    }
+
+    /// A detached read handle for `tenant` — usable from other threads
+    /// while the server ingests.
+    pub fn reader(&self, tenant: TenantId) -> Option<SnapshotReader> {
+        self.shards[self.shard_of(tenant)]
+            .tenants
+            .get(&tenant)
+            .map(|s| SnapshotReader {
+                cell: Arc::clone(&s.published),
+            })
+    }
+
+    /// All provisioned tenants, ascending.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.tenants.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The tenant's replay watermark (tick of its last processed batch).
+    pub fn last_t(&self, tenant: TenantId) -> Option<Time> {
+        self.shards[self.shard_of(tenant)]
+            .tenants
+            .get(&tenant)
+            .and_then(|s| s.last_t)
+    }
+
+    /// Aggregate approximate heap footprint of all hosted engines.
+    pub fn approx_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.tenants.values())
+            .map(|t| t.engine.approx_bytes())
+            .sum()
+    }
+
+    /// Checkpoints every tenant now (shards in parallel), regardless of
+    /// cadence. Returns the number of chains written.
+    pub fn checkpoint_all(&mut self) -> Result<usize, ServeError> {
+        if self.cfg.checkpoint_dir.is_none() {
+            return Err(ServeError::NoCheckpointDir);
+        }
+        let tracker_cfg = self.cfg.tracker.clone();
+        let counts: std::sync::Mutex<usize> = std::sync::Mutex::new(0);
+        exec::par_for_each_mut_steal(&mut self.shards, |shard| {
+            for (&tenant, state) in shard.tenants.iter_mut() {
+                if state.last_t.is_none() {
+                    continue; // nothing applied yet; nothing to save
+                }
+                if let Err(e) = save_tenant(state, tenant, &tracker_cfg) {
+                    if shard.error.is_none() {
+                        shard.error = Some(e);
+                    }
+                    return;
+                }
+                *counts.lock().expect("count lock") += 1;
+            }
+        });
+        for shard in &mut self.shards {
+            if let Some(e) = shard.error.take() {
+                return Err(e);
+            }
+        }
+        Ok(counts.into_inner().expect("count lock"))
+    }
+
+    /// Rebuilds a server from the checkpoint directory: scans for
+    /// per-tenant chains, restores each tenant from its newest link
+    /// (resolving delta parents), and re-provisions it on the shard the
+    /// routing hash dictates. Restored tenants republish a provisional
+    /// snapshot; the front-end then replays its stream and the
+    /// idempotent guard drops everything at or before each watermark, so
+    /// at-least-once redelivery converges on the uninterrupted state —
+    /// bit-identically, by the persist layer's warm-restart guarantee.
+    pub fn recover(cfg: ServeConfig) -> Result<Self, ServeError> {
+        let dir = cfg
+            .checkpoint_dir
+            .clone()
+            .ok_or(ServeError::NoCheckpointDir)?;
+        let mut server = Server::new(cfg)?;
+        // Newest file per tenant: filenames embed the zero-padded step,
+        // so lexicographically-last per prefix is the chain tip.
+        let mut tips: BTreeMap<TenantId, PathBuf> = BTreeMap::new();
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(server),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !name.ends_with(".tdnc") {
+                continue;
+            }
+            let Some(tenant) = tenant_of_filename(name) else {
+                continue;
+            };
+            match tips.entry(tenant) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(path);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    let newer = {
+                        let cur = o.get().file_name().and_then(|n| n.to_str());
+                        cur.is_none_or(|cur| name > cur)
+                    };
+                    if newer {
+                        o.insert(path);
+                    }
+                }
+            }
+        }
+        for (tenant, tip) in tips {
+            let (step, engine): (u64, T) = load_checkpoint(&tip, &server.cfg.tracker)
+                .map_err(|source| ServeError::Persist { tenant, source })?;
+            let last_t = step.checked_sub(1);
+            let published = Arc::new(Published::new(TenantSnapshot {
+                tenant,
+                t: last_t,
+                solution: engine.query(),
+                oracle_calls: engine.oracle_calls(),
+            }));
+            let chain = CheckpointChain::new(&dir, tenant_prefix(tenant));
+            let state = TenantState {
+                engine,
+                last_t,
+                published,
+                chain: Some(chain),
+                ticks_since_save: 0,
+            };
+            let shard = server.shard_of(tenant);
+            server.shards[shard].tenants.insert(tenant, state);
+        }
+        Ok(server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdn_core::{InfluenceTracker, SieveAdnTracker};
+    use tdn_streams::{TenantWorkload, TenantWorkloadConfig};
+
+    fn workload() -> TenantWorkload {
+        TenantWorkload::new(TenantWorkloadConfig {
+            tenants: 6,
+            ticks: 24,
+            events_per_tick: 5,
+            ..TenantWorkloadConfig::default()
+        })
+    }
+
+    fn tcfg() -> TrackerConfig {
+        TrackerConfig::new(2, 0.25, 8)
+    }
+
+    fn run_firehose(shards: usize) -> Server<SieveAdnTracker> {
+        let mut server = Server::new(ServeConfig::new(shards, tcfg())).expect("config");
+        for b in workload().interleaved() {
+            // Event-at-a-time submission: exercises coalescing.
+            for e in b.edges {
+                server.submit(b.tenant as TenantId, b.t, e);
+            }
+        }
+        server.flush().expect("flush");
+        server
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let server = run_firehose(4);
+        for tenant in server.tenants() {
+            assert_eq!(server.shard_of(tenant), server.shard_of(tenant));
+            assert!(server.shard_of(tenant) < 4);
+        }
+        assert_eq!(server.tenants().len(), 6);
+    }
+
+    #[test]
+    fn served_snapshots_match_direct_runs_across_shard_counts() {
+        // Solutions and oracle tallies must not depend on shard count,
+        // and must equal a dedicated single-tenant run.
+        let w = workload();
+        for shards in [1usize, 3, 8] {
+            let server = run_firehose(shards);
+            for tenant in 0..w.config().tenants {
+                let mut direct = SieveAdnTracker::new(&tcfg());
+                let mut last = None;
+                for (t, batch) in w.tenant_stream(tenant) {
+                    direct.step(t, &batch);
+                    last = Some(t);
+                }
+                let snap = server.query(tenant as TenantId).expect("tenant exists");
+                assert_eq!(snap.t, last, "tenant {tenant} shards {shards}");
+                assert_eq!(
+                    snap.solution,
+                    tdn_core::TrackerEngine::query(&direct),
+                    "tenant {tenant} shards {shards}"
+                );
+                assert_eq!(snap.oracle_calls, direct.oracle_calls());
+            }
+        }
+    }
+
+    #[test]
+    fn replay_guard_skips_stale_ticks() {
+        let mut server = run_firehose(2);
+        let tenant = 0 as TenantId;
+        let before = server.query(tenant).expect("exists");
+        // Redeliver an old tick: must be counted and dropped.
+        server.submit_batch(tenant, 0, vec![TimedEdge::new(1u32, 2u32, 3)]);
+        let report = server.flush().expect("flush");
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.steps, 0);
+        let after = server.query(tenant).expect("exists");
+        assert_eq!(before, after, "stale tick mutated the tenant");
+    }
+
+    #[test]
+    fn readers_outlive_server_borrows() {
+        let mut server = run_firehose(2);
+        let reader = server.reader(1).expect("tenant 1");
+        let epoch_before = reader.epoch();
+        let snap = reader.load();
+        let t_held = snap.t;
+        // Ingest more while the reader holds its snapshot.
+        server.submit_batch(1, 1_000, vec![TimedEdge::new(3u32, 4u32, 2)]);
+        server.flush().expect("flush");
+        assert!(reader.epoch() > epoch_before);
+        assert_eq!(snap.t, t_held, "old snapshot must be unaffected");
+        assert_eq!(reader.load().t, Some(1_000), "new snapshot visible");
+    }
+
+    #[test]
+    fn checkpoint_recover_replay_converges() {
+        let dir = std::env::temp_dir().join("tdn_serve_unit_recover");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig::new(3, tcfg()).with_checkpoints(&dir, 4);
+        let w = workload();
+
+        // Uninterrupted reference.
+        let mut reference = Server::<SieveAdnTracker>::new(ServeConfig::new(3, tcfg())).unwrap();
+        for b in w.interleaved() {
+            reference.submit_batch(b.tenant as TenantId, b.t, b.edges);
+        }
+        reference.flush().unwrap();
+
+        // Crash mid-stream: ingest half, checkpoint, drop the server.
+        let mut victim = Server::<SieveAdnTracker>::new(cfg.clone()).unwrap();
+        let all: Vec<_> = w.interleaved().collect();
+        let half = all.len() / 2;
+        for b in &all[..half] {
+            victim.submit_batch(b.tenant as TenantId, b.t, b.edges.clone());
+        }
+        victim.flush().unwrap();
+        victim.checkpoint_all().unwrap();
+        drop(victim);
+
+        // Recover and replay the *whole* stream (at-least-once).
+        let mut recovered = Server::<SieveAdnTracker>::recover(cfg).unwrap();
+        for b in &all {
+            recovered.submit_batch(b.tenant as TenantId, b.t, b.edges.clone());
+        }
+        let report = recovered.flush().unwrap();
+        assert!(report.skipped > 0, "replay should hit the guard");
+        for tenant in reference.tenants() {
+            assert_eq!(
+                reference.query(tenant),
+                recovered.query(tenant),
+                "tenant {tenant} diverged after recovery"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_without_dir_is_a_typed_error() {
+        let err = Server::<SieveAdnTracker>::recover(ServeConfig::new(1, tcfg()));
+        assert!(matches!(err, Err(ServeError::NoCheckpointDir)));
+        let mut s = Server::<SieveAdnTracker>::new(ServeConfig::new(1, tcfg())).unwrap();
+        assert!(matches!(
+            s.checkpoint_all(),
+            Err(ServeError::NoCheckpointDir)
+        ));
+        assert!(matches!(
+            Server::<SieveAdnTracker>::new(ServeConfig::new(0, tcfg())),
+            Err(ServeError::NoShards)
+        ));
+    }
+
+    #[test]
+    fn tenant_filenames_round_trip() {
+        let name = format!("{}-00000012-00000000deadbeef.tdnc", tenant_prefix(0xABCD));
+        assert_eq!(tenant_of_filename(&name), Some(0xABCD));
+        assert_eq!(tenant_of_filename("not-a-chain.tdnc"), None);
+    }
+}

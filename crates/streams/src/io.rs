@@ -9,18 +9,81 @@ use crate::interaction::Interaction;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use tdn_graph::{NodeId, NodeInterner, Time};
 
+/// What exactly went wrong on a trace line — typed so a server ingesting
+/// an untrusted trace can branch on the failure class (skip vs abort vs
+/// alert) instead of string-matching a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Fewer than the three `src dst timestamp` fields.
+    MissingFields {
+        /// Fields actually present on the line.
+        got: usize,
+    },
+    /// More than three fields — silently ignoring trailing tokens would
+    /// misparse traces whose column order differs (e.g. `src ts dst`).
+    ExtraFields {
+        /// Fields actually present on the line.
+        got: usize,
+    },
+    /// The timestamp field is not a non-negative integer that fits
+    /// [`Time`].
+    BadTimestamp {
+        /// The offending token.
+        token: String,
+    },
+    /// A numeric node id does not fit [`NodeId`]'s `u32` (or is not a
+    /// non-negative integer at all) — only raised by the strict numeric
+    /// reader, [`read_numeric_interactions`].
+    BadNodeId {
+        /// The offending token.
+        token: String,
+    },
+    /// Timestamps went backwards; interactions must be chronological.
+    TimeTravel {
+        /// Timestamp of the previous interaction.
+        previous: Time,
+        /// The (smaller) timestamp on this line.
+        found: Time,
+    },
+}
+
+impl std::fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseErrorKind::MissingFields { got } => {
+                write!(f, "expected `src dst timestamp`, found {got} field(s)")
+            }
+            ParseErrorKind::ExtraFields { got } => {
+                write!(f, "expected `src dst timestamp`, found {got} fields")
+            }
+            ParseErrorKind::BadTimestamp { token } => {
+                write!(f, "bad timestamp {token:?} (need a non-negative integer)")
+            }
+            ParseErrorKind::BadNodeId { token } => {
+                write!(f, "bad node id {token:?} (need an integer in [0, 2^32))")
+            }
+            ParseErrorKind::TimeTravel { previous, found } => {
+                write!(
+                    f,
+                    "timestamps must be non-decreasing ({previous} -> {found})"
+                )
+            }
+        }
+    }
+}
+
 /// A parse failure with its 1-based line number.
 #[derive(Debug)]
 pub struct ParseError {
     /// Line number (1-based).
     pub line: usize,
     /// What went wrong.
-    pub message: String,
+    pub kind: ParseErrorKind,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.kind)
     }
 }
 
@@ -52,10 +115,60 @@ impl From<std::io::Error> for IoError {
     }
 }
 
+/// Splits one trace line into exactly three fields, or reports the arity
+/// failure. Shared by the interned and strict-numeric readers.
+fn three_fields(line: &str, lineno: usize) -> Result<(&str, &str, &str), IoError> {
+    let mut parts = line.split_whitespace();
+    let fields = (parts.next(), parts.next(), parts.next());
+    let extra = parts.count();
+    match fields {
+        (Some(a), Some(b), Some(c)) if extra == 0 => Ok((a, b, c)),
+        (Some(_), Some(_), Some(_)) => Err(IoError::Parse(ParseError {
+            line: lineno,
+            kind: ParseErrorKind::ExtraFields { got: 3 + extra },
+        })),
+        (a, b, _) => Err(IoError::Parse(ParseError {
+            line: lineno,
+            kind: ParseErrorKind::MissingFields {
+                got: a.is_some() as usize + b.is_some() as usize,
+            },
+        })),
+    }
+}
+
+/// Parses and range-checks the timestamp field. `u64::parse` already
+/// rejects signs, non-digits, and values past `Time::MAX` (reported as a
+/// typed error, never a silent wrap).
+fn parse_timestamp(ts: &str, lineno: usize, last_t: Option<Time>) -> Result<Time, IoError> {
+    let t: Time = ts.parse().map_err(|_| {
+        IoError::Parse(ParseError {
+            line: lineno,
+            kind: ParseErrorKind::BadTimestamp {
+                token: ts.to_string(),
+            },
+        })
+    })?;
+    if let Some(last) = last_t {
+        if t < last {
+            return Err(IoError::Parse(ParseError {
+                line: lineno,
+                kind: ParseErrorKind::TimeTravel {
+                    previous: last,
+                    found: t,
+                },
+            }));
+        }
+    }
+    Ok(t)
+}
+
 /// Reads `src dst timestamp` lines (whitespace-separated; `#` comments and
 /// blank lines skipped). Entity tokens may be arbitrary strings; they are
 /// interned into `names`. Interactions must be chronological; self-loops
-/// are skipped (the model forbids them).
+/// are skipped (the model forbids them). Every malformation — wrong field
+/// count, a non-numeric or overflowing timestamp, time travel — is a typed
+/// [`ParseError`] carrying the 1-based line number, never a panic or a
+/// silent misparse.
 pub fn read_interactions(
     reader: impl Read,
     names: &mut NodeInterner,
@@ -69,30 +182,50 @@ pub fn read_interactions(
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let (Some(src), Some(dst), Some(ts)) = (parts.next(), parts.next(), parts.next()) else {
-            return Err(IoError::Parse(ParseError {
-                line: idx + 1,
-                message: format!("expected `src dst timestamp`, got {line:?}"),
-            }));
-        };
-        let t: Time = ts.parse().map_err(|e| {
-            IoError::Parse(ParseError {
-                line: idx + 1,
-                message: format!("bad timestamp {ts:?}: {e}"),
-            })
-        })?;
-        if let Some(last) = last_t {
-            if t < last {
-                return Err(IoError::Parse(ParseError {
-                    line: idx + 1,
-                    message: format!("timestamps must be non-decreasing ({last} -> {t})"),
-                }));
-            }
-        }
+        let (src, dst, ts) = three_fields(line, idx + 1)?;
+        let t = parse_timestamp(ts, idx + 1, last_t)?;
         last_t = Some(t);
         let src = names.intern(src);
         let dst = names.intern(dst);
+        if src == dst {
+            continue;
+        }
+        out.push(Interaction { src, dst, t });
+    }
+    Ok(out)
+}
+
+/// Like [`read_interactions`], but for traces whose entity tokens are raw
+/// numeric ids (the common SNAP layout): `src` and `dst` must be integers
+/// in `[0, 2^32)` and are used as [`NodeId`]s directly — no interner, no
+/// per-token allocation. An id that is negative, non-numeric, or too large
+/// for `u32` is a typed [`ParseErrorKind::BadNodeId`] with its line
+/// number, not a silent truncation.
+pub fn read_numeric_interactions(reader: impl Read) -> Result<Vec<Interaction>, IoError> {
+    let node = |tok: &str, lineno: usize| -> Result<NodeId, IoError> {
+        tok.parse::<u32>().map(NodeId).map_err(|_| {
+            IoError::Parse(ParseError {
+                line: lineno,
+                kind: ParseErrorKind::BadNodeId {
+                    token: tok.to_string(),
+                },
+            })
+        })
+    };
+    let mut out = Vec::new();
+    let mut last_t: Option<Time> = None;
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (src, dst, ts) = three_fields(line, idx + 1)?;
+        let t = parse_timestamp(ts, idx + 1, last_t)?;
+        last_t = Some(t);
+        let src = node(src, idx + 1)?;
+        let dst = node(dst, idx + 1)?;
         if src == dst {
             continue;
         }
@@ -154,22 +287,110 @@ mod tests {
         assert_eq!(evs.len(), 1);
     }
 
-    #[test]
-    fn rejects_time_travel() {
-        let mut names = NodeInterner::new();
-        let err = read_interactions("a b 5\nb c 3\n".as_bytes(), &mut names).unwrap_err();
-        let IoError::Parse(p) = err else {
-            panic!("expected parse error")
-        };
-        assert_eq!(p.line, 2);
-        assert!(p.message.contains("non-decreasing"));
+    /// Unwraps the typed parse arm of an [`IoError`].
+    fn parse_err<T>(res: Result<T, IoError>) -> ParseError {
+        match res {
+            Ok(_) => panic!("malformed input parsed successfully"),
+            Err(IoError::Parse(p)) => p,
+            Err(IoError::Io(e)) => panic!("expected a parse error, got i/o: {e}"),
+        }
     }
 
     #[test]
-    fn rejects_malformed_lines() {
+    fn rejects_time_travel() {
         let mut names = NodeInterner::new();
-        assert!(read_interactions("a b\n".as_bytes(), &mut names).is_err());
-        assert!(read_interactions("a b xyz\n".as_bytes(), &mut names).is_err());
+        let p = parse_err(read_interactions("a b 5\nb c 3\n".as_bytes(), &mut names));
+        assert_eq!(p.line, 2);
+        assert_eq!(
+            p.kind,
+            ParseErrorKind::TimeTravel {
+                previous: 5,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn missing_fields_name_the_line_and_arity() {
+        let mut names = NodeInterner::new();
+        // Comments and blanks do not advance the reported line number
+        // incorrectly: the bad line is physical line 3.
+        let p = parse_err(read_interactions(
+            "# header\na b 0\na b\n".as_bytes(),
+            &mut names,
+        ));
+        assert_eq!(p.line, 3);
+        assert_eq!(p.kind, ParseErrorKind::MissingFields { got: 2 });
+        let p = parse_err(read_interactions("justone\n".as_bytes(), &mut names));
+        assert_eq!(
+            (p.line, p.kind),
+            (1, ParseErrorKind::MissingFields { got: 1 })
+        );
+    }
+
+    #[test]
+    fn extra_fields_are_an_error_not_a_silent_misparse() {
+        // A 4-column trace (e.g. `src dst weight timestamp`) must fail
+        // loudly — the old reader would have read the *weight* column as
+        // the timestamp.
+        let mut names = NodeInterner::new();
+        let p = parse_err(read_interactions("a b 3 77\n".as_bytes(), &mut names));
+        assert_eq!(
+            (p.line, p.kind),
+            (1, ParseErrorKind::ExtraFields { got: 4 })
+        );
+    }
+
+    #[test]
+    fn non_numeric_and_overflowing_timestamps_are_typed() {
+        let mut names = NodeInterner::new();
+        for bad in ["xyz", "-4", "1.5", "18446744073709551616"] {
+            let input = format!("a b {bad}\n");
+            let p = parse_err(read_interactions(input.as_bytes(), &mut names));
+            assert_eq!(p.line, 1, "token {bad:?}");
+            assert_eq!(
+                p.kind,
+                ParseErrorKind::BadTimestamp {
+                    token: bad.to_string()
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_reader_round_trips_and_rejects_overflowing_ids() {
+        let evs = read_numeric_interactions("3 4 0\n5 6 1\n".as_bytes()).unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            (evs[0].src, evs[0].dst, evs[0].t),
+            (NodeId(3), NodeId(4), 0)
+        );
+        // u32::MAX is a valid id; one past it overflows NodeId.
+        assert!(read_numeric_interactions("4294967295 0 0\n".as_bytes()).is_ok());
+        for bad in ["4294967296", "-1", "bob", "0x10"] {
+            let input = format!("7 {bad} 0\n");
+            let p = parse_err(read_numeric_interactions(input.as_bytes()));
+            assert_eq!(p.line, 1, "token {bad:?}");
+            assert_eq!(
+                p.kind,
+                ParseErrorKind::BadNodeId {
+                    token: bad.to_string()
+                }
+            );
+        }
+        // The strict reader shares the arity and timestamp checks.
+        let p = parse_err(read_numeric_interactions("1 2\n".as_bytes()));
+        assert_eq!(p.kind, ParseErrorKind::MissingFields { got: 2 });
+        let p = parse_err(read_numeric_interactions("1 2 nope\n".as_bytes()));
+        assert_eq!(
+            p.kind,
+            ParseErrorKind::BadTimestamp {
+                token: "nope".into()
+            }
+        );
+        // Self-loops are skipped, not errors (model rule, same as interned).
+        let evs = read_numeric_interactions("9 9 0\n9 10 0\n".as_bytes()).unwrap();
+        assert_eq!(evs.len(), 1);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`gen`] — LBSN check-in, Twitter cascade, and Q&A comment generators;
 //! * [`datasets`] — the six Table I presets plus stream statistics;
 //! * [`io`] — SNAP-style `src dst timestamp` text round-tripping, for
-//!   replaying real traces through the trackers.
+//!   replaying real traces through the trackers;
+//! * [`tenants`] — interleaved multi-tenant firehose for the serving
+//!   layer (per-tenant purity + heavy-tailed tenant activity).
 
 #![warn(missing_docs)]
 
@@ -22,6 +24,7 @@ pub mod gen;
 pub mod interaction;
 pub mod io;
 pub mod lifetime;
+pub mod tenants;
 pub mod zipf;
 
 pub use batch::StepBatches;
@@ -31,9 +34,13 @@ pub use gen::lbsn::{LbsnConfig, LbsnGen};
 pub use gen::qa::{QaConfig, QaGen};
 pub use gen::DriftingRanks;
 pub use interaction::{Interaction, TimedEdge};
-pub use io::{read_interactions, write_interactions};
+pub use io::{
+    read_interactions, read_numeric_interactions, write_interactions, IoError, ParseError,
+    ParseErrorKind,
+};
 pub use lifetime::{
     ConstantLifetime, GeometricLifetime, InfiniteLifetime, LifetimeAssigner, PowerLawLifetime,
     UniformLifetime,
 };
+pub use tenants::{TenantBatch, TenantWorkload, TenantWorkloadConfig};
 pub use zipf::ZipfSampler;

@@ -1,0 +1,267 @@
+//! Multi-tenant interleaved workloads for the serving layer.
+//!
+//! A tracker-as-a-service front-end sees one interleaved firehose of
+//! `(tenant, event)` pairs covering hundreds of independent networks.
+//! [`TenantWorkload`] generates that firehose with the two properties the
+//! serving-layer tests lean on:
+//!
+//! 1. **Per-tenant purity** — a tenant's batch at tick `t` is a pure
+//!    function of `(seed, tenant, t)` (each batch derives a fresh
+//!    splitmix-seeded RNG; no cross-tenant generator state). The
+//!    interleaved firehose restricted to one tenant is therefore
+//!    *bit-identical* to that tenant's standalone stream, which is what
+//!    lets the backend-identity test compare serve-routed feeds against
+//!    direct single-tenant `step` calls.
+//! 2. **Heavy-tailed tenant activity** — tenant `i` emits at a rate
+//!    `∝ (i+1)^{−s}`, so a few tenants dominate the firehose while the
+//!    long tail posts sporadically (sparse tenants skip ticks entirely,
+//!    exercising the trackers' skipped-tick catch-up paths and the
+//!    server's idempotent replay guard).
+
+use crate::interaction::TimedEdge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdn_graph::{Lifetime, Time};
+
+/// Configuration for a multi-tenant workload.
+#[derive(Clone, Debug)]
+pub struct TenantWorkloadConfig {
+    /// Number of tenants (independent networks).
+    pub tenants: u32,
+    /// Time ticks per tenant (`0..ticks`).
+    pub ticks: u64,
+    /// Mean batch size of the busiest tenant (rank 0); tenant `i`
+    /// scales it by `(i+1)^{−tenant_zipf}`.
+    pub events_per_tick: u32,
+    /// Zipf exponent of cross-tenant activity skew.
+    pub tenant_zipf: f64,
+    /// Per-tenant node universe (`0..nodes`).
+    pub nodes: u32,
+    /// Zipf exponent of per-tenant source popularity.
+    pub node_zipf: f64,
+    /// Edge lifetimes are uniform in `1..=max_lifetime`.
+    pub max_lifetime: Lifetime,
+    /// Workload seed; everything below is deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for TenantWorkloadConfig {
+    fn default() -> Self {
+        TenantWorkloadConfig {
+            tenants: 16,
+            ticks: 64,
+            events_per_tick: 12,
+            tenant_zipf: 0.9,
+            nodes: 400,
+            node_zipf: 1.0,
+            max_lifetime: 8,
+            seed: 0x7E4A_4175,
+        }
+    }
+}
+
+/// One tenant's edge batch arriving at tick `t` of the firehose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantBatch {
+    /// The tenant (network) the batch belongs to.
+    pub tenant: u32,
+    /// Arrival tick (strictly increasing within a tenant).
+    pub t: Time,
+    /// The edges (never empty — idle ticks are skipped, not emitted).
+    pub edges: Vec<TimedEdge>,
+}
+
+/// Deterministic multi-tenant workload generator. See the module docs.
+#[derive(Clone, Debug)]
+pub struct TenantWorkload {
+    cfg: TenantWorkloadConfig,
+    /// Zipf CDF over node ranks, shared by all tenants (stateless).
+    node_cdf: crate::zipf::ZipfSampler,
+}
+
+/// splitmix64 finalizer — decorrelates the per-(tenant, tick) seeds.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl TenantWorkload {
+    /// Builds the workload.
+    ///
+    /// # Panics
+    /// Panics if `tenants`, `nodes < 2`, or `max_lifetime` is zero
+    /// (degenerate workloads).
+    pub fn new(cfg: TenantWorkloadConfig) -> Self {
+        assert!(cfg.tenants > 0, "need at least one tenant");
+        assert!(cfg.nodes >= 2, "need at least two nodes per tenant");
+        assert!(cfg.max_lifetime > 0, "lifetimes start at 1");
+        let node_cdf = crate::zipf::ZipfSampler::new(cfg.nodes as usize, cfg.node_zipf);
+        TenantWorkload { cfg, node_cdf }
+    }
+
+    /// The configuration the workload was built from.
+    pub fn config(&self) -> &TenantWorkloadConfig {
+        &self.cfg
+    }
+
+    /// Mean batch size of tenant `tenant` (its Zipf-scaled rate).
+    fn rate(&self, tenant: u32) -> f64 {
+        self.cfg.events_per_tick as f64 * ((tenant + 1) as f64).powf(-self.cfg.tenant_zipf)
+    }
+
+    /// Tenant `tenant`'s batch at tick `t` — a pure function of
+    /// `(seed, tenant, t)`. Empty when the tenant is idle that tick.
+    pub fn batch_at(&self, tenant: u32, t: Time) -> Vec<TimedEdge> {
+        let mut rng = StdRng::seed_from_u64(mix(
+            self.cfg.seed ^ mix((tenant as u64) << 32 | 0xBA7C).wrapping_add(mix(t ^ 0x71C4))
+        ));
+        let rate = self.rate(tenant);
+        let mut n = rate as u64;
+        // Bernoulli on the fractional part keeps the long tail's expected
+        // rate exact while letting sparse tenants skip most ticks.
+        if rng.gen_range(0.0..1.0) < rate - n as f64 {
+            n += 1;
+        }
+        let mut edges = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let src = self.node_cdf.sample(&mut rng) as u32;
+            // Uniform destination, nudged off the diagonal.
+            let mut dst = rng.gen_range(0..self.cfg.nodes);
+            if dst == src {
+                dst = (dst + 1) % self.cfg.nodes;
+            }
+            let lifetime = rng.gen_range(1..=self.cfg.max_lifetime);
+            edges.push(TimedEdge::new(src, dst, lifetime));
+        }
+        edges
+    }
+
+    /// Tenant `tenant`'s full standalone stream: its non-empty
+    /// `(t, batch)` pairs in tick order — exactly what a dedicated
+    /// single-tenant driver would feed.
+    pub fn tenant_stream(&self, tenant: u32) -> Vec<(Time, Vec<TimedEdge>)> {
+        (0..self.cfg.ticks)
+            .filter_map(|t| {
+                let edges = self.batch_at(tenant, t);
+                (!edges.is_empty()).then_some((t, edges))
+            })
+            .collect()
+    }
+
+    /// The interleaved firehose: every tenant's non-empty batches, tick-
+    /// major with the tenant order rotating per tick (so no tenant is
+    /// always first and shard queues fill in shifting order, while each
+    /// tenant still observes strictly increasing `t`).
+    pub fn interleaved(&self) -> impl Iterator<Item = TenantBatch> + '_ {
+        let tenants = self.cfg.tenants as u64;
+        (0..self.cfg.ticks).flat_map(move |t| {
+            (0..tenants).filter_map(move |slot| {
+                let tenant = ((slot + t) % tenants) as u32;
+                let edges = self.batch_at(tenant, t);
+                (!edges.is_empty()).then_some(TenantBatch { tenant, t, edges })
+            })
+        })
+    }
+
+    /// Total event (edge) count across the whole firehose.
+    pub fn total_events(&self) -> u64 {
+        self.interleaved().map(|b| b.edges.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TenantWorkload {
+        TenantWorkload::new(TenantWorkloadConfig {
+            tenants: 8,
+            ticks: 40,
+            events_per_tick: 6,
+            ..TenantWorkloadConfig::default()
+        })
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = small().interleaved().collect();
+        let b: Vec<_> = small().interleaved().collect();
+        assert_eq!(a, b);
+        let other = TenantWorkload::new(TenantWorkloadConfig {
+            tenants: 8,
+            ticks: 40,
+            events_per_tick: 6,
+            seed: 99,
+            ..TenantWorkloadConfig::default()
+        });
+        assert_ne!(a, other.interleaved().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn firehose_restricted_to_a_tenant_is_its_standalone_stream() {
+        // The property the serve backend-identity test is built on.
+        let w = small();
+        for tenant in 0..w.config().tenants {
+            let from_firehose: Vec<(Time, Vec<TimedEdge>)> = w
+                .interleaved()
+                .filter(|b| b.tenant == tenant)
+                .map(|b| (b.t, b.edges))
+                .collect();
+            assert_eq!(from_firehose, w.tenant_stream(tenant), "tenant {tenant}");
+        }
+    }
+
+    #[test]
+    fn per_tenant_ticks_strictly_increase() {
+        let w = small();
+        let mut last: Vec<Option<Time>> = vec![None; w.config().tenants as usize];
+        for b in w.interleaved() {
+            assert!(!b.edges.is_empty(), "idle ticks must be skipped");
+            let prev = &mut last[b.tenant as usize];
+            if let Some(p) = *prev {
+                assert!(b.t > p, "tenant {} went {} -> {}", b.tenant, p, b.t);
+            }
+            *prev = Some(b.t);
+        }
+    }
+
+    #[test]
+    fn activity_is_skewed_and_the_tail_skips_ticks() {
+        let w = TenantWorkload::new(TenantWorkloadConfig {
+            tenants: 32,
+            ticks: 200,
+            events_per_tick: 10,
+            tenant_zipf: 1.2,
+            ..TenantWorkloadConfig::default()
+        });
+        let mut events = vec![0u64; 32];
+        let mut ticks_active = vec![0u64; 32];
+        for b in w.interleaved() {
+            events[b.tenant as usize] += b.edges.len() as u64;
+            ticks_active[b.tenant as usize] += 1;
+        }
+        assert!(events[0] > 8 * events[31].max(1), "no head/tail skew");
+        assert!(
+            ticks_active[31] < 200,
+            "the coldest tenant should skip some ticks"
+        );
+        assert!(
+            events.iter().all(|&e| e > 0),
+            "every tenant posts eventually"
+        );
+    }
+
+    #[test]
+    fn edges_respect_the_universe_and_lifetime_bounds() {
+        let w = small();
+        for b in w.interleaved() {
+            for e in &b.edges {
+                assert!(e.src.0 < w.config().nodes);
+                assert!(e.dst.0 < w.config().nodes);
+                assert_ne!(e.src, e.dst);
+                assert!(e.lifetime >= 1 && e.lifetime <= w.config().max_lifetime);
+            }
+        }
+    }
+}

@@ -73,6 +73,9 @@
 //! * [`persist`] — checkpoint/restore: versioned, sectioned binary
 //!   snapshots of full tracker state (base + delta chains, per-section
 //!   checksums) with a bit-identical warm-restart guarantee;
+//! * [`serve`] — tracker-as-a-service: hash-sharded multi-tenant serving
+//!   over any [`TrackerEngine`](tdn_core::TrackerEngine), with
+//!   epoch-swapped snapshot reads and per-tenant crash recovery;
 //! * [`parallel`] — the execution engine fanning instance/threshold work
 //!   across cores (`TDN_THREADS`, deterministic at any thread count).
 //!
@@ -86,6 +89,7 @@ pub use tdn_baselines as baselines;
 pub use tdn_core as algorithms;
 pub use tdn_graph as graph;
 pub use tdn_persist as persist;
+pub use tdn_serve as serve;
 pub use tdn_streams as streams;
 pub use tdn_submodular as submodular;
 
@@ -101,6 +105,7 @@ pub mod prelude {
     pub use tdn_core::{
         BasicReduction, ChurnTracker, GreedyTracker, HistApprox, InfluenceTracker, RandomTracker,
         SieveAdn, SieveAdnTracker, Solution, SpreadMode, SpreadStatsSnapshot, TrackerConfig,
+        TrackerEngine,
     };
     pub use tdn_graph::{
         condense, Lifetime, NodeId, NodeInterner, SketchParams, SketchPool, TdnGraph, Time,
@@ -110,8 +115,12 @@ pub mod prelude {
         read_manifest, restore_from_chain, restore_from_slice, save_checkpoint, CheckpointChain,
         CompactionPolicy, Persist, PersistError, SaveReceipt, SnapshotKind, TrackerKind,
     };
+    pub use tdn_serve::{
+        FlushReport, ServeConfig, ServeError, Server, SnapshotReader, TenantId, TenantSnapshot,
+    };
     pub use tdn_streams::{
         read_interactions, write_interactions, ConstantLifetime, Dataset, GeometricLifetime,
-        InfiniteLifetime, Interaction, LifetimeAssigner, PowerLawLifetime, StepBatches, TimedEdge,
+        InfiniteLifetime, Interaction, LifetimeAssigner, PowerLawLifetime, StepBatches,
+        TenantBatch, TenantWorkload, TenantWorkloadConfig, TimedEdge,
     };
 }

@@ -1,0 +1,142 @@
+//! Backend identity: routing a multi-tenant firehose through the
+//! sharded serving layer must be invisible to every tenant. For each
+//! engine family, each `TDN_THREADS` ∈ {1, 4}, and each shard count
+//! ∈ {1, 4}, the served solutions *and oracle tallies* must be
+//! bit-identical to a dedicated single-tenant driver feeding the same
+//! per-tenant stream directly — and the crash/recover/replay path must
+//! land on the same state again.
+
+use tdn::prelude::*;
+
+fn workload() -> TenantWorkload {
+    TenantWorkload::new(TenantWorkloadConfig {
+        tenants: 10,
+        ticks: 30,
+        events_per_tick: 7,
+        tenant_zipf: 0.8,
+        nodes: 120,
+        node_zipf: 1.0,
+        max_lifetime: 6,
+        seed: 0x01DE_2019,
+    })
+}
+
+fn cfg() -> TrackerConfig {
+    TrackerConfig::new(2, 0.25, 6)
+}
+
+/// A tenant's final observable state: watermark, answer, oracle tally.
+type Fingerprint = (Option<Time>, Solution, u64);
+
+fn serve_fingerprints<T: TrackerEngine + Persist + Send>(
+    shards: usize,
+    threads: usize,
+) -> Vec<Fingerprint> {
+    exec::with_threads(threads, || {
+        let mut server: Server<T> = Server::new(ServeConfig::new(shards, cfg())).expect("config");
+        for b in workload().interleaved() {
+            server.submit_batch(b.tenant as TenantId, b.t, b.edges);
+        }
+        server.flush().expect("flush");
+        collect(&server)
+    })
+}
+
+fn collect<T: TrackerEngine + Persist + Send>(server: &Server<T>) -> Vec<Fingerprint> {
+    server
+        .tenants()
+        .iter()
+        .map(|&tenant| {
+            let snap = server.query(tenant).expect("tenant provisioned");
+            (snap.t, snap.solution.clone(), snap.oracle_calls)
+        })
+        .collect()
+}
+
+fn direct_fingerprints<T: TrackerEngine + Persist + Send>(threads: usize) -> Vec<Fingerprint> {
+    exec::with_threads(threads, || {
+        let w = workload();
+        (0..w.config().tenants)
+            .map(|tenant| {
+                let mut engine = T::from_config(&cfg());
+                let mut last = None;
+                for (t, batch) in w.tenant_stream(tenant) {
+                    engine.step(t, &batch);
+                    last = Some(t);
+                }
+                (last, engine.query(), engine.oracle_calls())
+            })
+            .collect()
+    })
+}
+
+fn identity_grid<T: TrackerEngine + Persist + Send>(label: &str) {
+    let reference = direct_fingerprints::<T>(1);
+    for threads in [1usize, 4] {
+        let direct = direct_fingerprints::<T>(threads);
+        assert_eq!(
+            direct, reference,
+            "{label}: direct run varies with TDN_THREADS={threads}"
+        );
+        for shards in [1usize, 4] {
+            let served = serve_fingerprints::<T>(shards, threads);
+            assert_eq!(
+                served, reference,
+                "{label}: served state diverged at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sieve_adn_served_equals_direct() {
+    identity_grid::<SieveAdnTracker>("SIEVEADN");
+}
+
+#[test]
+fn basic_reduction_served_equals_direct() {
+    identity_grid::<BasicReduction>("BASICREDUCTION");
+}
+
+#[test]
+fn hist_approx_served_equals_direct() {
+    identity_grid::<HistApprox>("HISTAPPROX");
+}
+
+/// Shard migration: recovering with a *different* shard count (tenants
+/// land on different workers) must still replay to identical state.
+#[test]
+fn recovery_across_shard_counts_is_identical() {
+    let dir = std::env::temp_dir().join("tdn_serve_identity_migrate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let reference = serve_fingerprints::<HistApprox>(4, 1);
+
+    let all: Vec<_> = workload().interleaved().collect();
+    let cut = 2 * all.len() / 3;
+    let victim_cfg = ServeConfig::new(4, cfg()).with_checkpoints(&dir, 5);
+    exec::with_threads(4, || {
+        let mut victim: Server<HistApprox> = Server::new(victim_cfg.clone()).expect("config");
+        for b in &all[..cut] {
+            victim.submit_batch(b.tenant as TenantId, b.t, b.edges.clone());
+        }
+        victim.flush().expect("flush");
+        victim.checkpoint_all().expect("checkpoint");
+        // Crash: the server is dropped with un-checkpointed publications.
+    });
+
+    // Recover onto a single shard (migration) and replay everything.
+    let recover_cfg = ServeConfig::new(1, cfg()).with_checkpoints(&dir, 5);
+    let recovered = exec::with_threads(1, || {
+        let mut server: Server<HistApprox> =
+            Server::recover(recover_cfg).expect("recover from chains");
+        assert!(!server.tenants().is_empty(), "no tenants recovered");
+        for b in &all {
+            server.submit_batch(b.tenant as TenantId, b.t, b.edges.clone());
+        }
+        let report = server.flush().expect("replay flush");
+        assert!(report.skipped > 0, "replay never hit the idempotence guard");
+        collect(&server)
+    });
+    assert_eq!(recovered, reference, "migrated recovery diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
