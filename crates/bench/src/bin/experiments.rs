@@ -5,7 +5,7 @@
 //!             [--checkpoint-every N]
 //!   targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //!            ablations throughput restore hotpath flatgraph widetrav
-//!            scale sketch serve all
+//!            scale sketch serve chaos all
 //!   --full               paper-scale sweeps (default: quick)
 //!   --out                output directory for CSVs (default: results)
 //!   --bench-out          extra directories the `BENCH_*.json` regression
@@ -28,8 +28,8 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tdn_bench::experiments::{
-    ablations, fig11_12, fig13_14, fig7, fig8_10, flatgraph, hotpath, restore, scale as scale_exp,
-    serve, sketch, table1, throughput, widetrav,
+    ablations, chaos, fig11_12, fig13_14, fig7, fig8_10, flatgraph, hotpath, restore,
+    scale as scale_exp, serve, sketch, table1, throughput, widetrav,
 };
 use tdn_bench::Scale;
 
@@ -38,7 +38,7 @@ fn usage() -> ExitCode {
         "usage: experiments <target>... [--full] [--out DIR] [--bench-out DIR]... \
          [--checkpoint-every N]\n\
          targets: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations \
-         throughput restore hotpath flatgraph widetrav scale sketch serve all"
+         throughput restore hotpath flatgraph widetrav scale sketch serve chaos all"
     );
     ExitCode::FAILURE
 }
@@ -72,7 +72,7 @@ fn main() -> ExitCode {
             },
             t @ ("table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13"
             | "fig14" | "ablations" | "throughput" | "restore" | "hotpath" | "flatgraph"
-            | "widetrav" | "scale" | "sketch" | "serve") => {
+            | "widetrav" | "scale" | "sketch" | "serve" | "chaos") => {
                 // Shared runners: figs 8-10 and 13-14 are joint.
                 targets.insert(match t {
                     "fig9" | "fig10" => "fig8",
@@ -97,6 +97,7 @@ fn main() -> ExitCode {
                     "scale",
                     "sketch",
                     "serve",
+                    "chaos",
                 ] {
                     targets.insert(t);
                 }
@@ -135,6 +136,7 @@ fn main() -> ExitCode {
             "scale" => scale_exp::run(&out, &scale),
             "sketch" => sketch::run(&out, &scale),
             "serve" => serve::run(&out, &scale),
+            "chaos" => chaos::run(&out, &scale),
             _ => unreachable!("validated above"),
         };
         match res.and_then(|()| mirror_bench_json(t, &out, &bench_out)) {

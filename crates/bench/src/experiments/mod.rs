@@ -2,6 +2,7 @@
 //! See DESIGN.md §6 for the per-experiment index.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig11_12;
 pub mod fig13_14;
 pub mod fig7;

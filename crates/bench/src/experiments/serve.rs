@@ -76,7 +76,9 @@ fn submit_tick(server: &mut Server<SieveAdnTracker>, w: &TenantWorkload, t: Time
         let edges = w.batch_at(tenant, t);
         if !edges.is_empty() {
             events += edges.len() as u64;
-            server.submit_batch(tenant as TenantId, t, edges);
+            server
+                .submit_batch(tenant as TenantId, t, edges)
+                .expect("unbounded queues never reject");
         }
     }
     events
@@ -190,7 +192,7 @@ pub fn run(out_dir: &Path, scale: &Scale) -> std::io::Result<()> {
     }
     ensure(checkpoints > 0, "no cadence checkpoints before the crash")?;
 
-    let mut recovered = Server::<SieveAdnTracker>::recover(serve_cfg)
+    let (mut recovered, _recovery) = Server::<SieveAdnTracker>::recover(serve_cfg)
         .map_err(|e| std::io::Error::other(e.to_string()))?;
     ensure(
         !recovered.tenants().is_empty(),

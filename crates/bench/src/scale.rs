@@ -41,6 +41,15 @@ pub struct Scale {
     /// Floor on total `serve` firehose events (the run fails below it, so
     /// the load test cannot shrink into vacuity; ≥ 1M at full scale).
     pub serve_min_events: u64,
+    /// Tenants hosted by the `chaos` fault-injection experiment.
+    pub chaos_tenants: u32,
+    /// Firehose ticks for the `chaos` experiment.
+    pub chaos_ticks: u64,
+    /// Mean batch size of the busiest `chaos` tenant.
+    pub chaos_events_per_tick: u32,
+    /// Floor on seeded fault events the `chaos` storm must inject (the
+    /// run fails below it, so the chaos test cannot shrink into vacuity).
+    pub chaos_min_faults: u64,
     /// Workload seed.
     pub seed: u64,
 }
@@ -65,6 +74,10 @@ impl Scale {
             serve_ticks: 4_000,
             serve_events_per_tick: 28,
             serve_min_events: 1_000_000,
+            chaos_tenants: 96,
+            chaos_ticks: 600,
+            chaos_events_per_tick: 10,
+            chaos_min_faults: 1_000,
             seed: 42,
         }
     }
@@ -88,6 +101,10 @@ impl Scale {
             serve_ticks: 120,
             serve_events_per_tick: 8,
             serve_min_events: 1_000,
+            chaos_tenants: 24,
+            chaos_ticks: 160,
+            chaos_events_per_tick: 6,
+            chaos_min_faults: 200,
             seed: 42,
         }
     }
@@ -106,6 +123,11 @@ mod tests {
         assert!(q.p_values.len() <= f.p_values.len());
         assert!(q.max_rr < f.max_rr);
         assert!(q.serve_min_events < f.serve_min_events);
+        assert!(q.chaos_min_faults < f.chaos_min_faults);
+        assert!(
+            q.chaos_min_faults >= 200,
+            "quick chaos storm still injects >= 200 faults"
+        );
         assert!(
             f.serve_min_events >= 1_000_000,
             "full serve run is >= 1M events"

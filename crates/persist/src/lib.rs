@@ -81,13 +81,16 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod io;
 pub mod manifest;
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tdn_core::{BasicReduction, HistApprox, RandomTracker, SieveAdnTracker, TrackerConfig};
 
 pub use error::PersistError;
+pub use io::{CheckpointIo, StdIo};
 pub use manifest::{Manifest, SnapshotKind, TrackerKind, FORMAT_VERSION, MAGIC, MIN_READ_VERSION};
 
 /// A tracker type that can be checkpointed and warm-restarted.
@@ -452,15 +455,76 @@ pub fn save_checkpoint<T: Persist>(
     cfg: &TrackerConfig,
     step: u64,
 ) -> Result<(), PersistError> {
-    let bytes = checkpoint_to_vec(tracker, cfg, step);
-    write_atomic(path, &bytes)
+    save_checkpoint_with(&StdIo, path, tracker, cfg, step)
 }
 
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+/// [`save_checkpoint`] through an explicit [`CheckpointIo`] — the entry
+/// point fault-injection harnesses use to make the tmp write, the rename,
+/// or both fail deterministically.
+pub fn save_checkpoint_with<T: Persist>(
+    io: &dyn CheckpointIo,
+    path: &Path,
+    tracker: &T,
+    cfg: &TrackerConfig,
+    step: u64,
+) -> Result<(), PersistError> {
+    let bytes = checkpoint_to_vec(tracker, cfg, step);
+    write_atomic_with(io, path, &bytes)
+}
+
+/// Atomic-by-rename write through a [`CheckpointIo`]: bytes land in
+/// `<path>.tmp` first, then rename into place. If the rename fails the
+/// orphaned tmp file is best-effort removed (an injected or real rename
+/// failure must not leave debris that a later recovery scan has to clean);
+/// a *crash* between write and rename still can, which is exactly what
+/// [`clean_stale_tmp`] and `Server::recover` handle.
+pub fn write_atomic_with(
+    io: &dyn CheckpointIo,
+    path: &Path,
+    bytes: &[u8],
+) -> Result<(), PersistError> {
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)?;
+    io.write(&tmp, bytes)?;
+    if let Err(e) = io.rename(&tmp, path) {
+        let _ = io.remove_file(&tmp);
+        return Err(e.into());
+    }
     Ok(())
+}
+
+/// Removes stale `*.tmp` debris left in `dir` by crashes between a
+/// checkpoint's tmp write and its rename. When `prefix` is given, only
+/// files named `{prefix}-*.tmp` are touched (so concurrent chains sharing
+/// a directory never clean each other's in-flight writes); `None` sweeps
+/// the whole directory and is only safe when no writer is active (e.g.
+/// during `Server::recover`). Returns the removed paths, sorted. A missing
+/// directory is not an error — there is nothing to clean.
+pub fn clean_stale_tmp(dir: &Path, prefix: Option<&str>) -> Result<Vec<PathBuf>, PersistError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let want_prefix = prefix.map(|p| format!("{p}-"));
+    let mut removed = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.ends_with(".tmp") || !path.is_file() {
+            continue;
+        }
+        if let Some(p) = &want_prefix {
+            if !name.starts_with(p.as_str()) {
+                continue;
+            }
+        }
+        std::fs::remove_file(&path)?;
+        removed.push(path);
+    }
+    removed.sort();
+    Ok(removed)
 }
 
 /// Reads and restores a checkpoint file. A base restores directly; a delta
@@ -618,6 +682,7 @@ pub struct CheckpointChain {
     dir: PathBuf,
     prefix: String,
     policy: CompactionPolicy,
+    io: Arc<dyn CheckpointIo>,
     tip: Option<ChainTip>,
 }
 
@@ -630,6 +695,7 @@ impl CheckpointChain {
             dir: dir.into(),
             prefix: prefix.into(),
             policy: CompactionPolicy::default(),
+            io: Arc::new(StdIo),
             tip: None,
         }
     }
@@ -638,6 +704,22 @@ impl CheckpointChain {
     pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Routes this chain's file operations through `io` (builder form).
+    /// Restores still read with plain `std::fs` — fault injection targets
+    /// the write path, where state can actually be lost.
+    pub fn with_io(mut self, io: Arc<dyn CheckpointIo>) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Removes stale `{prefix}-*.tmp` debris from this chain's directory
+    /// (crash leftovers between tmp write and rename). Prefix-scoped, so
+    /// it is safe while other chains write to the same directory. Returns
+    /// the removed paths.
+    pub fn clean_stale_tmp(&self) -> Result<Vec<PathBuf>, PersistError> {
+        clean_stale_tmp(&self.dir, Some(&self.prefix))
     }
 
     /// Snapshot id of the newest save, if any.
@@ -784,11 +866,11 @@ impl CheckpointChain {
         snapshot_id: u64,
         bytes: &[u8],
     ) -> Result<PathBuf, PersistError> {
-        std::fs::create_dir_all(&self.dir)?;
+        self.io.create_dir_all(&self.dir)?;
         let path = self
             .dir
             .join(format!("{}-{step:08}-{snapshot_id:016x}.tdnc", self.prefix));
-        write_atomic(&path, bytes)?;
+        write_atomic_with(self.io.as_ref(), &path, bytes)?;
         Ok(path)
     }
 }
@@ -1077,6 +1159,113 @@ mod tests {
             Err(e) => e,
         };
         assert!(matches!(err, PersistError::MissingBase { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Test double: fails the first `fail_renames` rename calls.
+    struct RenameBomb {
+        remaining: std::sync::Mutex<u32>,
+    }
+
+    impl CheckpointIo for RenameBomb {
+        fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            std::fs::write(path, bytes)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            let mut left = self.remaining.lock().unwrap();
+            if *left > 0 {
+                *left -= 1;
+                return Err(std::io::Error::from_raw_os_error(5)); // EIO
+            }
+            std::fs::rename(from, to)
+        }
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            std::fs::read(path)
+        }
+        fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+            std::fs::create_dir_all(path)
+        }
+        fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+            std::fs::remove_file(path)
+        }
+    }
+
+    fn dir_names(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn failed_rename_is_typed_and_leaves_no_tmp_debris() {
+        let (cfg, live) = small_hist();
+        let dir = std::env::temp_dir().join("tdn_persist_rename_bomb");
+        std::fs::remove_dir_all(&dir).ok();
+        let io = Arc::new(RenameBomb {
+            remaining: std::sync::Mutex::new(1),
+        });
+        let mut chain = CheckpointChain::new(&dir, "h").with_io(io);
+        let err = chain.save(&live, &cfg, 2).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "{err}");
+        // The tmp was cleaned up on the failure path and no final file
+        // exists — the directory holds no trace of the failed save.
+        assert!(dir_names(&dir).is_empty(), "{:?}", dir_names(&dir));
+        // The chain did not keep a tip pointing at a phantom snapshot: the
+        // next save starts a fresh base and succeeds.
+        let r = chain.save(&live, &cfg, 2).unwrap();
+        assert_eq!(r.kind, SnapshotKind::Base);
+        let (step, _): (u64, HistApprox) = load_checkpoint(&r.path, &cfg).unwrap();
+        assert_eq!(step, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_tmp_cleanup_is_prefix_scoped() {
+        let (cfg, live) = small_hist();
+        let dir = std::env::temp_dir().join("tdn_persist_tmp_cleanup");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut chain = CheckpointChain::new(&dir, "a");
+        let receipt = chain.save(&live, &cfg, 2).unwrap();
+        // Simulate crashes between write and rename for two chains.
+        std::fs::write(dir.join("a-00000003-00000000deadbeef.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("b-00000001-00000000cafef00d.tmp"), b"torn").unwrap();
+
+        let removed = chain.clean_stale_tmp().unwrap();
+        assert_eq!(removed.len(), 1, "{removed:?}");
+        assert_eq!(
+            dir_names(&dir),
+            vec![
+                receipt
+                    .path
+                    .file_name()
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned(),
+                "b-00000001-00000000cafef00d.tmp".to_string(),
+            ],
+            "prefix-scoped cleanup touched a foreign chain's tmp"
+        );
+
+        // The dir-wide sweep (recovery context: no active writers) takes
+        // the rest but never a real checkpoint.
+        let removed = clean_stale_tmp(&dir, None).unwrap();
+        assert_eq!(removed.len(), 1, "{removed:?}");
+        assert_eq!(
+            dir_names(&dir),
+            vec![receipt
+                .path
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned()]
+        );
+        // Cleaning a missing directory reports nothing to do.
+        assert!(clean_stale_tmp(Path::new("/nonexistent/tdn"), None)
+            .unwrap()
+            .is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use tdn_persist::PersistError;
+use tdn_streams::TimedEdge;
 
 /// Everything that can go wrong inside the serving layer. Ingest-side
 /// data problems (stale ticks during replay) are *not* errors — they are
@@ -23,6 +24,23 @@ pub enum ServeError {
     },
     /// Filesystem trouble while scanning the checkpoint directory.
     Io(std::io::Error),
+    /// The shard's pending queue is full under
+    /// [`ShedPolicy::RejectNewest`](crate::ShedPolicy::RejectNewest).
+    /// The refused batch rides back inside the error, so the caller can
+    /// flush and resubmit without losing data.
+    Backpressure {
+        /// Tenant whose batch was refused.
+        tenant: u64,
+        /// Tick of the refused batch.
+        t: u64,
+        /// The refused events, returned to the caller.
+        edges: Vec<TimedEdge>,
+    },
+    /// An internal invariant broke (a bug, not an operational fault).
+    Internal {
+        /// Which invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -36,6 +54,12 @@ impl fmt::Display for ServeError {
                 write!(f, "tenant {tenant:#x} checkpoint chain: {source}")
             }
             ServeError::Io(e) => write!(f, "checkpoint directory scan: {e}"),
+            ServeError::Backpressure { tenant, t, edges } => write!(
+                f,
+                "shard queue full: rejected batch (tenant {tenant:#x}, t {t}, {} events)",
+                edges.len()
+            ),
+            ServeError::Internal { what } => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

@@ -1,0 +1,279 @@
+//! Per-tenant health: the supervised-recovery state machine.
+//!
+//! Every tenant carries a [`HealthState`]. Faults move it along a small,
+//! fully deterministic machine — deterministic because its clock is the
+//! server's **flush tick** (a counter bumped once per [`flush`]), never
+//! wall time, and every transition is driven by events that are
+//! themselves deterministic under a seeded fault plan:
+//!
+//! ```text
+//!   Healthy ──checkpoint save fails──▶ Degraded { attempts, next_retry_tick }
+//!      ▲                                   │ save succeeds
+//!      └───────────────────────────────────┘
+//!   Degraded ──attempts exceed the RetryPolicy──▶ Quarantined { CheckpointFailed }
+//!   any state ──engine panics mid-step──▶ Quarantined { Panic }
+//!   recovery cannot restore any link ──▶ Quarantined { RecoveryFailed }
+//!   Quarantined ──revive/reset──▶ Recovering ──first successful step──▶ Healthy
+//! ```
+//!
+//! **What quarantine guarantees.** A quarantined tenant's engine is never
+//! stepped again (its in-memory state is suspect after a panic, or its
+//! chain cannot accept writes), never checkpointed again (a bad state
+//! must not overwrite a good chain), and its watermark never advances —
+//! but its *last published snapshot keeps serving reads*. Incoming
+//! batches are counted, not applied, so the accounting invariant still
+//! holds and a supervisor can see exactly how much work the tenant is
+//! owed. Reviving replays through the watermark guard, which restores
+//! bit-identical state from the last good checkpoint.
+//!
+//! **Backoff.** A degraded tenant retries its checkpoint with bounded
+//! exponential backoff: attempt `n` waits `base_backoff_ticks << (n-1)`
+//! flush ticks. Ticks are shared by every shard (the value is read before
+//! the parallel drain), so backoff expiry is identical at any
+//! `TDN_THREADS` or shard count.
+//!
+//! [`flush`]: crate::Server::flush
+
+use crate::server::TenantId;
+use std::fmt;
+
+/// Why a tenant was quarantined. Carries a human-readable detail string
+/// (panic message, persist error text) for reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The tenant's engine panicked mid-step; its in-memory state is
+    /// suspect and must not be stepped or checkpointed again.
+    Panic {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// Checkpoint saves kept failing past the [`RetryPolicy`] budget.
+    CheckpointFailed {
+        /// The last persist error, rendered.
+        detail: String,
+    },
+    /// Recovery could not restore any checkpoint link for the tenant.
+    RecoveryFailed {
+        /// The last restore error, rendered.
+        detail: String,
+    },
+}
+
+impl QuarantineReason {
+    /// Short machine-readable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            QuarantineReason::Panic { .. } => "panic",
+            QuarantineReason::CheckpointFailed { .. } => "checkpoint_failed",
+            QuarantineReason::RecoveryFailed { .. } => "recovery_failed",
+        }
+    }
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::Panic { detail } => write!(f, "engine panic: {detail}"),
+            QuarantineReason::CheckpointFailed { detail } => {
+                write!(f, "checkpoint retries exhausted: {detail}")
+            }
+            QuarantineReason::RecoveryFailed { detail } => {
+                write!(f, "no checkpoint link restored: {detail}")
+            }
+        }
+    }
+}
+
+/// One tenant's position in the health machine. See the module docs for
+/// the transition diagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Serving and checkpointing normally.
+    Healthy,
+    /// Serving normally, but the last checkpoint save failed; the next
+    /// retry waits for exponential backoff on the flush-tick clock.
+    Degraded {
+        /// Failed attempts so far (1 after the first failure).
+        attempts: u32,
+        /// Flush tick at which the next save may be attempted.
+        next_retry_tick: u64,
+    },
+    /// Not stepping, not checkpointing; reads serve the last published
+    /// snapshot. Exit via [`Server::revive_tenant`] /
+    /// [`Server::reset_tenant`].
+    ///
+    /// [`Server::revive_tenant`]: crate::Server::revive_tenant
+    /// [`Server::reset_tenant`]: crate::Server::reset_tenant
+    Quarantined {
+        /// Why the tenant was pulled from service.
+        reason: QuarantineReason,
+        /// Flush tick of the quarantine decision.
+        since_tick: u64,
+    },
+    /// Revived and replaying; flips to `Healthy` on the first
+    /// successfully applied batch.
+    Recovering {
+        /// Flush tick of the revive.
+        since_tick: u64,
+    },
+}
+
+impl HealthState {
+    /// Whether the tenant's engine may be stepped in this state.
+    pub fn serving(&self) -> bool {
+        !matches!(self, HealthState::Quarantined { .. })
+    }
+
+    /// Short machine-readable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded { .. } => "degraded",
+            HealthState::Quarantined { .. } => "quarantined",
+            HealthState::Recovering { .. } => "recovering",
+        }
+    }
+}
+
+/// Bounded retry-with-backoff budget for checkpoint failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Failed attempts tolerated before quarantine. Attempt `n` failing
+    /// with `n > max_attempts` quarantines the tenant.
+    pub max_attempts: u32,
+    /// Backoff before retry `n+1` is `base_backoff_ticks << (n-1)` flush
+    /// ticks (shift saturates at 16 to stay finite).
+    pub base_backoff_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ticks: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The flush tick before which attempt `attempts + 1` must wait,
+    /// given the current tick.
+    pub fn next_retry_tick(&self, attempts: u32, tick: u64) -> u64 {
+        let shift = attempts.saturating_sub(1).min(16);
+        tick.saturating_add(self.base_backoff_ticks << shift)
+    }
+}
+
+/// A point-in-time census of every tenant's health, plus the fault
+/// tallies a supervisor acts on. Produced by
+/// [`Server::health_report`](crate::Server::health_report).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Every tenant's state, ascending by tenant id.
+    pub tenants: Vec<(TenantId, HealthState)>,
+    /// Tenants currently `Healthy`.
+    pub healthy: usize,
+    /// Tenants currently `Degraded`.
+    pub degraded: usize,
+    /// Tenants currently `Quarantined`.
+    pub quarantined: usize,
+    /// Tenants currently `Recovering`.
+    pub recovering: usize,
+}
+
+impl HealthReport {
+    /// Builds the census from per-tenant states (must be sorted).
+    pub(crate) fn from_states(tenants: Vec<(TenantId, HealthState)>) -> Self {
+        let mut report = HealthReport {
+            healthy: 0,
+            degraded: 0,
+            quarantined: 0,
+            recovering: 0,
+            tenants: Vec::new(),
+        };
+        for (_, state) in &tenants {
+            match state {
+                HealthState::Healthy => report.healthy += 1,
+                HealthState::Degraded { .. } => report.degraded += 1,
+                HealthState::Quarantined { .. } => report.quarantined += 1,
+                HealthState::Recovering { .. } => report.recovering += 1,
+            }
+        }
+        report.tenants = tenants;
+        report
+    }
+
+    /// The quarantined tenants and their reasons, ascending.
+    pub fn quarantine_list(&self) -> Vec<(TenantId, &QuarantineReason)> {
+        self.tenants
+            .iter()
+            .filter_map(|(id, s)| match s {
+                HealthState::Quarantined { reason, .. } => Some((*id, reason)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ticks: 2,
+        };
+        assert_eq!(p.next_retry_tick(1, 10), 12);
+        assert_eq!(p.next_retry_tick(2, 10), 14);
+        assert_eq!(p.next_retry_tick(3, 10), 18);
+        // Shift saturates; no overflow even at absurd attempt counts.
+        assert!(p.next_retry_tick(u32::MAX, u64::MAX) == u64::MAX);
+    }
+
+    #[test]
+    fn census_counts_states() {
+        let states = vec![
+            (1, HealthState::Healthy),
+            (
+                2,
+                HealthState::Degraded {
+                    attempts: 1,
+                    next_retry_tick: 5,
+                },
+            ),
+            (
+                3,
+                HealthState::Quarantined {
+                    reason: QuarantineReason::Panic {
+                        detail: "boom".into(),
+                    },
+                    since_tick: 4,
+                },
+            ),
+            (4, HealthState::Recovering { since_tick: 6 }),
+        ];
+        let report = HealthReport::from_states(states);
+        assert_eq!(
+            (
+                report.healthy,
+                report.degraded,
+                report.quarantined,
+                report.recovering
+            ),
+            (1, 1, 1, 1)
+        );
+        let q = report.quarantine_list();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].0, 3);
+        assert_eq!(q[0].1.tag(), "panic");
+        assert!(!HealthState::Quarantined {
+            reason: QuarantineReason::Panic {
+                detail: String::new()
+            },
+            since_tick: 0
+        }
+        .serving());
+    }
+}

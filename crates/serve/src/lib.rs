@@ -50,11 +50,39 @@
 //! replay therefore converges on the uninterrupted run's state
 //! bit-identically (the persist layer's warm-restart guarantee), which
 //! the `serve` experiment asserts end-to-end.
+//!
+//! ## Fault model (chaos hardening)
+//!
+//! The layer is hardened against four fault families, each injectable
+//! deterministically through a seeded [`tdn_faults::FaultPlan`] wired in
+//! with [`ServeConfig::with_faults`]:
+//!
+//! * **Engine panics** — every step runs under `catch_unwind`; a panic
+//!   quarantines that tenant only (see [`health`]) while its last
+//!   published snapshot keeps serving reads.
+//! * **Checkpoint I/O failures** (EIO, disk-full, torn writes, failed
+//!   renames) — bounded retry with exponential backoff on the flush-tick
+//!   clock; the retry budget exhausting quarantines the tenant.
+//! * **Crashes** — atomic-by-rename chain writes plus tolerant
+//!   [`Server::recover`]: stale `.tmp` debris is swept, corrupt links
+//!   fall back to older links, an unrecoverable tenant is quarantined
+//!   with the error instead of aborting recovery, and at-least-once
+//!   replay through the watermark guard restores bit-identical state.
+//! * **Overload** — bounded pending queues with an explicit
+//!   [`ShedPolicy`]: reject-newest (lossless; the batch rides back in
+//!   [`ServeError::Backpressure`]) or drop-oldest (lossy, every dropped
+//!   event counted). The [`FlushReport`] accounting invariant makes any
+//!   loss visible.
 
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod health;
 pub mod server;
 
 pub use error::ServeError;
-pub use server::{FlushReport, ServeConfig, Server, SnapshotReader, TenantId, TenantSnapshot};
+pub use health::{HealthReport, HealthState, QuarantineReason, RetryPolicy};
+pub use server::{
+    CheckpointSummary, FlushReport, RecoveryReport, ServeConfig, Server, ShedPolicy,
+    SnapshotReader, TenantId, TenantSnapshot,
+};

@@ -73,9 +73,13 @@
 //! * [`persist`] — checkpoint/restore: versioned, sectioned binary
 //!   snapshots of full tracker state (base + delta chains, per-section
 //!   checksums) with a bit-identical warm-restart guarantee;
+//! * [`faults`] — deterministic fault injection: seeded fault plans that
+//!   make every injected failure (I/O errors, torn writes, worker panics,
+//!   crash points) a pure function of `(seed, site, occurrence)`;
 //! * [`serve`] — tracker-as-a-service: hash-sharded multi-tenant serving
 //!   over any [`TrackerEngine`](tdn_core::TrackerEngine), with
-//!   epoch-swapped snapshot reads and per-tenant crash recovery;
+//!   epoch-swapped snapshot reads, per-tenant crash recovery, panic
+//!   quarantine with supervised revival, and bounded-queue backpressure;
 //! * [`parallel`] — the execution engine fanning instance/threshold work
 //!   across cores (`TDN_THREADS`, deterministic at any thread count).
 //!
@@ -87,6 +91,7 @@
 
 pub use tdn_baselines as baselines;
 pub use tdn_core as algorithms;
+pub use tdn_faults as faults;
 pub use tdn_graph as graph;
 pub use tdn_persist as persist;
 pub use tdn_serve as serve;
@@ -107,6 +112,7 @@ pub mod prelude {
         SieveAdn, SieveAdnTracker, Solution, SpreadMode, SpreadStatsSnapshot, TrackerConfig,
         TrackerEngine,
     };
+    pub use tdn_faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultyIo};
     pub use tdn_graph::{
         condense, Lifetime, NodeId, NodeInterner, SketchParams, SketchPool, TdnGraph, Time,
     };
@@ -116,7 +122,9 @@ pub mod prelude {
         CompactionPolicy, Persist, PersistError, SaveReceipt, SnapshotKind, TrackerKind,
     };
     pub use tdn_serve::{
-        FlushReport, ServeConfig, ServeError, Server, SnapshotReader, TenantId, TenantSnapshot,
+        CheckpointSummary, FlushReport, HealthReport, HealthState, QuarantineReason,
+        RecoveryReport, RetryPolicy, ServeConfig, ServeError, Server, ShedPolicy, SnapshotReader,
+        TenantId, TenantSnapshot,
     };
     pub use tdn_streams::{
         read_interactions, write_interactions, ConstantLifetime, Dataset, GeometricLifetime,

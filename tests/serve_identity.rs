@@ -5,7 +5,17 @@
 //! bit-identical to a dedicated single-tenant driver feeding the same
 //! per-tenant stream directly — and the crash/recover/replay path must
 //! land on the same state again.
+//!
+//! **Fault-seeded mode.** With `TDN_FAULT_SEED=<nonzero>` in the
+//! environment, every served run additionally checkpoints through a
+//! seeded [`FaultPlan`] storming all four *retryable* I/O sites (EIO,
+//! ENOSPC, torn writes, rename failures) with a generous retry budget.
+//! Retryable faults only touch the persistence path, so the served
+//! fingerprints must be bit-identical to the fault-free reference — CI
+//! runs this suite once with a nonzero seed to prove it.
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use tdn::prelude::*;
 
 fn workload() -> TenantWorkload {
@@ -25,21 +35,65 @@ fn cfg() -> TrackerConfig {
     TrackerConfig::new(2, 0.25, 6)
 }
 
+fn fault_seed() -> u64 {
+    std::env::var("TDN_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Under a nonzero `TDN_FAULT_SEED`, arms the config with checkpoints to
+/// a per-run scratch dir and a retryable-sites-only fault storm. The
+/// retry budget (10) exceeds the worst case the storm can inject per
+/// tenant (4 kinds × the default per-site cap of 2 = 8 consecutive
+/// failures), so no tenant can quarantine — served answers must not
+/// move.
+fn maybe_faulted(cfg: ServeConfig, tag: &str) -> (ServeConfig, Option<PathBuf>) {
+    let seed = fault_seed();
+    if seed == 0 {
+        return (cfg, None);
+    }
+    let dir = std::env::temp_dir().join(format!("tdn_serve_identity_faults_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = Arc::new(FaultPlan::new(FaultPlanConfig::retryable_storm(
+        seed, 1_500,
+    )));
+    let cfg = cfg
+        .with_checkpoints(&dir, 7)
+        .with_retry(RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ticks: 1,
+        })
+        .with_faults(plan);
+    (cfg, Some(dir))
+}
+
 /// A tenant's final observable state: watermark, answer, oracle tally.
 type Fingerprint = (Option<Time>, Solution, u64);
 
 fn serve_fingerprints<T: TrackerEngine + Persist + Send>(
     shards: usize,
     threads: usize,
+    label: &str,
 ) -> Vec<Fingerprint> {
-    exec::with_threads(threads, || {
-        let mut server: Server<T> = Server::new(ServeConfig::new(shards, cfg())).expect("config");
+    let (cfg, scratch) = maybe_faulted(
+        ServeConfig::new(shards, cfg()),
+        &format!("{label}_{shards}_{threads}"),
+    );
+    let out = exec::with_threads(threads, || {
+        let mut server: Server<T> = Server::new(cfg.clone()).expect("config");
         for b in workload().interleaved() {
-            server.submit_batch(b.tenant as TenantId, b.t, b.edges);
+            server
+                .submit_batch(b.tenant as TenantId, b.t, b.edges)
+                .expect("submit");
         }
         server.flush().expect("flush");
         collect(&server)
-    })
+    });
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    out
 }
 
 fn collect<T: TrackerEngine + Persist + Send>(server: &Server<T>) -> Vec<Fingerprint> {
@@ -79,7 +133,7 @@ fn identity_grid<T: TrackerEngine + Persist + Send>(label: &str) {
             "{label}: direct run varies with TDN_THREADS={threads}"
         );
         for shards in [1usize, 4] {
-            let served = serve_fingerprints::<T>(shards, threads);
+            let served = serve_fingerprints::<T>(shards, threads, label);
             assert_eq!(
                 served, reference,
                 "{label}: served state diverged at shards={shards} threads={threads}"
@@ -105,33 +159,50 @@ fn hist_approx_served_equals_direct() {
 
 /// Shard migration: recovering with a *different* shard count (tenants
 /// land on different workers) must still replay to identical state.
+/// Under `TDN_FAULT_SEED` the victim's checkpoints are written through
+/// the retryable-fault storm — torn tmp debris and missing links are
+/// exactly what the tolerant recovery path must absorb.
 #[test]
 fn recovery_across_shard_counts_is_identical() {
     let dir = std::env::temp_dir().join("tdn_serve_identity_migrate");
     let _ = std::fs::remove_dir_all(&dir);
-    let reference = serve_fingerprints::<HistApprox>(4, 1);
+    let reference = serve_fingerprints::<HistApprox>(4, 1, "MIGRATE_REF");
 
     let all: Vec<_> = workload().interleaved().collect();
     let cut = 2 * all.len() / 3;
-    let victim_cfg = ServeConfig::new(4, cfg()).with_checkpoints(&dir, 5);
+    let (victim_cfg, _) = maybe_faulted(
+        ServeConfig::new(4, cfg()).with_checkpoints(&dir, 5),
+        "MIGRATE_VICTIM",
+    );
+    // Fault-seeded or not, the victim checkpoints into the shared dir.
+    let victim_cfg = victim_cfg.with_checkpoints(&dir, 5);
     exec::with_threads(4, || {
         let mut victim: Server<HistApprox> = Server::new(victim_cfg.clone()).expect("config");
         for b in &all[..cut] {
-            victim.submit_batch(b.tenant as TenantId, b.t, b.edges.clone());
+            victim
+                .submit_batch(b.tenant as TenantId, b.t, b.edges.clone())
+                .expect("submit");
         }
         victim.flush().expect("flush");
-        victim.checkpoint_all().expect("checkpoint");
+        let summary = victim.checkpoint_all().expect("checkpoint");
+        assert!(summary.saved > 0, "no chains written: {summary:?}");
         // Crash: the server is dropped with un-checkpointed publications.
     });
 
     // Recover onto a single shard (migration) and replay everything.
     let recover_cfg = ServeConfig::new(1, cfg()).with_checkpoints(&dir, 5);
     let recovered = exec::with_threads(1, || {
-        let mut server: Server<HistApprox> =
-            Server::recover(recover_cfg).expect("recover from chains");
+        let (mut server, rec) =
+            Server::<HistApprox>::recover(recover_cfg).expect("recover from chains");
         assert!(!server.tenants().is_empty(), "no tenants recovered");
+        assert!(
+            rec.quarantined.is_empty(),
+            "atomic chain writes must never leave a corrupt link: {rec:?}"
+        );
         for b in &all {
-            server.submit_batch(b.tenant as TenantId, b.t, b.edges.clone());
+            server
+                .submit_batch(b.tenant as TenantId, b.t, b.edges.clone())
+                .expect("submit");
         }
         let report = server.flush().expect("replay flush");
         assert!(report.skipped > 0, "replay never hit the idempotence guard");

@@ -1,0 +1,136 @@
+//! Shed-policy accounting: under bounded queues, **every submitted event
+//! is either applied or explicitly accounted** — rejected back to the
+//! caller, shed with a count, or skipped by the replay guard. No policy,
+//! shard count, queue cap, flush cadence, or thread count may lose an
+//! event silently, and the full report must be bit-identical at
+//! `TDN_THREADS` 1 and 4.
+
+use proptest::prelude::*;
+use tdn::prelude::*;
+
+type Fingerprint = (TenantId, Option<Time>, Solution);
+
+/// Drives one scenario and returns the aggregate report plus the final
+/// per-tenant fingerprints.
+fn run_scenario(
+    shards: usize,
+    cap: usize,
+    policy: ShedPolicy,
+    spec: &[(u8, u8, u8)],
+    flush_every: usize,
+) -> (FlushReport, u64, Vec<Fingerprint>) {
+    let cfg =
+        ServeConfig::new(shards, TrackerConfig::new(2, 0.25, 6)).with_queue_limit(cap, policy);
+    let mut server = Server::<SieveAdnTracker>::new(cfg).expect("config");
+    let mut agg = FlushReport::default();
+    let mut submitted = 0u64;
+    for (i, &(tenant, t, n)) in spec.iter().enumerate() {
+        let edges: Vec<TimedEdge> = (0..n)
+            .map(|j| {
+                TimedEdge::new(
+                    (t as u32 + j as u32) % 5,
+                    (tenant as u32 + j as u32) % 7 + 10,
+                    2,
+                )
+            })
+            .collect();
+        submitted += edges.len() as u64;
+        match server.submit_batch(tenant as TenantId, t as Time, edges) {
+            Ok(()) => {}
+            Err(ServeError::Backpressure { edges, .. }) => {
+                assert_eq!(
+                    policy,
+                    ShedPolicy::RejectNewest,
+                    "only reject-newest may bounce a batch"
+                );
+                assert!(!edges.is_empty(), "rejected data must ride back");
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+        if (i + 1) % flush_every == 0 {
+            agg.merge(&server.flush().expect("flush"));
+        }
+    }
+    agg.merge(&server.flush().expect("final flush"));
+    let fingerprints = server
+        .tenants()
+        .into_iter()
+        .map(|tenant| {
+            let snap = server.query(tenant).expect("provisioned");
+            (tenant, snap.t, snap.solution.clone())
+        })
+        .collect();
+    (agg, submitted, fingerprints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The accounting invariant, across shard counts × queue caps ×
+    /// both shed policies × flush cadences × thread counts {1, 4}.
+    #[test]
+    fn every_submitted_event_is_accounted(
+        shards in 1usize..5,
+        cap in 1usize..4,
+        drop_oldest in 0u8..2,
+        flush_every in 1usize..8,
+        spec in prop::collection::vec((0u8..6, 0u8..6, 1u8..4), 1..60),
+    ) {
+        let policy = if drop_oldest == 1 {
+            ShedPolicy::DropOldest
+        } else {
+            ShedPolicy::RejectNewest
+        };
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let run = exec::with_threads(threads, || {
+                run_scenario(shards, cap, policy, &spec, flush_every)
+            });
+            let (report, submitted, _) = &run;
+            // Lossless-or-accounted: applied + every explicit exit path
+            // must cover exactly what was submitted (queues are empty
+            // after the final flush).
+            prop_assert_eq!(
+                *submitted,
+                report.events
+                    + report.skipped_events
+                    + report.shed_events
+                    + report.rejected_events,
+                "threads={} report={:?}",
+                threads,
+                report
+            );
+            // No fault plan here: nothing may panic or quarantine.
+            prop_assert_eq!(report.panics, 0);
+            prop_assert_eq!(report.quarantined_events, 0);
+            // Policies never cross: reject-newest sheds nothing, drop-
+            // oldest rejects nothing.
+            match policy {
+                ShedPolicy::RejectNewest => prop_assert_eq!(report.shed_events, 0),
+                ShedPolicy::DropOldest => prop_assert_eq!(report.rejected_events, 0),
+            }
+            runs.push(run);
+        }
+        // Thread count must be invisible: identical reports and states.
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+
+    /// An unbounded queue (cap = 0) never rejects or sheds, regardless
+    /// of policy — the bound is the only trigger.
+    #[test]
+    fn unbounded_queues_never_shed(
+        shards in 1usize..4,
+        drop_oldest in 0u8..2,
+        spec in prop::collection::vec((0u8..5, 0u8..5, 1u8..4), 1..40),
+    ) {
+        let policy = if drop_oldest == 1 {
+            ShedPolicy::DropOldest
+        } else {
+            ShedPolicy::RejectNewest
+        };
+        let (report, submitted, _) = run_scenario(shards, 0, policy, &spec, 9);
+        prop_assert_eq!(report.shed_events, 0);
+        prop_assert_eq!(report.rejected_events, 0);
+        prop_assert_eq!(submitted, report.events + report.skipped_events);
+    }
+}
